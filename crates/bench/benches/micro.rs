@@ -1,0 +1,241 @@
+//! Criterion micro-benchmarks for the performance-critical kernels,
+//! including the ablations DESIGN.md calls out:
+//!
+//! * sparse ΔS vs the naive dense rescan (paper §III-A optimization c);
+//! * proposal sampling;
+//! * merge-phase proposal throughput;
+//! * MH vs hybrid vs batch sweeps;
+//! * sorted-balanced vs modulo ownership (load balance proxy);
+//! * simulated-cluster collective throughput;
+//! * blockmodel construction and incremental moves;
+//! * synthetic graph generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbp_core::hybrid::{batch_sweep, hybrid_sweep, HybridConfig};
+use sbp_core::mcmc::mh_sweep;
+use sbp_core::merge::propose_merges;
+use sbp_core::naive::DenseBlockmodel;
+use sbp_core::propose::propose_for_vertex;
+use sbp_core::{delta_entropy, vertex_move_delta, Blockmodel};
+use sbp_dist::{balanced_ownership, modulo_ownership};
+use sbp_gen::{param_study, ParamStudySpec};
+use sbp_graph::Graph;
+use sbp_mpi::{Communicator, CostModel, ThreadCluster};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_graph() -> (Graph, Vec<u32>, usize) {
+    let spec = ParamStudySpec {
+        truncate_min: true,
+        truncate_max: true,
+        duplicated: true,
+        communities_base: 33,
+    };
+    let pg = param_study(spec, 0.03, 7);
+    // A plausible mid-inference state: ~32 blocks from the ground truth
+    // labels re-used as a partition.
+    let c = pg
+        .ground_truth
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
+    (pg.graph.clone(), pg.ground_truth.clone(), c)
+}
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("edist");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn bench_delta(c: &mut Criterion) {
+    // Two regimes: few blocks (late inference — dense rows are tiny and
+    // cache-friendly) and many blocks (early inference, C = V/4 — where
+    // the paper's sparse-delta optimization pays off). Table VI shows the
+    // same crossover at the whole-algorithm level.
+    let (graph, truth_assignment, truth_nb) = bench_graph();
+    let n = graph.num_vertices();
+    let many_nb = (n / 4).max(4);
+    let many_assignment: Vec<u32> = (0..n as u32).map(|v| v % many_nb as u32).collect();
+    let mut group = quick(c);
+    for (label, assignment, nb) in [
+        ("fewC", truth_assignment, truth_nb),
+        ("manyC", many_assignment, many_nb),
+    ] {
+        let bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
+        let dense = DenseBlockmodel::from_assignment(&graph, assignment, nb);
+        group.bench_function(format!("delta_entropy/sparse_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for v in (0..n as u32).step_by(37) {
+                    let to = (bm.block_of(v) + 1) % nb as u32;
+                    let d = vertex_move_delta(&graph, &bm, v, to);
+                    acc += delta_entropy(&bm, &d);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("delta_entropy/dense_naive_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for v in (0..n as u32).step_by(37) {
+                    let to = (dense.assignment()[v as usize] as usize + 1) % nb;
+                    acc += dense.delta_entropy_move(&graph, v, to);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let (graph, assignment, nb) = bench_graph();
+    let bm = Blockmodel::from_assignment(&graph, assignment, nb);
+    let mut group = quick(c);
+    group.bench_function("propose/vertex", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for v in (0..graph.num_vertices() as u32).step_by(11) {
+                acc ^= propose_for_vertex(&mut rng, &graph, &bm, v).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge_phase(c: &mut Criterion) {
+    let (graph, _, _) = bench_graph();
+    let bm = Blockmodel::identity(&graph);
+    let blocks: Vec<u32> = (0..bm.num_blocks() as u32).collect();
+    let mut group = quick(c);
+    group.bench_function("merge/propose_all_blocks_x10", |b| {
+        b.iter(|| black_box(propose_merges(&bm, &blocks, 10, 99)))
+    });
+    group.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let (graph, assignment, nb) = bench_graph();
+    let vertices: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    let mut group = quick(c);
+    group.bench_function("sweep/metropolis_hastings", |b| {
+        b.iter_batched(
+            || Blockmodel::from_assignment(&graph, assignment.clone(), nb),
+            |mut bm| {
+                let mut rng = SmallRng::seed_from_u64(5);
+                black_box(mh_sweep(&graph, &mut bm, &vertices, 3.0, &mut rng))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("sweep/hybrid", |b| {
+        let cfg = HybridConfig {
+            parallel: false,
+            ..HybridConfig::default()
+        };
+        b.iter_batched(
+            || Blockmodel::from_assignment(&graph, assignment.clone(), nb),
+            |mut bm| black_box(hybrid_sweep(&graph, &mut bm, &vertices, 3.0, &cfg, 5, 0)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("sweep/batch", |b| {
+        b.iter_batched(
+            || Blockmodel::from_assignment(&graph, assignment.clone(), nb),
+            |mut bm| black_box(batch_sweep(&graph, &mut bm, &vertices, 3.0, 5, 0)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_ownership(c: &mut Criterion) {
+    let (graph, _, _) = bench_graph();
+    let mut group = quick(c);
+    for n in [4usize, 64] {
+        group.bench_with_input(BenchmarkId::new("ownership/balanced", n), &n, |b, &n| {
+            b.iter(|| black_box(balanced_ownership(&graph, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("ownership/modulo", n), &n, |b, &n| {
+            b.iter(|| black_box(modulo_ownership(graph.num_vertices(), n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = quick(c);
+    for n in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("allgatherv_1k_u64", n), &n, |b, &n| {
+            b.iter(|| {
+                ThreadCluster::run(n, CostModel::zero(), |comm| {
+                    black_box(comm.allgatherv(vec![comm.rank() as u64; 1024]).len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blockmodel(c: &mut Criterion) {
+    let (graph, assignment, nb) = bench_graph();
+    let mut group = quick(c);
+    group.bench_function("blockmodel/from_assignment", |b| {
+        b.iter(|| black_box(Blockmodel::from_assignment(&graph, assignment.clone(), nb)))
+    });
+    group.bench_function("blockmodel/entropy", |b| {
+        let bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
+        b.iter(|| black_box(bm.entropy()))
+    });
+    group.bench_function("blockmodel/move_vertex_roundtrip", |b| {
+        let mut bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
+        b.iter(|| {
+            for v in (0..graph.num_vertices() as u32).step_by(17) {
+                let home = bm.block_of(v);
+                let away = (home + 1) % nb as u32;
+                bm.move_vertex(&graph, v, away);
+                bm.move_vertex(&graph, v, home);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = quick(c);
+    group.bench_function("generator/param_study_small", |b| {
+        let spec = ParamStudySpec {
+            truncate_min: true,
+            truncate_max: true,
+            duplicated: true,
+            communities_base: 33,
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(param_study(spec, 0.02, seed).graph.num_arcs())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta,
+    bench_propose,
+    bench_merge_phase,
+    bench_sweeps,
+    bench_ownership,
+    bench_collectives,
+    bench_blockmodel,
+    bench_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. vertex-ownership scheme — sorted-degree balanced (§III-B) vs naive
+//!    `v mod n` (per-rank degree-mass imbalance and its effect on the BSP
+//!    makespan);
+//! 2. MCMC sync period — exchanging moves every sweep (the paper) vs every
+//!    k sweeps (its future-work communication-reduction direction):
+//!    collectives, bytes, quality;
+//! 3. MCMC strategy — sequential MH vs hybrid vs batch inside EDiSt.
+//!
+//! ```text
+//! cargo run --release -p sbp-bench --bin ablation
+//! ```
+
+use sbp_bench::{demo_graph, experiment_sbp_config, f2, secs, BenchConfig, Table};
+use sbp_core::hybrid::HybridConfig;
+use sbp_core::McmcStrategy;
+use sbp_dist::{run_edist_cluster, EdistConfig, OwnershipStrategy};
+use sbp_eval::nmi;
+use sbp_mpi::CostModel;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let planted = demo_graph(&cfg);
+    let g = Arc::new(planted.graph.clone());
+    let ranks = 8.min(cfg.max_ranks);
+    eprintln!(
+        "ablation graph: V={} E={}, {} ranks",
+        g.num_vertices(),
+        g.total_edge_weight(),
+        ranks
+    );
+
+    // ---- 1. ownership ----
+    let mut t = Table::new(
+        "Ablation 1 — vertex ownership scheme (EDiSt MCMC phase)",
+        &["scheme", "runtime (s)", "NMI"],
+    );
+    for (name, ownership) in [
+        ("sorted-balanced", OwnershipStrategy::SortedBalanced),
+        ("modulo", OwnershipStrategy::Modulo),
+    ] {
+        let ecfg = EdistConfig {
+            sbp: experiment_sbp_config(cfg.seed),
+            ownership,
+            sync_period: 1,
+        };
+        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        t.row(vec![
+            name.into(),
+            secs(rep.makespan),
+            f2(nmi(&res.assignment, &planted.ground_truth)),
+        ]);
+    }
+    t.emit("ablation_ownership.csv");
+
+    // ---- 2. sync period ----
+    let mut t = Table::new(
+        "Ablation 2 — MCMC sync period (communication vs quality)",
+        &["period", "collectives", "MB on wire", "runtime (s)", "NMI"],
+    );
+    for k in [1usize, 2, 4, 8] {
+        let ecfg = EdistConfig {
+            sbp: experiment_sbp_config(cfg.seed),
+            ownership: OwnershipStrategy::SortedBalanced,
+            sync_period: k,
+        };
+        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        t.row(vec![
+            k.to_string(),
+            rep.collectives.to_string(),
+            format!("{:.2}", rep.total_bytes as f64 / 1e6),
+            secs(rep.makespan),
+            f2(nmi(&res.assignment, &planted.ground_truth)),
+        ]);
+    }
+    t.emit("ablation_sync.csv");
+
+    // ---- 3. MCMC strategy ----
+    let mut t = Table::new(
+        "Ablation 3 — MCMC strategy inside EDiSt",
+        &["strategy", "runtime (s)", "NMI"],
+    );
+    for (name, strategy) in [
+        ("metropolis-hastings", McmcStrategy::MetropolisHastings),
+        (
+            "hybrid",
+            McmcStrategy::Hybrid(HybridConfig {
+                parallel: false,
+                ..HybridConfig::default()
+            }),
+        ),
+        ("batch", McmcStrategy::Batch),
+    ] {
+        let mut sbp = experiment_sbp_config(cfg.seed);
+        sbp.strategy = strategy;
+        let ecfg = EdistConfig {
+            sbp,
+            ownership: OwnershipStrategy::SortedBalanced,
+            sync_period: 1,
+        };
+        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        t.row(vec![
+            name.into(),
+            secs(rep.makespan),
+            f2(nmi(&res.assignment, &planted.ground_truth)),
+        ]);
+    }
+    t.emit("ablation_strategy.csv");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 3: EDiSt runtime with multiple MPI tasks per node.
+
+use sbp_bench::{f2, fig3, secs, BenchConfig, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = fig3(&cfg);
+    let mut t = Table::new(
+        "Fig. 3 — EDiSt runtime with multiple MPI tasks per compute node (1M graph)",
+        &["tasks", "runtime (s)", "speedup"],
+    );
+    for r in &rows {
+        t.row(vec![r.tasks.to_string(), secs(r.makespan), f2(r.speedup)]);
+    }
+    t.emit("fig3.csv");
+}

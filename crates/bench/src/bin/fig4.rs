@@ -1,0 +1,23 @@
+//! Regenerates Fig. 4: EDiSt strong scaling runtime and NMI on the
+//! synthetic scaling graphs.
+
+use sbp_bench::{f2, fig4, secs, BenchConfig, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = fig4(&cfg);
+    let mut t = Table::new(
+        "Fig. 4 — EDiSt strong scaling (runtime + NMI) on synthetic graphs",
+        &["graph", "ranks", "runtime (s)", "speedup", "NMI"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.graph_id.clone(),
+            r.n_ranks.to_string(),
+            secs(r.makespan),
+            f2(r.speedup),
+            f2(r.nmi),
+        ]);
+    }
+    t.emit("fig4.csv");
+}

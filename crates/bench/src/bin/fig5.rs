@@ -1,0 +1,34 @@
+//! Regenerates Fig. 5: best accuracy-preserving DC-SBP vs EDiSt runtimes.
+
+use sbp_bench::{f2, fig5, secs, BenchConfig, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = fig5(&cfg, None);
+    let mut t = Table::new(
+        "Fig. 5 — best DC-SBP vs EDiSt runtimes on synthetic scaling graphs",
+        &[
+            "graph",
+            "shared-mem (s)",
+            "best DC-SBP (s)",
+            "DC ranks",
+            "EDiSt (s)",
+            "ED ranks",
+            "speedup vs SM",
+            "speedup vs DC",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.graph_id.clone(),
+            secs(r.sm_time),
+            secs(r.dc_time),
+            r.dc_ranks.to_string(),
+            secs(r.edist_time),
+            r.edist_ranks.to_string(),
+            f2(r.speedup_vs_sm),
+            f2(r.speedup_vs_dc),
+        ]);
+    }
+    t.emit("fig5.csv");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: DC-SBP vs EDiSt strong scaling and normalized DL on
+//! real-world (stand-in) graphs.
+
+use sbp_bench::{f2, fig6, secs, Algo, BenchConfig, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = fig6(&cfg);
+    let mut t = Table::new(
+        "Fig. 6 — DC-SBP vs EDiSt on real-world graphs (runtime + DL_norm, lower DL_norm is better)",
+        &["graph", "algo", "ranks", "runtime (s)", "DL_norm"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.graph_id.clone(),
+            match r.algo {
+                Algo::Dcsbp => "DC-SBP".into(),
+                Algo::Edist => "EDiSt".to_string(),
+            },
+            r.n_ranks.to_string(),
+            secs(r.makespan),
+            f2(r.dl_norm),
+        ]);
+    }
+    t.emit("fig6.csv");
+}

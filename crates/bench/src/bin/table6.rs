@@ -1,0 +1,34 @@
+//! Regenerates Table VI: python-equivalent (naive) vs optimized DC-SBP.
+
+use sbp_bench::{f2, secs, table6, BenchConfig, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = table6(&cfg);
+    let mut t = Table::new(
+        "Table VI — reference-equivalent (dense/batch) vs optimized SBP engine",
+        &[
+            "Graph",
+            "V",
+            "E",
+            "naive NMI",
+            "naive s",
+            "opt NMI",
+            "opt s",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.graph_id.clone(),
+            r.vertices.to_string(),
+            r.edges.to_string(),
+            f2(r.naive_nmi),
+            secs(r.naive_time),
+            f2(r.opt_nmi),
+            secs(r.opt_time),
+            f2(r.naive_time / r.opt_time),
+        ]);
+    }
+    t.emit("table6.csv");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table VII: DC-SBP NMI on the exhaustive parameter-search
+//! graphs across rank counts.
+
+use sbp_bench::{pivot_sweep, table7, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cells = table7(&cfg);
+    pivot_sweep(
+        &cfg,
+        &cells,
+        "Table VII — NMI with DC-SBP on exhaustive parameter search graphs",
+        "table7.csv",
+    );
+}

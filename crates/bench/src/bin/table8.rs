@@ -1,0 +1,15 @@
+//! Regenerates Table VIII: EDiSt NMI on the exhaustive parameter-search
+//! graphs across rank counts.
+
+use sbp_bench::{pivot_sweep, table8, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cells = table8(&cfg);
+    pivot_sweep(
+        &cfg,
+        &cells,
+        "Table VIII — NMI with EDiSt on exhaustive parameter search graphs",
+        "table8.csv",
+    );
+}

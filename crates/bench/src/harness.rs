@@ -1,0 +1,161 @@
+//! Shared plumbing: configuration, table rendering, CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Harness configuration, read once from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Global size multiplier on the built-in laptop-scale defaults.
+    pub scale: f64,
+    /// Largest simulated rank count.
+    pub max_ranks: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    /// Reads `EDIST_SCALE`, `EDIST_MAX_RANKS`, `EDIST_SEED`.
+    pub fn from_env() -> Self {
+        let parse = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<f64>().ok());
+        BenchConfig {
+            scale: parse("EDIST_SCALE").unwrap_or(1.0).clamp(0.01, 100.0),
+            max_ranks: parse("EDIST_MAX_RANKS").unwrap_or(64.0).max(1.0) as usize,
+            seed: parse("EDIST_SEED").unwrap_or(42.0) as u64,
+        }
+    }
+
+    /// The paper's rank-count sweep {1, 2, 4, …}, capped by `max_ranks`.
+    pub fn rank_counts(&self) -> Vec<usize> {
+        [1usize, 2, 4, 8, 16, 32, 64]
+            .into_iter()
+            .filter(|&n| n <= self.max_ranks)
+            .collect()
+    }
+}
+
+/// Directory for CSV artifacts (`target/experiments`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a CSV artifact; best-effort (experiments still print to stdout).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut text = String::new();
+    let _ = writeln!(text, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(text, "{}", row.join(","));
+    }
+    let path = out_dir().join(name);
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// A plain-text table mirroring the paper's layout.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes the CSV artifact.
+    pub fn emit(&self, csv_name: &str) {
+        println!("{}", self.render());
+        let header: Vec<&str> = self.header.iter().map(|s| s.as_str()).collect();
+        write_csv(csv_name, &header, &self.rows);
+    }
+}
+
+/// Formats a float with 2 decimals, or a dash for NaN.
+pub fn f2(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats seconds with 3 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["id", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["long-id".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("long-id"));
+    }
+
+    #[test]
+    fn rank_counts_capped() {
+        let cfg = BenchConfig {
+            scale: 1.0,
+            max_ranks: 8,
+            seed: 1,
+        };
+        assert_eq!(cfg.rank_counts(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn f2_handles_nan() {
+        assert_eq!(f2(f64::NAN), "-");
+        assert_eq!(f2(1.234), "1.23");
+    }
+}

@@ -1,0 +1,428 @@
+//! The degree-corrected stochastic blockmodel state.
+
+use crate::fxhash::FxHashMap;
+use crate::model_description_length;
+use sbp_graph::{Graph, Vertex, Weight};
+
+/// The blockmodel: a vertex→block assignment plus the inter-block
+/// edge-count matrix `M` in sparse form.
+///
+/// Per the paper's §III-A optimizations, `M` is stored as a vector of hash
+/// maps (one per row) **and** its transpose (one map per column), so both
+/// row- and column-wise traversal are O(nnz-of-line). Block degree vectors
+/// are maintained incrementally.
+///
+/// Invariant maintained by every mutator: `M`, the transpose, and the
+/// degree vectors always equal what [`Blockmodel::from_assignment`] would
+/// rebuild from the current assignment. `validate` checks this in tests.
+#[derive(Clone, Debug)]
+pub struct Blockmodel {
+    assignment: Vec<u32>,
+    num_blocks: usize,
+    rows: Vec<FxHashMap<u32, Weight>>,
+    cols: Vec<FxHashMap<u32, Weight>>,
+    d_out: Vec<Weight>,
+    d_in: Vec<Weight>,
+    num_vertices: usize,
+    total_edge_weight: Weight,
+}
+
+impl Blockmodel {
+    /// Builds the blockmodel implied by `assignment` over `graph`.
+    ///
+    /// # Panics
+    /// Panics if the assignment length differs from the vertex count or any
+    /// label is `>= num_blocks`.
+    pub fn from_assignment(graph: &Graph, assignment: Vec<u32>, num_blocks: usize) -> Self {
+        assert_eq!(
+            assignment.len(),
+            graph.num_vertices(),
+            "assignment must label every vertex"
+        );
+        assert!(
+            assignment.iter().all(|&b| (b as usize) < num_blocks),
+            "assignment label out of range"
+        );
+        let mut rows: Vec<FxHashMap<u32, Weight>> = vec![FxHashMap::default(); num_blocks];
+        let mut cols: Vec<FxHashMap<u32, Weight>> = vec![FxHashMap::default(); num_blocks];
+        let mut d_out = vec![0 as Weight; num_blocks];
+        let mut d_in = vec![0 as Weight; num_blocks];
+        for (src, dst, w) in graph.arcs() {
+            let (r, c) = (assignment[src as usize], assignment[dst as usize]);
+            *rows[r as usize].entry(c).or_insert(0) += w;
+            *cols[c as usize].entry(r).or_insert(0) += w;
+            d_out[r as usize] += w;
+            d_in[c as usize] += w;
+        }
+        Blockmodel {
+            assignment,
+            num_blocks,
+            rows,
+            cols,
+            d_out,
+            d_in,
+            num_vertices: graph.num_vertices(),
+            total_edge_weight: graph.total_edge_weight(),
+        }
+    }
+
+    /// The identity blockmodel: every vertex in its own block (`C = V`),
+    /// the starting point of the agglomerative search.
+    pub fn identity(graph: &Graph) -> Self {
+        let n = graph.num_vertices();
+        Self::from_assignment(graph, (0..n as u32).collect(), n)
+    }
+
+    /// Number of blocks `C` (the label-space size; empty blocks count until
+    /// [`Blockmodel::compacted`] relabels).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// The assignment vector.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Consumes self, returning the assignment vector.
+    pub fn into_assignment(self) -> Vec<u32> {
+        self.assignment
+    }
+
+    /// Block of vertex `v`.
+    #[inline]
+    pub fn block_of(&self, v: Vertex) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Number of vertices of the underlying graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Total edge weight `E` of the underlying graph.
+    #[inline]
+    pub fn total_edge_weight(&self) -> Weight {
+        self.total_edge_weight
+    }
+
+    /// Edge count between blocks `r` and `c` (`M[r][c]`).
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> Weight {
+        self.rows[r as usize].get(&c).copied().unwrap_or(0)
+    }
+
+    /// Sparse row `r` of `M`.
+    #[inline]
+    pub fn row(&self, r: u32) -> &FxHashMap<u32, Weight> {
+        &self.rows[r as usize]
+    }
+
+    /// Sparse column `c` of `M` (the stored transpose row).
+    #[inline]
+    pub fn col(&self, c: u32) -> &FxHashMap<u32, Weight> {
+        &self.cols[c as usize]
+    }
+
+    /// Weighted out-degree of block `r`.
+    #[inline]
+    pub fn d_out(&self, r: u32) -> Weight {
+        self.d_out[r as usize]
+    }
+
+    /// Weighted in-degree of block `c`.
+    #[inline]
+    pub fn d_in(&self, c: u32) -> Weight {
+        self.d_in[c as usize]
+    }
+
+    /// Weighted total degree of block `b`.
+    #[inline]
+    pub fn d_total(&self, b: u32) -> Weight {
+        self.d_out[b as usize] + self.d_in[b as usize]
+    }
+
+    /// Moves vertex `v` to block `to`, incrementally updating `M`, the
+    /// transpose and the degree vectors. No-op if `v` is already there.
+    pub fn move_vertex(&mut self, graph: &Graph, v: Vertex, to: u32) {
+        let from = self.assignment[v as usize];
+        if from == to {
+            return;
+        }
+        debug_assert!((to as usize) < self.num_blocks);
+        for &(u, w) in graph.out_edges(v) {
+            if u == v {
+                // Self-loop: both endpoints move together. Handled once
+                // here; skipped in the in-edge loop below.
+                self.cell_sub(from, from, w);
+                self.cell_add(to, to, w);
+            } else {
+                let t = self.assignment[u as usize];
+                self.cell_sub(from, t, w);
+                self.cell_add(to, t, w);
+            }
+        }
+        for &(u, w) in graph.in_edges(v) {
+            if u == v {
+                continue;
+            }
+            let t = self.assignment[u as usize];
+            self.cell_sub(t, from, w);
+            self.cell_add(t, to, w);
+        }
+        let (ov, iv) = (graph.out_degree(v), graph.in_degree(v));
+        self.d_out[from as usize] -= ov;
+        self.d_out[to as usize] += ov;
+        self.d_in[from as usize] -= iv;
+        self.d_in[to as usize] += iv;
+        self.assignment[v as usize] = to;
+    }
+
+    #[inline]
+    fn cell_add(&mut self, r: u32, c: u32, w: Weight) {
+        *self.rows[r as usize].entry(c).or_insert(0) += w;
+        *self.cols[c as usize].entry(r).or_insert(0) += w;
+    }
+
+    #[inline]
+    fn cell_sub(&mut self, r: u32, c: u32, w: Weight) {
+        let e = self.rows[r as usize]
+            .get_mut(&c)
+            .unwrap_or_else(|| panic!("subtracting from empty cell ({r}, {c})"));
+        *e -= w;
+        debug_assert!(*e >= 0, "cell ({r}, {c}) went negative");
+        if *e == 0 {
+            self.rows[r as usize].remove(&c);
+        }
+        let e = self.cols[c as usize]
+            .get_mut(&r)
+            .expect("transpose out of sync");
+        *e -= w;
+        if *e == 0 {
+            self.cols[c as usize].remove(&r);
+        }
+    }
+
+    /// The DCSBM entropy `S = −Σ M_ij ln(M_ij/(d_out_i · d_in_j))` — the
+    /// negative log-likelihood of Eq. 1. Natural log; minimized.
+    pub fn entropy(&self) -> f64 {
+        let mut s = 0.0f64;
+        for (r, row) in self.rows.iter().enumerate() {
+            let dr = self.d_out[r];
+            if dr == 0 {
+                continue;
+            }
+            let ldr = (dr as f64).ln();
+            for (&c, &m) in row {
+                let di = self.d_in[c as usize];
+                debug_assert!(m > 0 && di > 0);
+                let mf = m as f64;
+                s -= mf * (mf.ln() - ldr - (di as f64).ln());
+            }
+        }
+        s
+    }
+
+    /// Full description length (paper Eq. 2):
+    /// `DL = E·h(C²/E) + V·ln(C) + S`.
+    pub fn description_length(&self) -> f64 {
+        model_description_length(self.num_vertices, self.total_edge_weight, self.num_blocks)
+            + self.entropy()
+    }
+
+    /// Counts blocks that currently have at least one member.
+    pub fn num_nonempty_blocks(&self) -> usize {
+        let mut seen = vec![false; self.num_blocks];
+        for &b in &self.assignment {
+            seen[b as usize] = true;
+        }
+        seen.iter().filter(|&&x| x).count()
+    }
+
+    /// Returns a copy with blocks relabeled to the dense range
+    /// `0..num_nonempty_blocks` (ascending by old label) and the matrix
+    /// rebuilt. Used after merge phases.
+    pub fn compacted(&self, graph: &Graph) -> Blockmodel {
+        let mut map = vec![u32::MAX; self.num_blocks];
+        let mut next = 0u32;
+        for &b in &self.assignment {
+            if map[b as usize] == u32::MAX {
+                map[b as usize] = u32::MAX - 1; // mark seen, assign below
+            }
+        }
+        for (old, slot) in map.iter_mut().enumerate() {
+            let _ = old;
+            if *slot == u32::MAX - 1 {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let assignment: Vec<u32> = self.assignment.iter().map(|&b| map[b as usize]).collect();
+        Blockmodel::from_assignment(graph, assignment, next as usize)
+    }
+
+    /// Verifies every incremental invariant against a from-scratch rebuild.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        let rebuilt = Blockmodel::from_assignment(graph, self.assignment.clone(), self.num_blocks);
+        for r in 0..self.num_blocks {
+            if self.rows[r] != rebuilt.rows[r] {
+                return Err(format!("row {r} out of sync with assignment"));
+            }
+            if self.cols[r] != rebuilt.cols[r] {
+                return Err(format!("col {r} out of sync with assignment"));
+            }
+        }
+        if self.d_out != rebuilt.d_out || self.d_in != rebuilt.d_in {
+            return Err("degree vectors out of sync".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by one edge: a classic 2-community graph.
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    fn two_block_assignment() -> Vec<u32> {
+        vec![0, 0, 0, 1, 1, 1]
+    }
+
+    #[test]
+    fn from_assignment_counts_edges() {
+        let g = two_triangles();
+        let bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        assert_eq!(bm.get(0, 0), 3);
+        assert_eq!(bm.get(1, 1), 3);
+        assert_eq!(bm.get(0, 1), 1);
+        assert_eq!(bm.get(1, 0), 0);
+        assert_eq!(bm.d_out(0), 4);
+        assert_eq!(bm.d_in(0), 3);
+        assert_eq!(bm.d_total(1), 7);
+    }
+
+    #[test]
+    fn identity_blockmodel() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        assert_eq!(bm.num_blocks(), 6);
+        assert_eq!(bm.get(0, 1), 1);
+        assert_eq!(bm.get(1, 0), 0);
+        bm.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn move_vertex_keeps_invariants() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        bm.move_vertex(&g, 2, 1);
+        bm.validate(&g).unwrap();
+        assert_eq!(bm.block_of(2), 1);
+        // Edges with both endpoints in {2,3,4,5}: 3->4, 4->5, 5->3, 2->3.
+        assert_eq!(bm.get(1, 1), 4);
+    }
+
+    #[test]
+    fn move_vertex_roundtrip_restores_state() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        let before_entropy = bm.entropy();
+        bm.move_vertex(&g, 0, 1);
+        bm.move_vertex(&g, 0, 0);
+        bm.validate(&g).unwrap();
+        assert!((bm.entropy() - before_entropy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_is_noop_when_same_block() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        let s = bm.entropy();
+        bm.move_vertex(&g, 0, 0);
+        assert_eq!(bm.entropy(), s);
+        bm.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn self_loops_move_correctly() {
+        let g = Graph::from_edges(3, vec![(0, 0, 2), (0, 1, 1), (2, 0, 1)]);
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 1], 2);
+        assert_eq!(bm.get(0, 0), 2);
+        bm.move_vertex(&g, 0, 1);
+        bm.validate(&g).unwrap();
+        assert_eq!(bm.get(1, 1), 4); // self-loop + 0->1 + 2->0 all inside block 1
+        assert_eq!(bm.get(0, 0), 0);
+    }
+
+    #[test]
+    fn entropy_matches_manual_computation() {
+        let g = two_triangles();
+        let bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        // Cells: (0,0)=3 (d 4,3), (0,1)=1 (4,4), (1,1)=3 (3,4)
+        let manual = -(3.0 * (3.0f64 / (4.0 * 3.0)).ln()
+            + 1.0 * (1.0f64 / (4.0 * 4.0)).ln()
+            + 3.0 * (3.0f64 / (3.0 * 4.0)).ln());
+        assert!((bm.entropy() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn description_length_adds_model_term() {
+        let g = two_triangles();
+        let bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        let expected = crate::model_description_length(6, 7, 2) + bm.entropy();
+        assert!((bm.description_length() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_has_lower_dl_than_bad_partition() {
+        let g = two_triangles();
+        let good = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
+        let bad = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        assert!(good.description_length() < bad.description_length());
+    }
+
+    #[test]
+    fn compacted_relabels_densely() {
+        let g = two_triangles();
+        let bm = Blockmodel::from_assignment(&g, vec![5, 5, 5, 2, 2, 2], 8);
+        assert_eq!(bm.num_nonempty_blocks(), 2);
+        let c = bm.compacted(&g);
+        assert_eq!(c.num_blocks(), 2);
+        // Ascending by old label: old 2 -> 0, old 5 -> 1.
+        assert_eq!(c.assignment(), &[1, 1, 1, 0, 0, 0]);
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn entropy_of_identity_on_simple_graph() {
+        // Single edge between two singleton blocks: S = -1*ln(1/(1*1)) = 0.
+        let g = Graph::from_edges(2, vec![(0, 1, 1)]);
+        let bm = Blockmodel::identity(&g);
+        assert!(bm.entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_assignment_panics() {
+        let g = two_triangles();
+        Blockmodel::from_assignment(&g, vec![0, 0, 0, 2, 2, 2], 2);
+    }
+}

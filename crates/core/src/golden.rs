@@ -1,0 +1,320 @@
+//! The golden-ratio search over the number of communities (paper §II-B).
+//!
+//! Up to three `(num_blocks, DL, partition)` snapshots are kept, ordered by
+//! decreasing block count. While the snapshots are also in decreasing order
+//! of description length, the search keeps agglomerating from the best
+//! snapshot; once a higher DL appears (the "golden ratio criterion"), the
+//! optimum is bracketed and golden-section steps shrink the bracket until
+//! the block-count window is ≤ 2 wide.
+
+/// A stored search point: partition + its block count and description
+/// length. The partition is the dense assignment vector, from which a
+/// `Blockmodel` can be rebuilt in O(E).
+#[derive(Clone, Debug)]
+pub struct BracketEntry {
+    /// Dense block assignment (labels `0..num_blocks`).
+    pub assignment: Vec<u32>,
+    /// Number of blocks.
+    pub num_blocks: usize,
+    /// Description length of this partition.
+    pub dl: f64,
+}
+
+/// What the driver should do next.
+#[derive(Clone, Debug)]
+pub enum NextStep {
+    /// Start from `start` and merge `blocks_to_merge` blocks, then run the
+    /// MCMC phase and record the outcome.
+    Continue {
+        /// Snapshot to resume from.
+        start: BracketEntry,
+        /// Number of merges to apply this iteration.
+        blocks_to_merge: usize,
+    },
+    /// The optimum is bracketed within ±1 block: return the best snapshot.
+    Done(BracketEntry),
+}
+
+/// The three-point bracket. `hi` holds the most blocks, `lo` the fewest;
+/// `mid` is the best description length seen.
+#[derive(Clone, Debug, Default)]
+pub struct GoldenBracket {
+    hi: Option<BracketEntry>,
+    mid: Option<BracketEntry>,
+    lo: Option<BracketEntry>,
+    rate: f64,
+}
+
+impl GoldenBracket {
+    /// Creates an empty bracket with the agglomeration rate used before the
+    /// bracket is established (the paper halves: rate = 0.5).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "reduction rate must be in (0,1)");
+        GoldenBracket {
+            rate,
+            ..Default::default()
+        }
+    }
+
+    /// Seeds the search with the starting partition (typically the identity
+    /// partition at `C = V`). Fills both `hi` and `mid`, so a first result
+    /// that is *worse* immediately establishes the bracket instead of
+    /// looping.
+    pub fn seed(&mut self, entry: BracketEntry) {
+        self.hi = Some(entry.clone());
+        self.mid = Some(entry);
+    }
+
+    /// True once all three points are known (the golden ratio criterion has
+    /// been met). The paper switches the MCMC convergence threshold from
+    /// loose to tight at this moment.
+    pub fn established(&self) -> bool {
+        self.hi.is_some() && self.mid.is_some() && self.lo.is_some()
+    }
+
+    /// Best snapshot so far.
+    pub fn best(&self) -> Option<&BracketEntry> {
+        self.mid.as_ref()
+    }
+
+    /// Records the outcome of an iteration.
+    pub fn record(&mut self, entry: BracketEntry) {
+        let Some(mid) = self.mid.as_ref() else {
+            self.mid = Some(entry);
+            return;
+        };
+        if entry.dl <= mid.dl {
+            // New best: old mid becomes the bound on its side.
+            let old_mid = self.mid.take().expect("mid checked above");
+            if old_mid.num_blocks > entry.num_blocks {
+                self.replace_hi(old_mid);
+            } else {
+                self.replace_lo(old_mid);
+            }
+            self.mid = Some(entry);
+        } else if entry.num_blocks < mid.num_blocks {
+            self.replace_lo(entry);
+        } else {
+            self.replace_hi(entry);
+        }
+    }
+
+    fn replace_hi(&mut self, e: BracketEntry) {
+        // Keep the tighter (smaller-B) bound when one already exists.
+        match &self.hi {
+            Some(hi) if hi.num_blocks <= e.num_blocks => {}
+            _ => self.hi = Some(e),
+        }
+    }
+
+    fn replace_lo(&mut self, e: BracketEntry) {
+        match &self.lo {
+            Some(lo) if lo.num_blocks >= e.num_blocks => {}
+            _ => self.lo = Some(e),
+        }
+    }
+
+    /// Decides the next iteration (paper §II-B; Graph-Challenge reference
+    /// `prepare_for_partition_on_next_num_blocks`).
+    ///
+    /// # Panics
+    /// Panics if called before any entry was recorded or seeded.
+    pub fn next(&self) -> NextStep {
+        let mid = self
+            .mid
+            .as_ref()
+            .expect("GoldenBracket::next called before seed/record");
+        if mid.num_blocks <= 1 {
+            return NextStep::Done(mid.clone());
+        }
+        if !self.established() {
+            // Keep agglomerating from the best snapshot.
+            let b = mid.num_blocks;
+            let to_merge = (((b as f64) * self.rate).round() as usize).clamp(1, b - 1);
+            return NextStep::Continue {
+                start: mid.clone(),
+                blocks_to_merge: to_merge,
+            };
+        }
+        let hi = self.hi.as_ref().expect("established");
+        let lo = self.lo.as_ref().expect("established");
+        if hi.num_blocks.saturating_sub(lo.num_blocks) <= 2 {
+            return NextStep::Done(mid.clone());
+        }
+        let upper = hi.num_blocks - mid.num_blocks;
+        let lower = mid.num_blocks - lo.num_blocks;
+        if upper >= lower && upper >= 2 {
+            // Probe the upper interval: merge down from hi.
+            let probe = (mid.num_blocks + ((upper as f64) * 0.618).round() as usize)
+                .clamp(mid.num_blocks + 1, hi.num_blocks - 1);
+            NextStep::Continue {
+                start: hi.clone(),
+                blocks_to_merge: hi.num_blocks - probe,
+            }
+        } else {
+            // Probe the lower interval: merge down from mid.
+            let probe = (lo.num_blocks + ((lower as f64) * 0.618).round() as usize).clamp(
+                lo.num_blocks + 1,
+                mid.num_blocks.saturating_sub(1).max(lo.num_blocks + 1),
+            );
+            NextStep::Continue {
+                start: mid.clone(),
+                blocks_to_merge: mid.num_blocks - probe,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(b: usize, dl: f64) -> BracketEntry {
+        BracketEntry {
+            assignment: vec![0; 4],
+            num_blocks: b,
+            dl,
+        }
+    }
+
+    #[test]
+    fn pre_bracket_agglomerates_at_rate() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(100, 1000.0));
+        match g.next() {
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                assert_eq!(start.num_blocks, 100);
+                assert_eq!(blocks_to_merge, 50);
+            }
+            _ => panic!("expected Continue"),
+        }
+    }
+
+    #[test]
+    fn improving_results_shift_mid_down() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(100, 1000.0));
+        g.record(entry(50, 900.0));
+        assert!(!g.established());
+        assert_eq!(g.best().unwrap().num_blocks, 50);
+        g.record(entry(25, 850.0));
+        assert_eq!(g.best().unwrap().num_blocks, 25);
+        assert!(!g.established());
+    }
+
+    #[test]
+    fn worse_result_establishes_bracket() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(100, 1000.0));
+        g.record(entry(50, 900.0));
+        g.record(entry(25, 950.0)); // worse → lower bound
+        assert!(g.established());
+        assert_eq!(g.best().unwrap().num_blocks, 50);
+    }
+
+    #[test]
+    fn worse_first_result_is_handled_via_seed() {
+        // If merging immediately makes things worse, the seeded hi==mid
+        // ensures the bracket establishes instead of looping.
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(10, 100.0));
+        g.record(entry(5, 200.0));
+        assert!(g.established());
+        match g.next() {
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                // Bracket is (10, 10, 5): probes the lower interval.
+                assert_eq!(start.num_blocks, 10);
+                assert!((1..5).contains(&blocks_to_merge));
+            }
+            NextStep::Done(_) => panic!("should keep searching"),
+        }
+    }
+
+    #[test]
+    fn golden_probe_stays_strictly_inside() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(100, 1000.0));
+        g.record(entry(50, 900.0));
+        g.record(entry(25, 950.0));
+        match g.next() {
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                let probe = start.num_blocks - blocks_to_merge;
+                assert!(probe > 25 && probe < 100);
+                assert_ne!(probe, 50);
+            }
+            _ => panic!("expected Continue"),
+        }
+    }
+
+    #[test]
+    fn narrow_bracket_terminates() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(5, 100.0));
+        g.record(entry(4, 90.0));
+        g.record(entry(3, 95.0));
+        // hi=5, mid=4, lo=3 → width 2 → done.
+        match g.next() {
+            NextStep::Done(best) => assert_eq!(best.num_blocks, 4),
+            _ => panic!("expected Done"),
+        }
+    }
+
+    #[test]
+    fn single_block_terminates() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(1, 10.0));
+        assert!(matches!(g.next(), NextStep::Done(_)));
+    }
+
+    #[test]
+    fn bounds_only_tighten() {
+        let mut g = GoldenBracket::new(0.5);
+        g.seed(entry(100, 1000.0));
+        g.record(entry(50, 900.0)); // mid=50, hi=100
+        g.record(entry(25, 950.0)); // lo=25
+        g.record(entry(40, 980.0)); // worse, fewer blocks than mid → lo side, tighter
+        match g.next() {
+            NextStep::Continue { start, .. } => {
+                // lo must now be 40, so probes stay in (40, 100).
+                let probe = start.num_blocks; // either hi(100) or mid(50)
+                assert!(probe == 100 || probe == 50);
+            }
+            NextStep::Done(_) => {}
+        }
+        // A looser lo must NOT replace the tighter one.
+        g.record(entry(10, 990.0));
+        // Simulate convergence loop: the search space never widens.
+        let mut width_seen = usize::MAX;
+        for _ in 0..50 {
+            match g.next() {
+                NextStep::Continue {
+                    start,
+                    blocks_to_merge,
+                } => {
+                    let probe = start.num_blocks - blocks_to_merge;
+                    // Probe must be inside the current bracket.
+                    assert!(probe >= 40, "probe {probe} below tight lo 40");
+                    // Pretend the probe was slightly worse than mid.
+                    g.record(entry(probe, 901.0 + probe as f64 * 1e-6));
+                    let w = g.hi.as_ref().unwrap().num_blocks - g.lo.as_ref().unwrap().num_blocks;
+                    assert!(w <= width_seen, "bracket widened");
+                    width_seen = w;
+                }
+                NextStep::Done(best) => {
+                    assert_eq!(best.num_blocks, 50);
+                    return;
+                }
+            }
+        }
+        panic!("golden search failed to terminate");
+    }
+}

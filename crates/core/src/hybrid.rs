@@ -1,0 +1,273 @@
+//! Hybrid shared-memory parallel MCMC (paper §II-B, citing Wanye et al.
+//! ICPP'22), plus the python-style batch variant.
+//!
+//! The hybrid scheme processes the informative, high-degree vertices
+//! sequentially (exact Metropolis–Hastings) and the low-degree majority in
+//! parallel chunks of asynchronous Gibbs: proposals within a chunk are
+//! evaluated concurrently against a frozen blockmodel snapshot, accepted
+//! moves are applied between chunks. Determinism is preserved by deriving
+//! each vertex's RNG stream from `(seed, sweep, vertex)`, independent of
+//! thread scheduling.
+//!
+//! The batch variant evaluates *every* vertex against the frozen state and
+//! then applies all accepted moves — the parallelization used by the
+//! original python DC-SBP reference, kept for the Table VI comparison and
+//! as an ablation.
+
+use crate::blockmodel::Blockmodel;
+use crate::delta::{delta_entropy, vertex_move_delta};
+use crate::mcmc::{AcceptedMove, SweepOutcome};
+use crate::propose::{hastings_correction, propose_for_vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use sbp_graph::{Graph, Vertex};
+
+/// Configuration of the hybrid MCMC sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridConfig {
+    /// Fraction of the (degree-sorted) vertex set processed sequentially,
+    /// from the top. The ICPP'22 hybrid treats high-degree vertices as too
+    /// informative for stale evaluation.
+    pub sequential_fraction: f64,
+    /// Chunk size for the asynchronous-Gibbs portion; state is refreshed
+    /// between chunks.
+    pub chunk_size: usize,
+    /// Evaluate chunk proposals with rayon. With `false` the schedule is
+    /// identical but single-threaded (useful when many simulated MPI ranks
+    /// already saturate the machine).
+    pub parallel: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            sequential_fraction: 0.1,
+            chunk_size: 256,
+            parallel: true,
+        }
+    }
+}
+
+fn vertex_rng(seed: u64, sweep: usize, v: Vertex) -> SmallRng {
+    // SplitMix-style mixing of the three stream coordinates.
+    let mut z = seed
+        ^ (sweep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (v as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Evaluates one vertex against the current (frozen) blockmodel; returns
+/// the accepted move, if any.
+fn evaluate(
+    graph: &Graph,
+    bm: &Blockmodel,
+    v: Vertex,
+    beta: f64,
+    rng: &mut SmallRng,
+) -> Option<AcceptedMove> {
+    if graph.degree(v) == 0 {
+        return None;
+    }
+    let to = propose_for_vertex(rng, graph, bm, v)?;
+    if to == bm.block_of(v) {
+        return None;
+    }
+    let delta = vertex_move_delta(graph, bm, v, to);
+    let ds = delta_entropy(bm, &delta);
+    let hastings = hastings_correction(graph, bm, v, &delta);
+    let p_accept = ((-beta * ds).exp() * hastings).min(1.0);
+    (rng.random::<f64>() < p_accept).then_some(AcceptedMove { v, to })
+}
+
+/// One hybrid sweep over `vertices` (which EDiSt passes as the rank's owned
+/// set). High-degree head: sequential exact MH. Low-degree tail: chunked
+/// asynchronous Gibbs.
+pub fn hybrid_sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    beta: f64,
+    cfg: &HybridConfig,
+    seed: u64,
+    sweep_idx: usize,
+) -> SweepOutcome {
+    let mut order: Vec<Vertex> = vertices.to_vec();
+    order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    let n_seq = ((order.len() as f64) * cfg.sequential_fraction).ceil() as usize;
+    let n_seq = n_seq.min(order.len());
+    let (head, tail) = order.split_at(n_seq);
+
+    let mut out = SweepOutcome::default();
+
+    // Sequential high-degree portion.
+    for &v in head {
+        let mut rng = vertex_rng(seed, sweep_idx, v);
+        out.proposals += 1;
+        if let Some(m) = evaluate(graph, bm, v, beta, &mut rng) {
+            bm.move_vertex(graph, v, m.to);
+            out.moves.push(m);
+        }
+    }
+
+    // Chunked asynchronous Gibbs over the low-degree tail.
+    let chunk_size = cfg.chunk_size.max(1);
+    for chunk in tail.chunks(chunk_size) {
+        let accepted: Vec<AcceptedMove> = if cfg.parallel && chunk.len() >= 32 {
+            chunk
+                .par_iter()
+                .filter_map(|&v| {
+                    let mut rng = vertex_rng(seed, sweep_idx, v);
+                    evaluate(graph, &*bm, v, beta, &mut rng)
+                })
+                .collect()
+        } else {
+            chunk
+                .iter()
+                .filter_map(|&v| {
+                    let mut rng = vertex_rng(seed, sweep_idx, v);
+                    evaluate(graph, &*bm, v, beta, &mut rng)
+                })
+                .collect()
+        };
+        out.proposals += chunk.len();
+        for m in accepted {
+            // Asynchronous Gibbs: apply even though the decision was made
+            // against a (slightly) stale snapshot.
+            bm.move_vertex(graph, m.v, m.to);
+            out.moves.push(m);
+        }
+    }
+    out
+}
+
+/// One batch sweep (python-reference style): evaluate *all* vertices
+/// against the frozen state, then apply every accepted move.
+pub fn batch_sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    beta: f64,
+    seed: u64,
+    sweep_idx: usize,
+) -> SweepOutcome {
+    let accepted: Vec<AcceptedMove> = vertices
+        .iter()
+        .filter_map(|&v| {
+            let mut rng = vertex_rng(seed, sweep_idx, v);
+            evaluate(graph, &*bm, v, beta, &mut rng)
+        })
+        .collect();
+    let mut out = SweepOutcome {
+        proposals: vertices.len(),
+        ..Default::default()
+    };
+    for m in accepted {
+        bm.move_vertex(graph, m.v, m.to);
+        out.moves.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_graph::Graph;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 0, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 3, 2),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn hybrid_sweep_is_deterministic_given_seed() {
+        let g = two_triangles();
+        let vertices: Vec<u32> = (0..6).collect();
+        let cfg = HybridConfig::default();
+        let run = || {
+            let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+            let mut all_moves = Vec::new();
+            for sweep in 0..5 {
+                let out = hybrid_sweep(&g, &mut bm, &vertices, 3.0, &cfg, 77, sweep);
+                all_moves.extend(out.moves);
+            }
+            (bm.assignment().to_vec(), all_moves)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hybrid_sweep_keeps_invariants() {
+        let g = two_triangles();
+        let vertices: Vec<u32> = (0..6).collect();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        for sweep in 0..10 {
+            hybrid_sweep(
+                &g,
+                &mut bm,
+                &vertices,
+                3.0,
+                &HybridConfig::default(),
+                5,
+                sweep,
+            );
+            bm.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn sequential_fraction_one_is_pure_mh() {
+        // With fraction 1.0, every vertex goes through the sequential path;
+        // the sweep must behave like plain MH (state always fresh).
+        let g = two_triangles();
+        let vertices: Vec<u32> = (0..6).collect();
+        let cfg = HybridConfig {
+            sequential_fraction: 1.0,
+            chunk_size: 1,
+            parallel: false,
+        };
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let before = bm.description_length();
+        for sweep in 0..20 {
+            hybrid_sweep(&g, &mut bm, &vertices, 3.0, &cfg, 9, sweep);
+        }
+        bm.validate(&g).unwrap();
+        assert!(bm.description_length() <= before);
+    }
+
+    #[test]
+    fn batch_sweep_improves_bad_partition() {
+        let g = two_triangles();
+        let vertices: Vec<u32> = (0..6).collect();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let before = bm.description_length();
+        for sweep in 0..20 {
+            batch_sweep(&g, &mut bm, &vertices, 3.0, 13, sweep);
+            bm.validate(&g).unwrap();
+        }
+        assert!(bm.description_length() < before);
+    }
+
+    #[test]
+    fn subset_sweeps_do_not_touch_other_vertices() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let before = bm.assignment().to_vec();
+        hybrid_sweep(&g, &mut bm, &[0, 2], 3.0, &HybridConfig::default(), 21, 0);
+        for v in [1usize, 3, 4, 5] {
+            assert_eq!(bm.assignment()[v], before[v]);
+        }
+    }
+}

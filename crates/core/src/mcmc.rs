@@ -1,0 +1,284 @@
+//! The Metropolis–Hastings MCMC phase (paper Alg. 2).
+//!
+//! `mh_sweep` performs one sequential pass over an explicit vertex subset
+//! (EDiSt calls it with a rank's owned vertices, Alg. 5 lines 4–15);
+//! `mcmc_phase` wraps the sweep loop with the paper's convergence rule:
+//! stop when the moving average of the last three per-sweep ΔDL values
+//! falls below `threshold × initial DL`, or after `max_sweeps`.
+
+use crate::blockmodel::Blockmodel;
+use crate::delta::{delta_entropy, vertex_move_delta};
+use crate::propose::{hastings_correction, propose_for_vertex};
+use rand::Rng;
+use sbp_graph::{Graph, Vertex};
+
+/// A move accepted during a sweep, in application order. This is exactly
+/// the payload EDiSt allgathers between ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcceptedMove {
+    /// The vertex that moved.
+    pub v: Vertex,
+    /// Its new block.
+    pub to: u32,
+}
+
+/// Outcome of a single sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOutcome {
+    /// Accepted moves in order.
+    pub moves: Vec<AcceptedMove>,
+    /// Number of proposals evaluated.
+    pub proposals: usize,
+}
+
+/// Aggregate statistics for a full MCMC phase.
+#[derive(Clone, Debug, Default)]
+pub struct McmcStats {
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Total accepted moves.
+    pub moves: usize,
+    /// Total proposals evaluated.
+    pub proposals: usize,
+    /// Description length when the phase ended.
+    pub final_dl: f64,
+}
+
+/// One sequential Metropolis–Hastings pass over `vertices`, applying
+/// accepted moves to `bm` immediately (Alg. 2 lines 3–10).
+///
+/// Zero-degree vertices are skipped: their block membership does not
+/// affect the likelihood, so proposals would be wasted work.
+pub fn mh_sweep<R: Rng + ?Sized>(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    beta: f64,
+    rng: &mut R,
+) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for &v in vertices {
+        if graph.degree(v) == 0 {
+            continue;
+        }
+        let Some(to) = propose_for_vertex(rng, graph, bm, v) else {
+            continue;
+        };
+        let from = bm.block_of(v);
+        if to == from {
+            continue;
+        }
+        out.proposals += 1;
+        let delta = vertex_move_delta(graph, bm, v, to);
+        let ds = delta_entropy(bm, &delta);
+        let hastings = hastings_correction(graph, bm, v, &delta);
+        let p_accept = ((-beta * ds).exp() * hastings).min(1.0);
+        if rng.random::<f64>() < p_accept {
+            bm.move_vertex(graph, v, to);
+            out.moves.push(AcceptedMove { v, to });
+        }
+    }
+    out
+}
+
+/// The sweep-loop convergence controller used by both the single-node and
+/// the distributed drivers: feeds per-sweep ΔDL values and answers whether
+/// the phase should stop.
+#[derive(Clone, Debug)]
+pub struct ConvergenceCheck {
+    initial_dl: f64,
+    prev_dl: f64,
+    window: [f64; 3],
+    filled: usize,
+    threshold: f64,
+}
+
+impl ConvergenceCheck {
+    /// Starts a check from the DL at phase entry with the given relative
+    /// threshold (paper Alg. 2 line 12: `ΔDL < t × DL`).
+    pub fn new(initial_dl: f64, threshold: f64) -> Self {
+        ConvergenceCheck {
+            initial_dl,
+            prev_dl: initial_dl,
+            window: [0.0; 3],
+            filled: 0,
+            threshold,
+        }
+    }
+
+    /// Records the DL after a sweep; returns true when the moving average
+    /// of the last three per-sweep improvements is below threshold.
+    pub fn record(&mut self, dl: f64) -> bool {
+        let delta = self.prev_dl - dl;
+        self.prev_dl = dl;
+        self.window[self.filled % 3] = delta;
+        self.filled += 1;
+        if self.filled < 3 {
+            return false;
+        }
+        let avg = self.window.iter().sum::<f64>() / 3.0;
+        avg.abs() < self.threshold * self.initial_dl.abs()
+    }
+}
+
+/// Runs sweeps until convergence (paper Alg. 2). `sweep` is the sweep
+/// implementation — sequential MH, hybrid, or batch — so the same
+/// controller drives every MCMC variant.
+pub fn mcmc_phase<F>(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    max_sweeps: usize,
+    threshold: f64,
+    mut sweep: F,
+) -> McmcStats
+where
+    F: FnMut(&Graph, &mut Blockmodel, &[Vertex], usize) -> SweepOutcome,
+{
+    let initial_dl = bm.description_length();
+    let mut check = ConvergenceCheck::new(initial_dl, threshold);
+    let mut stats = McmcStats {
+        final_dl: initial_dl,
+        ..Default::default()
+    };
+    for sweep_idx in 0..max_sweeps {
+        let outcome = sweep(graph, bm, vertices, sweep_idx);
+        stats.sweeps += 1;
+        stats.moves += outcome.moves.len();
+        stats.proposals += outcome.proposals;
+        let dl = bm.description_length();
+        stats.final_dl = dl;
+        if check.record(dl) {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use sbp_graph::Graph;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 0, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 3, 2),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn sweep_repairs_a_misassigned_vertex() {
+        // Only vertex 0 is misassigned and only vertex 0 is swept: its
+        // neighbors anchor proposals at its home block, and at high beta
+        // the improving move is accepted. (Sweeping everything can descend
+        // into a different local optimum on a graph this small — that is
+        // expected MCMC behavior, not a defect.)
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![1, 0, 0, 1, 1, 1], 2);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            mh_sweep(&g, &mut bm, &[0], 10.0, &mut rng);
+            if bm.block_of(0) == 0 {
+                break;
+            }
+        }
+        assert_eq!(bm.block_of(0), 0, "vertex 0 never returned home");
+        bm.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn ground_truth_is_stable_at_high_beta() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        let truth = bm.assignment().to_vec();
+        let mut rng = SmallRng::seed_from_u64(16);
+        let vertices: Vec<u32> = (0..6).collect();
+        for _ in 0..30 {
+            mh_sweep(&g, &mut bm, &vertices, 12.0, &mut rng);
+        }
+        assert_eq!(bm.assignment(), &truth[..], "truth destabilized");
+    }
+
+    #[test]
+    fn sweep_keeps_blockmodel_consistent() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let vertices: Vec<u32> = (0..6).collect();
+        for _ in 0..20 {
+            mh_sweep(&g, &mut bm, &vertices, 3.0, &mut rng);
+            bm.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn sweep_over_subset_only_moves_subset() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let before = bm.assignment().to_vec();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let out = mh_sweep(&g, &mut bm, &[0, 1], 3.0, &mut rng);
+        for m in &out.moves {
+            assert!(m.v <= 1);
+        }
+        for (v, &b) in before.iter().enumerate().skip(2) {
+            assert_eq!(bm.assignment()[v], b, "vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn zero_degree_vertices_are_skipped() {
+        let g = Graph::from_edges(3, vec![(0, 1, 1), (1, 0, 1)]);
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0], 2);
+        let mut rng = SmallRng::seed_from_u64(14);
+        let out = mh_sweep(&g, &mut bm, &[2], 3.0, &mut rng);
+        assert_eq!(out.proposals, 0);
+        assert!(out.moves.is_empty());
+    }
+
+    #[test]
+    fn mcmc_phase_reduces_dl_from_bad_start() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let initial = bm.description_length();
+        let mut rng = SmallRng::seed_from_u64(15);
+        let vertices: Vec<u32> = (0..6).collect();
+        let stats = mcmc_phase(&g, &mut bm, &vertices, 60, 1e-6, |g, bm, vs, _| {
+            mh_sweep(g, bm, vs, 3.0, &mut rng)
+        });
+        assert!(stats.final_dl <= initial);
+        assert!(stats.sweeps > 0);
+    }
+
+    #[test]
+    fn convergence_check_stops_on_plateau() {
+        let mut c = ConvergenceCheck::new(1000.0, 1e-4);
+        assert!(!c.record(900.0)); // big improvement
+        assert!(!c.record(899.99));
+        // The third record fills the window; by the fourth, three
+        // consecutive tiny deltas must trigger convergence.
+        let third = c.record(899.989);
+        let fourth = c.record(899.9889);
+        assert!(third || fourth, "plateau not detected");
+    }
+
+    #[test]
+    fn convergence_check_needs_three_sweeps() {
+        let mut c = ConvergenceCheck::new(1000.0, 0.5);
+        assert!(!c.record(999.0));
+        assert!(!c.record(998.0));
+        // From sweep 3 on the window is full and the (huge) threshold fires.
+        assert!(c.record(997.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The agglomerative block-merge phase (paper Alg. 1).
+//!
+//! Every block proposes `x` candidate merges; the globally best candidates
+//! are applied greedily until the block count is reduced by the requested
+//! amount. Merge chains (`a→b` while `b→c`) are resolved with a union-find
+//! pointer scheme — the paper's §III-A optimization (d).
+//!
+//! `propose_merges` accepts an explicit block subset so EDiSt can compute
+//! proposals for only its owned blocks (Alg. 4 line 4) and allgather the
+//! results; `apply_merges` is deterministic given the combined candidate
+//! list, which is what keeps every rank's blockmodel bit-identical.
+
+use crate::blockmodel::Blockmodel;
+use crate::delta::{delta_entropy, merge_delta};
+use crate::propose::propose_for_block;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A block's best merge proposal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeCandidate {
+    /// The block to be absorbed.
+    pub block: u32,
+    /// The block it merges into.
+    pub target: u32,
+    /// Change in entropy if applied in isolation (model-complexity terms
+    /// are identical across candidates at fixed block count, so ranking by
+    /// ΔS equals ranking by ΔDL).
+    pub delta_s: f64,
+}
+
+/// Computes the best-of-`proposals_per_block` merge candidate for every
+/// block in `blocks` (paper Alg. 1 lines 2–9 / Alg. 4 lines 3–14).
+///
+/// Proposals are evaluated in parallel across blocks; each block uses an
+/// independent RNG stream derived from `seed`, so results are deterministic
+/// regardless of thread scheduling.
+pub fn propose_merges(
+    bm: &Blockmodel,
+    blocks: &[u32],
+    proposals_per_block: usize,
+    seed: u64,
+) -> Vec<MergeCandidate> {
+    let run = |&r: &u32| -> Option<MergeCandidate> {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1)));
+        let mut best: Option<MergeCandidate> = None;
+        for _ in 0..proposals_per_block {
+            let s = propose_for_block(&mut rng, bm, r)?;
+            debug_assert_ne!(s, r);
+            let ds = delta_entropy(bm, &merge_delta(bm, r, s));
+            if best.is_none_or(|b| ds < b.delta_s) {
+                best = Some(MergeCandidate {
+                    block: r,
+                    target: s,
+                    delta_s: ds,
+                });
+            }
+        }
+        best
+    };
+    // Parallelism only pays off on non-trivial block counts.
+    if blocks.len() >= 64 {
+        blocks.par_iter().filter_map(&run).collect()
+    } else {
+        blocks.iter().filter_map(run).collect()
+    }
+}
+
+/// Applies the best `target_merges` merges from `candidates` (paper Alg. 1
+/// lines 11–15), resolving chains with union-find. Returns the new dense
+/// assignment and block count.
+///
+/// Deterministic: candidates are sorted by `(ΔS, block, target)` with a
+/// total order, so every EDiSt rank applies the identical merge set.
+pub fn apply_merges(
+    bm: &Blockmodel,
+    mut candidates: Vec<MergeCandidate>,
+    target_merges: usize,
+) -> (Vec<u32>, usize) {
+    candidates.sort_by(|a, b| {
+        a.delta_s
+            .total_cmp(&b.delta_s)
+            .then(a.block.cmp(&b.block))
+            .then(a.target.cmp(&b.target))
+    });
+    let n_blocks = bm.num_blocks();
+    let mut parent: Vec<u32> = (0..n_blocks as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let gp = parent[parent[x as usize] as usize];
+            parent[x as usize] = gp; // path halving
+            x = gp;
+        }
+        x
+    }
+
+    let mut merged = 0usize;
+    for cand in &candidates {
+        if merged >= target_merges {
+            break;
+        }
+        let a = find(&mut parent, cand.block);
+        let b = find(&mut parent, cand.target);
+        if a != b {
+            parent[a as usize] = b;
+            merged += 1;
+        }
+    }
+
+    // Relabel roots densely, ascending by root id (deterministic).
+    let mut label = vec![u32::MAX; n_blocks];
+    let mut next = 0u32;
+    for blk in 0..n_blocks as u32 {
+        let root = find(&mut parent, blk);
+        if label[root as usize] == u32::MAX {
+            label[root as usize] = next;
+            next += 1;
+        }
+    }
+    let assignment: Vec<u32> = bm
+        .assignment()
+        .iter()
+        .map(|&b| {
+            let root = find(&mut parent, b);
+            label[root as usize]
+        })
+        .collect();
+    (assignment, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_graph::Graph;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+                (2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn proposals_cover_requested_blocks() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        let cands = propose_merges(&bm, &[0, 2, 4], 5, 7);
+        assert_eq!(cands.len(), 3);
+        let blocks: Vec<u32> = cands.iter().map(|c| c.block).collect();
+        assert_eq!(blocks, vec![0, 2, 4]);
+        for c in &cands {
+            assert_ne!(c.block, c.target);
+            assert!(c.delta_s.is_finite());
+        }
+    }
+
+    #[test]
+    fn proposals_deterministic_given_seed() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        let blocks: Vec<u32> = (0..6).collect();
+        let a = propose_merges(&bm, &blocks, 10, 42);
+        let b = propose_merges(&bm, &blocks, 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn proposals_split_across_subsets_match_full_run() {
+        // The EDiSt invariant: computing candidates for disjoint owned
+        // subsets and concatenating equals the single-node computation.
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        let full = propose_merges(&bm, &[0, 1, 2, 3, 4, 5], 10, 99);
+        let mut split = propose_merges(&bm, &[0, 2, 4], 10, 99);
+        split.extend(propose_merges(&bm, &[1, 3, 5], 10, 99));
+        split.sort_by_key(|c| c.block);
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    fn apply_merges_halves_block_count() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        let cands = propose_merges(&bm, &[0, 1, 2, 3, 4, 5], 10, 1);
+        let (assignment, c) = apply_merges(&bm, cands, 3);
+        assert_eq!(c, 3);
+        assert_eq!(assignment.len(), 6);
+        assert!(assignment.iter().all(|&b| b < 3));
+    }
+
+    #[test]
+    fn apply_merges_resolves_chains() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        // Force a chain: 0→1, 1→2 : both applied, ending with {0,1,2} fused.
+        let cands = vec![
+            MergeCandidate {
+                block: 0,
+                target: 1,
+                delta_s: -2.0,
+            },
+            MergeCandidate {
+                block: 1,
+                target: 2,
+                delta_s: -1.0,
+            },
+        ];
+        let (assignment, c) = apply_merges(&bm, cands, 2);
+        assert_eq!(c, 4);
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[1], assignment[2]);
+    }
+
+    #[test]
+    fn apply_merges_skips_cycles_without_counting() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        // 0→1 then 1→0 is a cycle; the second must be skipped and the next
+        // candidate applied instead.
+        let cands = vec![
+            MergeCandidate {
+                block: 0,
+                target: 1,
+                delta_s: -3.0,
+            },
+            MergeCandidate {
+                block: 1,
+                target: 0,
+                delta_s: -2.0,
+            },
+            MergeCandidate {
+                block: 4,
+                target: 5,
+                delta_s: -1.0,
+            },
+        ];
+        let (assignment, c) = apply_merges(&bm, cands, 2);
+        assert_eq!(c, 4);
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[4], assignment[5]);
+        assert_ne!(assignment[0], assignment[4]);
+    }
+
+    #[test]
+    fn apply_zero_merges_is_identity_relabel() {
+        let g = two_triangles();
+        let bm = Blockmodel::identity(&g);
+        let (assignment, c) = apply_merges(&bm, vec![], 0);
+        assert_eq!(c, 6);
+        assert_eq!(assignment, (0..6u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exhaustive_best_merge_targets_stay_within_cliques() {
+        // For every singleton block of a two-clique graph, the exact best
+        // merge target (by ΔS over all alternatives) lies inside its own
+        // clique — the signal the merge phase exploits.
+        use crate::delta::{delta_entropy, merge_delta};
+        let k = 4u32;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    edges.push((i, j, 1));
+                    edges.push((k + i, k + j, 1));
+                }
+            }
+        }
+        edges.push((0, k, 1));
+        let g = Graph::from_edges(2 * k as usize, edges);
+        let bm = Blockmodel::identity(&g);
+        for r in 0..2 * k {
+            let best = (0..2 * k)
+                .filter(|&s| s != r)
+                .min_by(|&a, &b| {
+                    let da = delta_entropy(&bm, &merge_delta(&bm, r, a));
+                    let db = delta_entropy(&bm, &merge_delta(&bm, r, b));
+                    da.total_cmp(&db)
+                })
+                .expect("candidates exist");
+            let same_clique = (r < k) == (best < k);
+            assert!(same_clique, "block {r} preferred cross-clique merge {best}");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The end-to-end stochastic block partitioning driver.
+//!
+//! Alternates the block-merge phase (Alg. 1) and the MCMC phase (Alg. 2)
+//! under golden-ratio control until the optimal block count is bracketed —
+//! Fig. 1 of the paper. `sbp_from` starts from an arbitrary partition,
+//! which is how DC-SBP's root-rank fine-tuning phase (Alg. 3 line 23)
+//! resumes from the combined partial results.
+
+use crate::blockmodel::Blockmodel;
+use crate::golden::{BracketEntry, GoldenBracket, NextStep};
+use crate::hybrid::{batch_sweep, hybrid_sweep, HybridConfig};
+use crate::mcmc::{mcmc_phase, mh_sweep, McmcStats};
+use crate::merge::{apply_merges, propose_merges};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbp_graph::{Graph, Vertex};
+
+/// Which MCMC sweep implementation to use inside each phase.
+#[derive(Clone, Debug, PartialEq)]
+pub enum McmcStrategy {
+    /// Sequential Metropolis–Hastings (paper Alg. 2).
+    MetropolisHastings,
+    /// Hybrid SBP: sequential high-degree head + chunked asynchronous
+    /// Gibbs tail (the paper's intra-rank parallelization).
+    Hybrid(HybridConfig),
+    /// Whole-sweep batch evaluation (python-reference parallelism).
+    Batch,
+}
+
+/// SBP hyper-parameters. Defaults follow the Graph-Challenge reference
+/// implementation the paper's C++ baseline was translated from.
+#[derive(Clone, Debug)]
+pub struct SbpConfig {
+    /// Inverse temperature β in the acceptance probability
+    /// `min(1, exp(−β·ΔS)·H)`.
+    pub beta: f64,
+    /// Merge proposals evaluated per block in each merge phase (the
+    /// paper's `x`).
+    pub merge_proposals_per_block: usize,
+    /// Fraction of blocks merged per agglomerative iteration before the
+    /// bracket is established (0.5 = "until the number of communities is
+    /// halved").
+    pub block_reduction_rate: f64,
+    /// Maximum MCMC sweeps per phase (the paper's `x` in Alg. 2).
+    pub max_sweeps: usize,
+    /// Convergence threshold before the golden-ratio bracket is
+    /// established (`t` in Alg. 2).
+    pub threshold_pre: f64,
+    /// Tighter threshold once the bracket is established.
+    pub threshold_post: f64,
+    /// Sweep implementation.
+    pub strategy: McmcStrategy,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Hard cap on merge+MCMC iterations (safety net; the golden search
+    /// terminates long before this on any real input).
+    pub max_iterations: usize,
+}
+
+impl Default for SbpConfig {
+    fn default() -> Self {
+        SbpConfig {
+            beta: 3.0,
+            merge_proposals_per_block: 10,
+            block_reduction_rate: 0.5,
+            max_sweeps: 30,
+            threshold_pre: 5e-4,
+            threshold_post: 1e-4,
+            strategy: McmcStrategy::MetropolisHastings,
+            seed: 0,
+            max_iterations: 300,
+        }
+    }
+}
+
+/// Statistics of one merge+MCMC iteration.
+#[derive(Clone, Debug)]
+pub struct IterationStat {
+    /// Block count after the merge phase.
+    pub num_blocks: usize,
+    /// Description length after the MCMC phase.
+    pub dl: f64,
+    /// MCMC sweeps run.
+    pub sweeps: usize,
+    /// Vertex moves accepted.
+    pub moves: usize,
+}
+
+/// Final inference result.
+#[derive(Clone, Debug)]
+pub struct SbpResult {
+    /// Inferred block assignment (dense labels).
+    pub assignment: Vec<u32>,
+    /// Inferred number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the returned partition.
+    pub description_length: f64,
+    /// Per-iteration history.
+    pub iterations: Vec<IterationStat>,
+}
+
+/// Runs full SBP inference from the identity partition (`C = V`).
+pub fn sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
+    let n = graph.num_vertices();
+    sbp_from(graph, (0..n as u32).collect(), n, cfg)
+}
+
+/// Runs SBP from an arbitrary starting partition (DC-SBP fine-tuning).
+pub fn sbp_from(
+    graph: &Graph,
+    assignment: Vec<u32>,
+    num_blocks: usize,
+    cfg: &SbpConfig,
+) -> SbpResult {
+    if graph.num_vertices() == 0 {
+        return SbpResult {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            description_length: 0.0,
+            iterations: Vec::new(),
+        };
+    }
+    let start = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
+    let mut bracket = GoldenBracket::new(cfg.block_reduction_rate);
+    bracket.seed(BracketEntry {
+        assignment: start.assignment().to_vec(),
+        num_blocks: start.num_blocks(),
+        dl: start.description_length(),
+    });
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let vertices: Vec<Vertex> = (0..graph.num_vertices() as u32).collect();
+    let mut iterations = Vec::new();
+
+    for iter_idx in 0..cfg.max_iterations {
+        match bracket.next() {
+            NextStep::Done(best) => {
+                return SbpResult {
+                    assignment: best.assignment,
+                    num_blocks: best.num_blocks,
+                    description_length: best.dl,
+                    iterations,
+                };
+            }
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
+                let mut bm = merge_phase(graph, &bm, blocks_to_merge, cfg, iter_idx);
+                let threshold = if bracket.established() {
+                    cfg.threshold_post
+                } else {
+                    cfg.threshold_pre
+                };
+                let stats = run_mcmc(
+                    graph, &mut bm, &vertices, cfg, threshold, iter_idx, &mut rng,
+                );
+                let entry = BracketEntry {
+                    assignment: bm.assignment().to_vec(),
+                    num_blocks: bm.num_blocks(),
+                    dl: bm.description_length(),
+                };
+                iterations.push(IterationStat {
+                    num_blocks: entry.num_blocks,
+                    dl: entry.dl,
+                    sweeps: stats.sweeps,
+                    moves: stats.moves,
+                });
+                bracket.record(entry);
+            }
+        }
+    }
+    // Safety net: return the best snapshot even if the cap was hit.
+    let best = bracket.best().expect("bracket was seeded").clone();
+    SbpResult {
+        assignment: best.assignment,
+        num_blocks: best.num_blocks,
+        description_length: best.dl,
+        iterations,
+    }
+}
+
+/// One merge phase: propose for all blocks, apply the best
+/// `blocks_to_merge` merges, rebuild compactly.
+pub fn merge_phase(
+    graph: &Graph,
+    bm: &Blockmodel,
+    blocks_to_merge: usize,
+    cfg: &SbpConfig,
+    iter_idx: usize,
+) -> Blockmodel {
+    let blocks: Vec<u32> = (0..bm.num_blocks() as u32).collect();
+    let seed = cfg
+        .seed
+        .wrapping_add(0xA5A5_0000)
+        .wrapping_add(iter_idx as u64);
+    let cands = propose_merges(bm, &blocks, cfg.merge_proposals_per_block, seed);
+    let (assignment, num_blocks) = apply_merges(bm, cands, blocks_to_merge);
+    Blockmodel::from_assignment(graph, assignment, num_blocks)
+}
+
+fn run_mcmc(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    cfg: &SbpConfig,
+    threshold: f64,
+    iter_idx: usize,
+    rng: &mut SmallRng,
+) -> McmcStats {
+    let beta = cfg.beta;
+    let sweep_seed = cfg
+        .seed
+        .wrapping_add(0x5A5A_0000)
+        .wrapping_add((iter_idx as u64) << 32);
+    match &cfg.strategy {
+        McmcStrategy::MetropolisHastings => mcmc_phase(
+            graph,
+            bm,
+            vertices,
+            cfg.max_sweeps,
+            threshold,
+            |g, bm, vs, _| mh_sweep(g, bm, vs, beta, rng),
+        ),
+        McmcStrategy::Hybrid(hcfg) => {
+            let hcfg = *hcfg;
+            mcmc_phase(
+                graph,
+                bm,
+                vertices,
+                cfg.max_sweeps,
+                threshold,
+                move |g, bm, vs, sweep| hybrid_sweep(g, bm, vs, beta, &hcfg, sweep_seed, sweep),
+            )
+        }
+        McmcStrategy::Batch => mcmc_phase(
+            graph,
+            bm,
+            vertices,
+            cfg.max_sweeps,
+            threshold,
+            move |g, bm, vs, sweep| batch_sweep(g, bm, vs, beta, sweep_seed, sweep),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_two_cliques(k: usize) -> (Graph, Vec<u32>) {
+        // Two k-cliques joined by a single edge.
+        let mut edges = Vec::new();
+        for i in 0..k as u32 {
+            for j in 0..k as u32 {
+                if i != j {
+                    edges.push((i, j, 1));
+                    edges.push((k as u32 + i, k as u32 + j, 1));
+                }
+            }
+        }
+        edges.push((0, k as u32, 1));
+        let truth: Vec<u32> = (0..2 * k).map(|v| (v / k) as u32).collect();
+        (Graph::from_edges(2 * k, edges), truth)
+    }
+
+    #[test]
+    fn recovers_two_cliques() {
+        let (g, truth) = planted_two_cliques(8);
+        let cfg = SbpConfig {
+            seed: 1,
+            ..Default::default()
+        };
+        let res = sbp(&g, &cfg);
+        assert_eq!(
+            res.num_blocks, 2,
+            "expected 2 blocks, got {}",
+            res.num_blocks
+        );
+        // Same partition up to relabeling.
+        let flip = res.assignment[0];
+        for v in 0..16usize {
+            let expect = if truth[v] == truth[0] { flip } else { 1 - flip };
+            assert_eq!(res.assignment[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_result() {
+        let g = Graph::from_edges(0, Vec::new());
+        let res = sbp(&g, &SbpConfig::default());
+        assert_eq!(res.num_blocks, 0);
+        assert!(res.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::from_edges(1, Vec::new());
+        let res = sbp(&g, &SbpConfig::default());
+        assert_eq!(res.num_blocks, 1);
+        assert_eq!(res.assignment, vec![0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, _) = planted_two_cliques(6);
+        let cfg = SbpConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let a = sbp(&g, &cfg);
+        let b = sbp(&g, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.description_length, b.description_length);
+    }
+
+    #[test]
+    fn hybrid_strategy_also_recovers() {
+        let (g, _) = planted_two_cliques(8);
+        let cfg = SbpConfig {
+            strategy: McmcStrategy::Hybrid(HybridConfig {
+                parallel: false,
+                ..Default::default()
+            }),
+            seed: 4,
+            ..Default::default()
+        };
+        let res = sbp(&g, &cfg);
+        assert_eq!(res.num_blocks, 2);
+    }
+
+    #[test]
+    fn batch_strategy_also_recovers() {
+        let (g, _) = planted_two_cliques(8);
+        let cfg = SbpConfig {
+            strategy: McmcStrategy::Batch,
+            seed: 4,
+            ..Default::default()
+        };
+        let res = sbp(&g, &cfg);
+        assert_eq!(res.num_blocks, 2);
+    }
+
+    #[test]
+    fn sbp_from_finetunes_a_partition() {
+        let (g, truth) = planted_two_cliques(8);
+        // Start from a 4-block over-segmentation of the truth.
+        let start: Vec<u32> = (0..16u32).map(|v| truth[v as usize] * 2 + v % 2).collect();
+        let res = sbp_from(
+            &g,
+            start,
+            4,
+            &SbpConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.num_blocks, 2);
+    }
+
+    #[test]
+    fn result_dl_matches_rebuilt_blockmodel() {
+        let (g, _) = planted_two_cliques(6);
+        let res = sbp(
+            &g,
+            &SbpConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let bm = Blockmodel::from_assignment(&g, res.assignment.clone(), res.num_blocks);
+        assert!((bm.description_length() - res.description_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn island_only_graph_terminates() {
+        let g = Graph::from_edges(5, Vec::new());
+        let res = sbp(&g, &SbpConfig::default());
+        assert!(res.num_blocks >= 1);
+        assert_eq!(res.assignment.len(), 5);
+    }
+}

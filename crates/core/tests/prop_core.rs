@@ -1,0 +1,173 @@
+//! Property-based tests for the inference engine's load-bearing math.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbp_core::delta::{delta_entropy, merge_delta, vertex_move_delta};
+use sbp_core::mcmc::mh_sweep;
+use sbp_core::merge::{apply_merges, MergeCandidate};
+use sbp_core::Blockmodel;
+use sbp_graph::Graph;
+
+/// (num vertices, weighted edges, assignment, num blocks).
+type GraphAssignment = (usize, Vec<(u32, u32, i64)>, Vec<u32>, usize);
+
+/// Random small graph + a valid assignment into `c` blocks.
+fn arb_graph_and_assignment() -> impl Strategy<Value = GraphAssignment> {
+    (4usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1i64..4), 1..80);
+        (2usize..5).prop_flat_map(move |c| {
+            let assignment = proptest::collection::vec(0..c as u32, n);
+            (Just(n), edges.clone(), assignment, Just(c))
+        })
+    })
+}
+
+proptest! {
+    /// The sparse ΔS for ANY vertex move equals a full entropy recompute.
+    #[test]
+    fn sparse_move_delta_equals_recompute(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        vsel in 0usize..24,
+        tosel in 0u32..5,
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let bm = Blockmodel::from_assignment(&g, assignment, c);
+        let v = (vsel % n) as u32;
+        let to = tosel % c as u32;
+        let d = vertex_move_delta(&g, &bm, v, to);
+        let ds = delta_entropy(&bm, &d);
+        let mut after = bm.clone();
+        after.move_vertex(&g, v, to);
+        let exact = after.entropy() - bm.entropy();
+        prop_assert!((ds - exact).abs() < 1e-8, "sparse {ds} vs exact {exact}");
+    }
+
+    /// The sparse ΔS for ANY block merge equals a full recompute.
+    #[test]
+    fn sparse_merge_delta_equals_recompute(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        from_sel in 0u32..5,
+        to_sel in 0u32..5,
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let bm = Blockmodel::from_assignment(&g, assignment.clone(), c);
+        let from = from_sel % c as u32;
+        let to = to_sel % c as u32;
+        prop_assume!(from != to);
+        let d = merge_delta(&bm, from, to);
+        let ds = delta_entropy(&bm, &d);
+        let merged: Vec<u32> = assignment
+            .iter()
+            .map(|&b| if b == from { to } else { b })
+            .collect();
+        let after = Blockmodel::from_assignment(&g, merged, c);
+        let exact = after.entropy() - bm.entropy();
+        prop_assert!((ds - exact).abs() < 1e-8, "sparse {ds} vs exact {exact}");
+    }
+
+    /// Incremental maintenance == from-scratch rebuild after any move
+    /// sequence (the EDiSt exactness invariant).
+    #[test]
+    fn blockmodel_invariant_under_random_moves(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        moves in proptest::collection::vec((0usize..24, 0u32..5), 0..30),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let mut bm = Blockmodel::from_assignment(&g, assignment, c);
+        for (vsel, tosel) in moves {
+            bm.move_vertex(&g, (vsel % n) as u32, tosel % c as u32);
+        }
+        prop_assert!(bm.validate(&g).is_ok());
+    }
+
+    /// The final state after applying the same move set is independent of
+    /// application order — the property EDiSt's correctness rests on.
+    #[test]
+    fn move_application_order_does_not_matter(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        targets in proptest::collection::vec(0u32..5, 24),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        // One final target per vertex (vertex-disjoint moves, as in EDiSt).
+        let finals: Vec<u32> = (0..n).map(|v| targets[v % targets.len()] % c as u32).collect();
+        let mut fwd = Blockmodel::from_assignment(&g, assignment.clone(), c);
+        for v in 0..n as u32 {
+            fwd.move_vertex(&g, v, finals[v as usize]);
+        }
+        let mut rev = Blockmodel::from_assignment(&g, assignment, c);
+        for v in (0..n as u32).rev() {
+            rev.move_vertex(&g, v, finals[v as usize]);
+        }
+        prop_assert_eq!(fwd.assignment(), rev.assignment());
+        prop_assert!((fwd.entropy() - rev.entropy()).abs() < 1e-9);
+    }
+
+    /// apply_merges is insensitive to the input order of candidates
+    /// (it sorts internally with a total order) — the EDiSt determinism
+    /// requirement for allgathered candidate lists.
+    #[test]
+    fn apply_merges_order_insensitive(
+        (n, edges, _assignment, _c) in arb_graph_and_assignment(),
+        pairs in proptest::collection::vec((0u32..24, 0u32..24, -10.0f64..0.0), 1..12),
+        target in 0usize..8,
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let bm = Blockmodel::identity(&g);
+        let cands: Vec<MergeCandidate> = pairs
+            .iter()
+            .filter(|(a, b, _)| (*a as usize) < n && (*b as usize) < n && a != b)
+            .map(|&(block, tgt, delta_s)| MergeCandidate { block, target: tgt, delta_s })
+            .collect();
+        let mut shuffled = cands.clone();
+        shuffled.reverse();
+        let a = apply_merges(&bm, cands, target);
+        let b = apply_merges(&bm, shuffled, target);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Entropy is label-invariant: permuting block labels leaves S fixed.
+    #[test]
+    fn entropy_label_invariant(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let bm = Blockmodel::from_assignment(&g, assignment.clone(), c);
+        // Rotate labels by one.
+        let rotated: Vec<u32> = assignment.iter().map(|&b| (b + 1) % c as u32).collect();
+        let bm2 = Blockmodel::from_assignment(&g, rotated, c);
+        prop_assert!((bm.entropy() - bm2.entropy()).abs() < 1e-9);
+        prop_assert!(
+            (bm.description_length() - bm2.description_length()).abs() < 1e-9
+        );
+    }
+
+    /// MH sweeps never corrupt the blockmodel, whatever the graph.
+    #[test]
+    fn mh_sweep_preserves_invariants(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        seed in 0u64..1000,
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let mut bm = Blockmodel::from_assignment(&g, assignment, c);
+        let vertices: Vec<u32> = (0..n as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            mh_sweep(&g, &mut bm, &vertices, 3.0, &mut rng);
+        }
+        prop_assert!(bm.validate(&g).is_ok());
+    }
+
+    /// Compaction preserves the partition structure (same cells, denser
+    /// labels) and therefore the entropy.
+    #[test]
+    fn compaction_preserves_entropy(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let bm = Blockmodel::from_assignment(&g, assignment, c);
+        let compact = bm.compacted(&g);
+        prop_assert!(compact.num_blocks() <= c);
+        prop_assert!((bm.entropy() - compact.entropy()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Adjusted Rand index.
+
+use crate::contingency::ContingencyTable;
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand index between two partitions.
+///
+/// Ranges in `(-1, 1]`; 1 means identical partitions (up to relabeling), 0 is
+/// the expected score of a random partition pair with the same marginals.
+/// Like NMI, this is chance-corrected, making it a useful cross-check on the
+/// NMI numbers reported for Tables VII/VIII.
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = t.counts.values().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = t.row_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = t.col_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(t.n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions are all-singletons or all-one-cluster: identical
+        // structure, ARI defined as 1.
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_scores_one() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![5, 5, 2, 2];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_partitions_score_at_or_below_chance() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        // Exact value for this configuration is -0.5 (anti-correlated).
+        let v = adjusted_rand_index(&a, &b);
+        assert!((v - (-0.5)).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_pair() {
+        let a = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_pair() {
+        let a = vec![0, 1, 2, 3];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ari_can_go_negative() {
+        // Anti-correlated partitions can dip below 0 (worse than chance).
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![0, 1, 1, 2, 2, 0];
+        assert!(adjusted_rand_index(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = vec![0, 0, 1, 2, 2, 1];
+        let b = vec![1, 0, 1, 2, 0, 1];
+        let d = adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a);
+        assert!(d.abs() < 1e-12);
+    }
+}

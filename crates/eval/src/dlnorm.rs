@@ -1,0 +1,106 @@
+//! Normalized description length (paper §V-E).
+//!
+//! Real-world graphs have no ground-truth communities, so the paper scores
+//! them with `DL_norm = DL / DL_null`, where `DL_null` is the description
+//! length of the *null blockmodel* that assigns every vertex to a single
+//! community. Lower is better; a good partition compresses the graph far
+//! below the null model.
+
+/// `h(x) = (1+x)·ln(1+x) − x·ln(x)` — the binary-entropy-like term of the
+/// description-length model complexity (paper Eq. 2).
+pub fn h(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    (1.0 + x) * (1.0 + x).ln() - x * x.ln()
+}
+
+/// Description length of the null (single-community) blockmodel of a graph
+/// with `num_vertices` vertices and total edge weight `num_edges`.
+///
+/// With `C = 1`: the model term is `E·h(1/E) + V·ln(1) = E·h(1/E)` and the
+/// likelihood term is `−L = −E·ln(E/(E·E)) = E·ln(E)` (the single blockmodel
+/// cell holds all `E` edges, and the community out/in degrees are both `E`).
+pub fn dl_null(num_vertices: usize, num_edges: i64) -> f64 {
+    let _ = num_vertices; // V·ln(1) = 0; kept in the signature for clarity.
+    if num_edges <= 0 {
+        return 0.0;
+    }
+    let e = num_edges as f64;
+    e * h(1.0 / e) + e * e.ln()
+}
+
+/// `DL_norm = DL / DL_null` (paper §V-E). Lower is better.
+///
+/// Returns `f64::INFINITY` when the null DL is zero (edgeless graph) and the
+/// candidate DL is positive.
+pub fn normalized_dl(dl: f64, num_vertices: usize, num_edges: i64) -> f64 {
+    let null = dl_null(num_vertices, num_edges);
+    if null == 0.0 {
+        if dl == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        dl / null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_known_values() {
+        assert_eq!(h(0.0), 0.0);
+        // h(1) = 2 ln 2 - 0 = 2 ln 2
+        assert!((h(1.0) - 2.0 * (2f64).ln()).abs() < 1e-12);
+        // h is increasing for x > 0
+        assert!(h(2.0) > h(1.0));
+    }
+
+    #[test]
+    fn h_negative_clamped() {
+        assert_eq!(h(-1.0), 0.0);
+    }
+
+    #[test]
+    fn dl_null_grows_with_edges() {
+        let a = dl_null(100, 100);
+        let b = dl_null(100, 1000);
+        assert!(b > a && a > 0.0);
+    }
+
+    #[test]
+    fn dl_null_edge_cases() {
+        assert_eq!(dl_null(10, 0), 0.0);
+        assert_eq!(dl_null(0, 0), 0.0);
+    }
+
+    #[test]
+    fn normalized_dl_of_null_model_is_one() {
+        let null = dl_null(50, 200);
+        assert!((normalized_dl(null, 50, 200) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_partition_scores_below_one() {
+        let null = dl_null(50, 200);
+        assert!(normalized_dl(0.7 * null, 50, 200) < 1.0);
+    }
+
+    #[test]
+    fn edgeless_graph_conventions() {
+        assert_eq!(normalized_dl(0.0, 10, 0), 1.0);
+        assert_eq!(normalized_dl(5.0, 10, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn dl_null_matches_manual_formula() {
+        let e = 64f64;
+        let manual =
+            e * ((1.0 + 1.0 / e) * (1.0 + 1.0 / e).ln() - (1.0 / e) * (1.0 / e).ln()) + e * e.ln();
+        assert!((dl_null(10, 64) - manual).abs() < 1e-9);
+    }
+}

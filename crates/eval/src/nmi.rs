@@ -1,0 +1,126 @@
+//! Normalized mutual information.
+
+use crate::contingency::ContingencyTable;
+
+/// Normalization convention for NMI. The paper does not state which variant
+/// the authors used; `Arithmetic` (`2·I/(H_a+H_b)`) is the scikit-learn
+/// default and the Graph Challenge convention, so it is our default too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NmiNormalization {
+    /// `2 I / (H_a + H_b)` — default.
+    #[default]
+    Arithmetic,
+    /// `I / max(H_a, H_b)` — most conservative.
+    Max,
+    /// `I / sqrt(H_a · H_b)` — geometric.
+    Sqrt,
+    /// `I / min(H_a, H_b)` — most permissive.
+    Min,
+}
+
+/// Normalized mutual information between two partitions with the default
+/// (arithmetic) normalization. Returns a value in `[0, 1]`.
+///
+/// Degenerate conventions, matching scikit-learn: if **both** partitions are
+/// single-cluster (zero entropy) they are identical up to relabeling → 1.0;
+/// if exactly one has zero entropy, NMI is 0.0.
+pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
+    nmi_variant(a, b, NmiNormalization::Arithmetic)
+}
+
+/// NMI with an explicit normalization variant.
+pub fn nmi_variant(a: &[u32], b: &[u32], norm: NmiNormalization) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    let (ha, hb) = (t.row_entropy(), t.col_entropy());
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0;
+    }
+    if ha == 0.0 || hb == 0.0 {
+        return 0.0;
+    }
+    let i = t.mutual_information();
+    let denom = match norm {
+        NmiNormalization::Arithmetic => 0.5 * (ha + hb),
+        NmiNormalization::Max => ha.max(hb),
+        NmiNormalization::Sqrt => (ha * hb).sqrt(),
+        NmiNormalization::Min => ha.min(hb),
+    };
+    (i / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        for norm in [
+            NmiNormalization::Arithmetic,
+            NmiNormalization::Max,
+            NmiNormalization::Sqrt,
+            NmiNormalization::Min,
+        ] {
+            assert!((nmi_variant(&a, &a, norm) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relabeled_partitions_score_one() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![9, 9, 4, 4];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_zero() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        assert!(nmi(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_conventions() {
+        let single = vec![0, 0, 0, 0];
+        let multi = vec![0, 1, 2, 3];
+        assert_eq!(nmi(&single, &single), 1.0);
+        assert_eq!(nmi(&single, &multi), 0.0);
+        assert_eq!(nmi(&multi, &single), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = vec![0, 0, 1, 1, 2, 0, 1];
+        let b = vec![1, 1, 1, 0, 0, 2, 2];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_in_open_interval() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1]; // one item flipped
+        let v = nmi(&a, &b);
+        assert!(v > 0.0 && v < 1.0, "got {v}");
+    }
+
+    #[test]
+    fn normalization_ordering() {
+        // min-normalized >= sqrt >= arithmetic... not strictly; but
+        // min >= arithmetic >= max always holds (denominators reversed).
+        let a = vec![0, 0, 0, 0, 1, 1, 2, 2];
+        let b = vec![0, 0, 1, 1, 1, 1, 2, 2];
+        let vmin = nmi_variant(&a, &b, NmiNormalization::Min);
+        let varith = nmi_variant(&a, &b, NmiNormalization::Arithmetic);
+        let vmax = nmi_variant(&a, &b, NmiNormalization::Max);
+        assert!(vmin >= varith && varith >= vmax);
+    }
+
+    #[test]
+    fn known_value_half_split() {
+        // a = two clusters of 2; b = one cluster of 4 split as {0,1},{2,3}
+        // but a groups {0,2},{1,3}: fully independent -> 0.
+        let a = vec![0, 1, 0, 1];
+        let b = vec![0, 0, 1, 1];
+        assert!(nmi(&a, &b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Pairwise precision / recall / F1 — the Graph Challenge's primary
+//! accuracy metrics (Kao et al. HPEC'17, the paper's [9]).
+//!
+//! Every unordered vertex pair is classified by whether the two vertices
+//! share a block in the candidate partition and in the truth:
+//! *precision* = P(together in truth | together in candidate),
+//! *recall* = P(together in candidate | together in truth). Computed in
+//! O(contingency-table) via pair-counting sums, never enumerating pairs.
+
+use crate::contingency::ContingencyTable;
+
+/// Pairwise scores.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseScores {
+    /// Of the pairs the candidate groups together, the fraction the truth
+    /// also groups together.
+    pub precision: f64,
+    /// Of the pairs the truth groups together, the fraction the candidate
+    /// also groups together.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Computes pairwise precision/recall/F1 of `candidate` against `truth`.
+///
+/// Degenerate conventions: when the candidate puts no pair together,
+/// precision is 1.0 if the truth also has no pairs, else 0.0 (and
+/// symmetrically for recall).
+pub fn pairwise_scores(candidate: &[u32], truth: &[u32]) -> PairwiseScores {
+    let t = ContingencyTable::new(truth, candidate);
+    let together_both: f64 = t.counts.values().map(|&c| choose2(c)).sum();
+    let together_truth: f64 = t.row_sums.iter().map(|&c| choose2(c)).sum();
+    let together_cand: f64 = t.col_sums.iter().map(|&c| choose2(c)).sum();
+    let ratio = |num: f64, den: f64| {
+        if den == 0.0 {
+            if num == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            num / den
+        }
+    };
+    let precision = ratio(together_both, together_cand);
+    let recall = ratio(together_both, together_truth);
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let a = vec![0, 0, 1, 1, 2];
+        let s = pairwise_scores(&a, &a);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn relabeling_is_perfect() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![9, 9, 3, 3];
+        let s = pairwise_scores(&a, &b);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn oversegmentation_keeps_precision_loses_recall() {
+        let truth = vec![0, 0, 0, 0];
+        let cand = vec![0, 0, 1, 1];
+        let s = pairwise_scores(&cand, &truth);
+        // Every candidate pair is also a truth pair...
+        assert_eq!(s.precision, 1.0);
+        // ...but 4 of 6 truth pairs were split: recall = 2/6.
+        assert!((s.recall - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersegmentation_keeps_recall_loses_precision() {
+        let truth = vec![0, 0, 1, 1];
+        let cand = vec![0, 0, 0, 0];
+        let s = pairwise_scores(&cand, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_vs_all_singletons() {
+        let a = vec![0, 1, 2, 3];
+        let s = pairwise_scores(&a, &a);
+        // No pairs anywhere: convention 1.0 across the board.
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn singletons_vs_one_block() {
+        let cand = vec![0, 1, 2, 3];
+        let truth = vec![0, 0, 0, 0];
+        let s = pairwise_scores(&cand, &truth);
+        assert_eq!(s.precision, 1.0); // vacuous: no candidate pairs
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let cand = vec![0, 0, 1, 1, 1, 1];
+        let s = pairwise_scores(&cand, &truth);
+        let expect = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+        assert!((s.f1 - expect).abs() < 1e-12);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Vose alias tables for O(1) weighted discrete sampling.
+//!
+//! The generator draws millions of edge endpoints proportionally to vertex
+//! degrees inside each community; an alias table turns each draw into two
+//! uniforms and one comparison.
+
+use rand::Rng;
+
+/// An alias table over `n` outcomes with fixed non-negative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the "home" outcome in each column.
+    prob: Vec<f64>,
+    /// Fallback outcome of each column.
+    alias: Vec<u32>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Builds the table from raw weights. Returns `None` if every weight is
+    /// zero or the slice is empty (nothing can be sampled).
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        if n == 0 || total <= 0.0 {
+            return None;
+        }
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "alias weights must be finite and non-negative"
+        );
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias, total })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sum of the original weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let n = self.prob.len();
+        let col = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[col] {
+            col as u32
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_zero_weight_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 2.0, 0.0]).unwrap();
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..5000 {
+            let s = t.sample(&mut r);
+            assert!(s == 0 || s == 2, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut r) as usize] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "outcome {i}: expected {expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let t = AliasTable::new(&[1e-9, 1.0]).unwrap();
+        let mut r = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| t.sample(&mut r) == 1).count();
+        assert!(hits > 9_900);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_panic() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

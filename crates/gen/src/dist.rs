@@ -1,0 +1,278 @@
+//! Probability distributions used by the generator.
+//!
+//! Implemented from first principles on top of `rand`'s uniform source so
+//! that the workspace does not depend on `rand_distr`:
+//!
+//! * standard normal — Marsaglia polar method;
+//! * gamma — Marsaglia–Tsang squeeze (with the α<1 boost);
+//! * Dirichlet — normalized gamma draws;
+//! * discrete truncated power law — inverse-CDF with a precomputed table;
+//! * binomial — direct Bernoulli summation (degrees are small enough that
+//!   O(n) per draw is cheaper than setting up an inversion table).
+
+use rand::Rng;
+
+/// Draws a standard normal variate via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws from Gamma(shape, 1) using Marsaglia–Tsang (2000).
+///
+/// # Panics
+/// Panics if `shape <= 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Draws a probability vector from Dirichlet(α, …, α) of dimension `k`.
+///
+/// # Panics
+/// Panics if `k == 0` or `alpha <= 0`.
+pub fn dirichlet_symmetric<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0, "dirichlet dimension must be positive");
+    let draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Astronomically unlikely; fall back to uniform.
+        return vec![1.0 / k as f64; k];
+    }
+    draws.into_iter().map(|g| g / sum).collect()
+}
+
+/// Draws from Binomial(n, p) by direct Bernoulli summation.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
+}
+
+/// A discrete truncated power law `P(k) ∝ k^(-γ)` on `[min_k, max_k]`,
+/// sampled by inverse CDF over a precomputed cumulative table.
+///
+/// This reproduces graph-tool's `power_law` degree sampler with truncation,
+/// the knob the paper's Table III study varies (§IV-A).
+#[derive(Clone, Debug)]
+pub struct TruncatedPowerLaw {
+    min_k: i64,
+    /// Cumulative probabilities; `cdf[i]` covers `min_k + i`.
+    cdf: Vec<f64>,
+    mean: f64,
+}
+
+impl TruncatedPowerLaw {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `min_k < 1` or `max_k < min_k`.
+    pub fn new(gamma: f64, min_k: i64, max_k: i64) -> Self {
+        assert!(min_k >= 1, "power-law support must start at >= 1");
+        assert!(max_k >= min_k, "empty power-law support [{min_k}, {max_k}]");
+        let len = (max_k - min_k + 1) as usize;
+        let mut weights = Vec::with_capacity(len);
+        let mut total = 0.0f64;
+        for k in min_k..=max_k {
+            let w = (k as f64).powf(-gamma);
+            total += w;
+            weights.push(w);
+        }
+        let mut cdf = Vec::with_capacity(len);
+        let mut acc = 0.0f64;
+        let mut mean = 0.0f64;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w / total;
+            cdf.push(acc);
+            mean += (min_k + i as i64) as f64 * w / total;
+        }
+        // Guard against floating point shortfall at the top.
+        *cdf.last_mut().expect("non-empty support") = 1.0;
+        TruncatedPowerLaw { min_k, cdf, mean }
+    }
+
+    /// Exact mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let u: f64 = rng.random::<f64>();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.min_k + idx.min(self.cdf.len() - 1) as i64
+    }
+
+    /// Finds the exponent γ such that the truncated power law on
+    /// `[min_k, max_k]` has mean `target`, by bisection on γ ∈ [0.2, 8].
+    /// The mean is strictly decreasing in γ, so this is well posed; the
+    /// target is clamped to the achievable range.
+    pub fn solve_gamma_for_mean(target: f64, min_k: i64, max_k: i64) -> f64 {
+        let (mut lo, mut hi) = (0.2f64, 8.0f64);
+        let mean_at = |g: f64| TruncatedPowerLaw::new(g, min_k, max_k).mean();
+        let target = target.clamp(mean_at(hi), mean_at(lo));
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if mean_at(mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xED157)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for shape in [0.5, 1.0, 2.0, 5.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        gamma(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_varies_with_alpha() {
+        let mut r = rng();
+        let p = dirichlet_symmetric(&mut r, 2.0, 8);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+        // Higher alpha concentrates near uniform: compare max/min spread.
+        let spread = |alpha: f64, r: &mut SmallRng| {
+            let mut s = 0.0;
+            for _ in 0..50 {
+                let p = dirichlet_symmetric(r, alpha, 8);
+                let mx = p.iter().cloned().fold(0.0, f64::max);
+                let mn = p.iter().cloned().fold(1.0, f64::min);
+                s += mx - mn;
+            }
+            s / 50.0
+        };
+        let tight = spread(100.0, &mut r);
+        let loose = spread(0.5, &mut r);
+        assert!(tight < loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn binomial_edge_cases_and_mean() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+        let n = 5000;
+        let mean = (0..n).map(|_| binomial(&mut r, 20, 0.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn power_law_respects_truncation() {
+        let mut r = rng();
+        let pl = TruncatedPowerLaw::new(2.5, 3, 17);
+        for _ in 0..2000 {
+            let k = pl.sample(&mut r);
+            assert!((3..=17).contains(&k));
+        }
+    }
+
+    #[test]
+    fn power_law_empirical_mean_matches_exact() {
+        let mut r = rng();
+        let pl = TruncatedPowerLaw::new(2.1, 1, 200);
+        let n = 50_000;
+        let mean = (0..n).map(|_| pl.sample(&mut r)).sum::<i64>() as f64 / n as f64;
+        assert!(
+            (mean - pl.mean()).abs() < 0.1 * pl.mean(),
+            "empirical {mean}, exact {}",
+            pl.mean()
+        );
+    }
+
+    #[test]
+    fn power_law_heavier_tail_with_smaller_gamma() {
+        let flat = TruncatedPowerLaw::new(1.2, 1, 100);
+        let steep = TruncatedPowerLaw::new(3.0, 1, 100);
+        assert!(flat.mean() > steep.mean());
+    }
+
+    #[test]
+    fn degenerate_single_point_support() {
+        let mut r = rng();
+        let pl = TruncatedPowerLaw::new(2.5, 7, 7);
+        assert_eq!(pl.sample(&mut r), 7);
+        assert!((pl.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_solver_hits_target_mean() {
+        for (target, min_k, max_k) in [(10.5, 1, 500), (2.0, 1, 100), (40.0, 10, 100)] {
+            let g = TruncatedPowerLaw::solve_gamma_for_mean(target, min_k, max_k);
+            let mean = TruncatedPowerLaw::new(g, min_k, max_k).mean();
+            assert!(
+                (mean - target).abs() < 0.05 * target,
+                "target {target}: got mean {mean} at gamma {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_solver_clamps_unreachable_targets() {
+        // Mean cannot drop below min_k.
+        let g = TruncatedPowerLaw::solve_gamma_for_mean(0.5, 3, 50);
+        let mean = TruncatedPowerLaw::new(g, 3, 50).mean();
+        assert!(mean >= 3.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The immutable CSR graph used throughout the workspace.
+
+use crate::{Vertex, Weight};
+
+/// A directed, integer-weighted graph in compressed sparse row form.
+///
+/// Both the forward (out-edge) and the reverse (in-edge) adjacency are
+/// stored, because blockmodel inference needs to walk a vertex's in- and
+/// out-neighborhood for every proposal (paper §II-C: "the algorithm needs
+/// access to at least two rows and two columns of the SBM matrix").
+///
+/// Invariants (checked in debug builds and by `validate`):
+/// * adjacency lists are sorted by neighbor id and contain no duplicates
+///   (parallel edges are merged into weights at construction);
+/// * all weights are strictly positive;
+/// * the reverse adjacency is exactly the transpose of the forward one;
+/// * `total_edge_weight == Σ out_degree == Σ in_degree`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    num_vertices: usize,
+    /// `out_adj[out_offsets[v]..out_offsets[v+1]]` = out-edges of `v`.
+    out_offsets: Vec<usize>,
+    out_adj: Vec<(Vertex, Weight)>,
+    in_offsets: Vec<usize>,
+    in_adj: Vec<(Vertex, Weight)>,
+    out_degree: Vec<Weight>,
+    in_degree: Vec<Weight>,
+    total_edge_weight: Weight,
+}
+
+impl Graph {
+    /// Builds a graph from an edge stream. Duplicate `(src, dst)` arcs are
+    /// merged by summing their weights. Self-loops are allowed and count
+    /// toward both the out- and in-degree of their vertex.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= num_vertices` or any weight is `<= 0`.
+    pub fn from_edges<I>(num_vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (Vertex, Vertex, Weight)>,
+    {
+        let mut list: Vec<(Vertex, Vertex, Weight)> = edges.into_iter().collect();
+        for &(s, d, w) in &list {
+            assert!(
+                (s as usize) < num_vertices && (d as usize) < num_vertices,
+                "edge ({s}, {d}) out of range for {num_vertices} vertices"
+            );
+            assert!(w > 0, "edge ({s}, {d}) has non-positive weight {w}");
+        }
+        list.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        // Merge parallel arcs.
+        let mut merged: Vec<(Vertex, Vertex, Weight)> = Vec::with_capacity(list.len());
+        for (s, d, w) in list {
+            match merged.last_mut() {
+                Some(&mut (ps, pd, ref mut pw)) if ps == s && pd == d => *pw += w,
+                _ => merged.push((s, d, w)),
+            }
+        }
+        Self::from_sorted_dedup_edges(num_vertices, merged)
+    }
+
+    /// Builds a graph from unweighted arcs (each occurrence contributes
+    /// weight 1; repeats accumulate).
+    pub fn from_unweighted_edges<I>(num_vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (Vertex, Vertex)>,
+    {
+        Self::from_edges(num_vertices, edges.into_iter().map(|(s, d)| (s, d, 1)))
+    }
+
+    fn from_sorted_dedup_edges(num_vertices: usize, merged: Vec<(Vertex, Vertex, Weight)>) -> Self {
+        let n = num_vertices;
+        let mut out_counts = vec![0usize; n];
+        let mut in_counts = vec![0usize; n];
+        let mut out_degree = vec![0 as Weight; n];
+        let mut in_degree = vec![0 as Weight; n];
+        let mut total = 0 as Weight;
+        for &(s, d, w) in &merged {
+            out_counts[s as usize] += 1;
+            in_counts[d as usize] += 1;
+            out_degree[s as usize] += w;
+            in_degree[d as usize] += w;
+            total += w;
+        }
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        out_offsets.push(0);
+        for c in &out_counts {
+            acc += c;
+            out_offsets.push(acc);
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        acc = 0;
+        in_offsets.push(0);
+        for c in &in_counts {
+            acc += c;
+            in_offsets.push(acc);
+        }
+        // Forward adjacency: `merged` is already sorted by (src, dst).
+        let out_adj: Vec<(Vertex, Weight)> = merged.iter().map(|&(_, d, w)| (d, w)).collect();
+        // Reverse adjacency by counting sort on dst; sources arrive in
+        // ascending order because `merged` is sorted by (src, dst), so each
+        // in-list ends up sorted by source id.
+        let mut in_adj = vec![(0 as Vertex, 0 as Weight); merged.len()];
+        let mut cursor = in_offsets.clone();
+        for &(s, d, w) in &merged {
+            let slot = cursor[d as usize];
+            in_adj[slot] = (s, w);
+            cursor[d as usize] += 1;
+        }
+        let g = Graph {
+            num_vertices: n,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            out_degree,
+            in_degree,
+            total_edge_weight: total,
+        };
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of distinct arcs (merged parallel edges count once).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Total edge weight `E` — the paper's edge count (parallel edges
+    /// contribute their multiplicity).
+    #[inline]
+    pub fn total_edge_weight(&self) -> Weight {
+        self.total_edge_weight
+    }
+
+    /// Out-edges of `v` as `(target, weight)` pairs, sorted by target.
+    #[inline]
+    pub fn out_edges(&self, v: Vertex) -> &[(Vertex, Weight)] {
+        &self.out_adj[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-edges of `v` as `(source, weight)` pairs, sorted by source.
+    #[inline]
+    pub fn in_edges(&self, v: Vertex) -> &[(Vertex, Weight)] {
+        &self.in_adj[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Weighted out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: Vertex) -> Weight {
+        self.out_degree[v as usize]
+    }
+
+    /// Weighted in-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: Vertex) -> Weight {
+        self.in_degree[v as usize]
+    }
+
+    /// Weighted total degree of `v` (out + in; a self-loop counts twice,
+    /// consistent with the DCSBM degree convention).
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> Weight {
+        self.out_degree[v as usize] + self.in_degree[v as usize]
+    }
+
+    /// Iterator over all arcs as `(src, dst, weight)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (Vertex, Vertex, Weight)> + '_ {
+        (0..self.num_vertices as Vertex)
+            .flat_map(move |v| self.out_edges(v).iter().map(move |&(d, w)| (v, d, w)))
+    }
+
+    /// Vertices sorted by descending total degree (ties by ascending id).
+    /// Used by the sorted-degree load-balancing scheme (paper §III-B) and
+    /// the hybrid MCMC high/low-degree split.
+    pub fn vertices_by_degree_desc(&self) -> Vec<Vertex> {
+        let mut vs: Vec<Vertex> = (0..self.num_vertices as Vertex).collect();
+        vs.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        vs
+    }
+
+    /// Checks every structural invariant; returns a description of the first
+    /// violation. Intended for tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices;
+        if self.out_offsets.len() != n + 1 || self.in_offsets.len() != n + 1 {
+            return Err("offset array length mismatch".into());
+        }
+        let mut total = 0 as Weight;
+        for v in 0..n as Vertex {
+            let oe = self.out_edges(v);
+            for win in oe.windows(2) {
+                if win[0].0 >= win[1].0 {
+                    return Err(format!("out-adjacency of {v} not sorted/deduped"));
+                }
+            }
+            let deg: Weight = oe.iter().map(|&(_, w)| w).sum();
+            if deg != self.out_degree[v as usize] {
+                return Err(format!("out-degree mismatch at {v}"));
+            }
+            if oe.iter().any(|&(_, w)| w <= 0) {
+                return Err(format!("non-positive weight out of {v}"));
+            }
+            total += deg;
+            let ie = self.in_edges(v);
+            for win in ie.windows(2) {
+                if win[0].0 >= win[1].0 {
+                    return Err(format!("in-adjacency of {v} not sorted/deduped"));
+                }
+            }
+            let ideg: Weight = ie.iter().map(|&(_, w)| w).sum();
+            if ideg != self.in_degree[v as usize] {
+                return Err(format!("in-degree mismatch at {v}"));
+            }
+        }
+        if total != self.total_edge_weight {
+            return Err("total edge weight mismatch".into());
+        }
+        // Transpose consistency.
+        for v in 0..n as Vertex {
+            for &(d, w) in self.out_edges(v) {
+                let found = self
+                    .in_edges(d)
+                    .binary_search_by_key(&v, |&(s, _)| s)
+                    .ok()
+                    .map(|i| self.in_edges(d)[i].1);
+                if found != Some(w) {
+                    return Err(format!("arc ({v},{d}) missing/mismatched in transpose"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)])
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.total_edge_weight(), 6);
+        assert_eq!(g.out_edges(0), &[(1, 1)]);
+        assert_eq!(g.in_edges(0), &[(2, 3)]);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.degree(1), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = Graph::from_edges(2, vec![(0, 1, 1), (0, 1, 4), (1, 0, 2)]);
+        assert_eq!(g.num_arcs(), 2);
+        assert_eq!(g.out_edges(0), &[(1, 5)]);
+        assert_eq!(g.total_edge_weight(), 7);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unweighted_edges_accumulate() {
+        let g = Graph::from_unweighted_edges(2, vec![(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.out_edges(0), &[(1, 3)]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let g = Graph::from_edges(1, vec![(0, 0, 2)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 2);
+        assert_eq!(g.degree(0), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(5, Vec::new());
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.total_edge_weight(), 0);
+        assert!(g.out_edges(3).is_empty());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::from_edges(0, Vec::new());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.arcs().count(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, vec![(0, 2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive weight")]
+    fn zero_weight_panics() {
+        Graph::from_edges(2, vec![(0, 1, 0)]);
+    }
+
+    #[test]
+    fn arcs_iterator_matches_adjacency() {
+        let g = triangle();
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+    }
+
+    #[test]
+    fn degree_sort_is_descending_with_stable_ties() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1), (1, 0, 1), (2, 3, 5), (3, 2, 5)]);
+        // degrees: v0=2, v1=2, v2=10, v3=10
+        assert_eq!(g.vertices_by_degree_desc(), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn in_adjacency_sorted_by_source() {
+        let g = Graph::from_edges(4, vec![(3, 0, 1), (1, 0, 1), (2, 0, 1)]);
+        assert_eq!(g.in_edges(0), &[(1, 1), (2, 1), (3, 1)]);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! # sbp-graph — graph substrate for stochastic block partitioning
+//!
+//! This crate provides the directed, integer-weighted graph representation
+//! used by every other crate in the EDiSt reproduction:
+//!
+//! * [`Graph`] — an immutable CSR (compressed sparse row) structure holding
+//!   both the forward (out-edge) and reverse (in-edge) adjacency, with
+//!   weighted degrees precomputed. Parallel edges are merged into integer
+//!   weights at construction, matching the micro-canonical edge-count
+//!   semantics of the degree-corrected stochastic blockmodel.
+//! * [`GraphBuilder`] — incremental construction from arbitrary edge streams.
+//! * [`io`] — plain edge-list and Matrix Market (SuiteSparse) readers and
+//!   writers, so the real SNAP/SuiteSparse graphs evaluated in the paper can
+//!   be dropped in when available.
+//! * [`subgraph`] — induced subgraphs with old↔new vertex maps, and the
+//!   round-robin vertex distribution used by divide-and-conquer SBP.
+//! * [`islands`] — the island-vertex census used in Fig. 2 of the paper:
+//!   vertices that lose every incident edge under a given data distribution.
+//!
+//! Vertex ids are `u32` (graphs up to ~4.2 B vertices) and edge weights are
+//! `i64`, because blockmodel matrix entries — sums of many edge weights —
+//! must not overflow during delta computations.
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod islands;
+pub mod subgraph;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use islands::{island_count, island_fraction_round_robin, IslandReport};
+pub use subgraph::{induced_subgraph, round_robin_parts, InducedSubgraph};
+
+/// Vertex identifier type used across the workspace.
+pub type Vertex = u32;
+/// Edge-weight / edge-count type used across the workspace.
+pub type Weight = i64;

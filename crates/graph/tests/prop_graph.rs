@@ -1,0 +1,83 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sbp_graph::io::{parse_edge_list, parse_matrix_market, write_edge_list, write_matrix_market};
+use sbp_graph::{induced_subgraph, island_fraction_round_robin, round_robin_parts, Graph};
+
+/// Strategy producing a vertex count and an arbitrary (possibly duplicated)
+/// weighted edge list over it.
+fn arb_graph_input() -> impl Strategy<Value = (usize, Vec<(u32, u32, i64)>)> {
+    (1usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 1i64..5);
+        (Just(n), proptest::collection::vec(edge, 0..120))
+    })
+}
+
+proptest! {
+    #[test]
+    fn construction_preserves_total_weight((n, edges) in arb_graph_input()) {
+        let total: i64 = edges.iter().map(|&(_, _, w)| w).sum();
+        let g = Graph::from_edges(n, edges);
+        prop_assert_eq!(g.total_edge_weight(), total);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degrees_sum_to_total((n, edges) in arb_graph_input()) {
+        let g = Graph::from_edges(n, edges);
+        let out_sum: i64 = (0..n as u32).map(|v| g.out_degree(v)).sum();
+        let in_sum: i64 = (0..n as u32).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.total_edge_weight());
+        prop_assert_eq!(in_sum, g.total_edge_weight());
+    }
+
+    #[test]
+    fn edge_list_roundtrip((n, edges) in arb_graph_input()) {
+        let g = Graph::from_edges(n, edges);
+        let g2 = parse_edge_list(&write_edge_list(&g), g.num_vertices()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn matrix_market_roundtrip((n, edges) in arb_graph_input()) {
+        let g = Graph::from_edges(n, edges);
+        if g.num_arcs() > 0 {
+            let g2 = parse_matrix_market(&write_matrix_market(&g)).unwrap();
+            prop_assert_eq!(g, g2);
+        }
+    }
+
+    #[test]
+    fn round_robin_parts_partition_vertices(n in 1usize..60, k in 1usize..10) {
+        let parts = round_robin_parts(n, k);
+        let mut all: Vec<u32> = parts.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn island_census_matches_materialization((n, edges) in arb_graph_input(), k in 1usize..6) {
+        let g = Graph::from_edges(n, edges);
+        let rep = island_fraction_round_robin(&g, k);
+        let mut expected = 0usize;
+        for part in round_robin_parts(n, k) {
+            let sub = induced_subgraph(&g, &part);
+            expected += (0..sub.graph.num_vertices() as u32)
+                .filter(|&v| sub.graph.degree(v) == 0)
+                .count();
+        }
+        prop_assert_eq!(rep.islands, expected);
+    }
+
+    #[test]
+    fn subgraph_degree_never_exceeds_parent((n, edges) in arb_graph_input(), k in 1usize..4) {
+        let g = Graph::from_edges(n, edges);
+        for part in round_robin_parts(n, k) {
+            let sub = induced_subgraph(&g, &part);
+            for local in 0..sub.graph.num_vertices() as u32 {
+                let global = sub.to_global(local);
+                prop_assert!(sub.graph.degree(local) <= g.degree(global));
+            }
+        }
+    }
+}

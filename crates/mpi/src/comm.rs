@@ -1,0 +1,156 @@
+//! The communicator abstraction and the trivial single-rank implementation.
+
+use std::cell::Cell;
+
+/// Communication statistics accumulated by a rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Collectives this rank participated in.
+    pub collectives: u64,
+    /// Payload bytes this rank contributed.
+    pub bytes_sent: u64,
+    /// Payload bytes this rank received from peers.
+    pub bytes_received: u64,
+}
+
+/// MPI-style communicator. The distributed algorithms in `sbp-dist` are
+/// written against this trait only, so they run identically on the trivial
+/// single-rank communicator, the in-process thread cluster, or (in
+/// principle) real MPI bindings.
+///
+/// All collectives are *matched by call order* across ranks, exactly like
+/// MPI: every rank must invoke the same sequence of collectives.
+pub trait Communicator {
+    /// This rank's id, `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// `MPI_Allgatherv`: every rank contributes `local`; every rank
+    /// receives all contributions, indexed by rank.
+    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
+
+    /// `MPI_Gatherv`: contributions travel to `root`, which receives
+    /// `Some(all)`; other ranks receive `None`.
+    fn gatherv<T: Clone + Send + 'static>(&self, root: usize, local: Vec<T>)
+        -> Option<Vec<Vec<T>>>;
+
+    /// `MPI_Bcast`: `root` supplies `Some(data)`; every rank returns the
+    /// root's value. Non-root ranks pass `None`.
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T;
+
+    /// Synchronization barrier (also synchronizes virtual clocks).
+    fn barrier(&self);
+
+    /// Current virtual-clock reading in seconds: accumulated thread CPU
+    /// time plus modeled communication costs (see crate docs).
+    fn virtual_time(&self) -> f64;
+
+    /// Communication statistics so far.
+    fn stats(&self) -> CommStats;
+}
+
+/// The single-rank communicator: all collectives are identities and the
+/// virtual clock is plain thread CPU time. This is the "shared memory
+/// baseline" configuration of the paper's figures.
+pub struct SelfComm {
+    start_cpu: f64,
+    stats: Cell<CommStats>,
+}
+
+impl SelfComm {
+    /// Creates a single-rank communicator; the virtual clock starts now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        SelfComm {
+            start_cpu: crate::cputime::thread_cpu_time(),
+            stats: Cell::new(CommStats::default()),
+        }
+    }
+
+    fn bump(&self) {
+        let mut s = self.stats.get();
+        s.collectives += 1;
+        self.stats.set(s);
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+        self.bump();
+        vec![local]
+    }
+
+    fn gatherv<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        local: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        assert_eq!(root, 0, "single-rank communicator only has rank 0");
+        self.bump();
+        Some(vec![local])
+    }
+
+    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T {
+        assert_eq!(root, 0, "single-rank communicator only has rank 0");
+        self.bump();
+        data.expect("broadcast root must supply data")
+    }
+
+    fn barrier(&self) {
+        self.bump();
+    }
+
+    fn virtual_time(&self) -> f64 {
+        crate::cputime::thread_cpu_time() - self.start_cpu
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selfcomm_identity_collectives() {
+        let c = SelfComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.allgatherv(vec![1, 2, 3]), vec![vec![1, 2, 3]]);
+        assert_eq!(c.gatherv(0, vec![9]), Some(vec![vec![9]]));
+        assert_eq!(c.broadcast(0, Some(42)), 42);
+        c.barrier();
+        assert_eq!(c.stats().collectives, 4);
+    }
+
+    #[test]
+    fn selfcomm_clock_advances_with_work() {
+        let c = SelfComm::new();
+        let t0 = c.virtual_time();
+        let mut x = 0u64;
+        for i in 0..3_000_000u64 {
+            x = x.wrapping_add(i ^ (i << 3));
+        }
+        std::hint::black_box(x);
+        assert!(c.virtual_time() > t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0")]
+    fn selfcomm_rejects_nonzero_root() {
+        let c = SelfComm::new();
+        c.gatherv::<u8>(1, vec![]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The end-to-end sampling pipeline: sample → SBP on the sample → extend →
+//! optional fine-tuning sweeps on the full graph.
+
+use crate::extend::extend_partition;
+use crate::strategies::{sample_vertices, SamplingStrategy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbp_core::mcmc::mh_sweep;
+use sbp_core::{sbp, Blockmodel, SbpConfig};
+use sbp_graph::{induced_subgraph, Graph, Vertex};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct SamplePipelineConfig {
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+    /// Fraction of vertices to sample, in `(0, 1]`.
+    pub fraction: f64,
+    /// SBP hyper-parameters for the sample run.
+    pub sbp: SbpConfig,
+    /// Full-graph Metropolis–Hastings sweeps applied after extension to
+    /// repair propagation mistakes (the HPEC'19 pipeline fine-tunes the
+    /// extended partition the same way).
+    pub finetune_sweeps: usize,
+}
+
+impl Default for SamplePipelineConfig {
+    fn default() -> Self {
+        SamplePipelineConfig {
+            strategy: SamplingStrategy::ExpansionSnowball,
+            fraction: 0.5,
+            sbp: SbpConfig::default(),
+            finetune_sweeps: 3,
+        }
+    }
+}
+
+/// Pipeline output.
+#[derive(Clone, Debug)]
+pub struct SamplePipelineResult {
+    /// Full-graph block assignment.
+    pub assignment: Vec<u32>,
+    /// Number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the final full-graph partition.
+    pub description_length: f64,
+    /// Vertices actually sampled.
+    pub sampled_vertices: usize,
+}
+
+/// Runs the sample → infer → extend → fine-tune pipeline.
+///
+/// # Panics
+/// Panics when `fraction` is outside `(0, 1]`.
+pub fn sample_partition_extend(
+    graph: &Graph,
+    cfg: &SamplePipelineConfig,
+) -> SamplePipelineResult {
+    assert!(
+        cfg.fraction > 0.0 && cfg.fraction <= 1.0,
+        "sampling fraction must be in (0, 1]"
+    );
+    let n = graph.num_vertices();
+    if n == 0 {
+        return SamplePipelineResult {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            description_length: 0.0,
+            sampled_vertices: 0,
+        };
+    }
+    let target = ((n as f64) * cfg.fraction).round().max(1.0) as usize;
+    let sampled = sample_vertices(graph, cfg.strategy, target, cfg.sbp.seed ^ 0x5A11_CE);
+    let sub = induced_subgraph(graph, &sampled);
+
+    // Infer on the sample.
+    let sample_result = sbp(&sub.graph, &cfg.sbp);
+
+    // Map the sample's labels back to global vertex ids and extend.
+    let global_labels: Vec<u32> = sample_result.assignment.clone();
+    let assignment = extend_partition(graph, &sampled, &global_labels);
+
+    // Rebuild the blockmodel on the full graph and optionally fine-tune.
+    let num_blocks = sample_result.num_blocks.max(1);
+    let mut bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
+    if cfg.finetune_sweeps > 0 {
+        let vertices: Vec<Vertex> = (0..n as Vertex).collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.sbp.seed ^ 0xF1E7);
+        for _ in 0..cfg.finetune_sweeps {
+            mh_sweep(graph, &mut bm, &vertices, cfg.sbp.beta, &mut rng);
+        }
+    }
+    SamplePipelineResult {
+        assignment: bm.assignment().to_vec(),
+        num_blocks: bm.num_blocks(),
+        description_length: bm.description_length(),
+        sampled_vertices: sampled.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_eval::nmi;
+    use sbp_gen::{generate, SbmParams};
+
+    fn planted() -> (Graph, Vec<u32>) {
+        let pg = generate(&SbmParams {
+            num_vertices: 400,
+            num_communities: 4,
+            intra_fraction: 0.85,
+            dirichlet_alpha: 10.0,
+            ..SbmParams::example()
+        });
+        (pg.graph.clone(), pg.ground_truth)
+    }
+
+    #[test]
+    fn half_sample_recovers_planted_partition() {
+        let (g, truth) = planted();
+        let cfg = SamplePipelineConfig {
+            fraction: 0.5,
+            sbp: SbpConfig {
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = sample_partition_extend(&g, &cfg);
+        assert_eq!(res.assignment.len(), 400);
+        assert_eq!(res.sampled_vertices, 200);
+        let score = nmi(&res.assignment, &truth);
+        assert!(score > 0.8, "sampled pipeline NMI {score} too low");
+    }
+
+    #[test]
+    fn all_strategies_complete_the_pipeline() {
+        let (g, _) = planted();
+        for strategy in [
+            SamplingStrategy::UniformNode,
+            SamplingStrategy::DegreeWeightedNode,
+            SamplingStrategy::RandomEdge,
+            SamplingStrategy::ForestFire {
+                burn_probability_pct: 60,
+            },
+            SamplingStrategy::ExpansionSnowball,
+        ] {
+            let cfg = SamplePipelineConfig {
+                strategy,
+                fraction: 0.4,
+                sbp: SbpConfig {
+                    seed: 5,
+                    ..Default::default()
+                },
+                finetune_sweeps: 1,
+            };
+            let res = sample_partition_extend(&g, &cfg);
+            assert_eq!(res.assignment.len(), 400, "{strategy:?}");
+            assert!(res.num_blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn fraction_one_is_plain_sbp_quality() {
+        let (g, truth) = planted();
+        let cfg = SamplePipelineConfig {
+            fraction: 1.0,
+            finetune_sweeps: 0,
+            sbp: SbpConfig {
+                seed: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = sample_partition_extend(&g, &cfg);
+        assert!(nmi(&res.assignment, &truth) > 0.9);
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let g = Graph::from_edges(0, Vec::new());
+        let res = sample_partition_extend(&g, &SamplePipelineConfig::default());
+        assert_eq!(res.num_blocks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let g = Graph::from_edges(2, vec![(0, 1, 1)]);
+        sample_partition_extend(
+            &g,
+            &SamplePipelineConfig {
+                fraction: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for sampling and extension.
+
+use proptest::prelude::*;
+use sbp_graph::Graph;
+use sbp_sample::{extend_partition, sample_vertices, SamplingStrategy};
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, i64)>)> {
+    (3usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1i64..4), 0..100);
+        (Just(n), edges)
+    })
+}
+
+fn strategies() -> Vec<SamplingStrategy> {
+    vec![
+        SamplingStrategy::UniformNode,
+        SamplingStrategy::DegreeWeightedNode,
+        SamplingStrategy::RandomEdge,
+        SamplingStrategy::ForestFire {
+            burn_probability_pct: 50,
+        },
+        SamplingStrategy::ExpansionSnowball,
+    ]
+}
+
+proptest! {
+    /// Every strategy returns exactly the requested number of distinct,
+    /// in-range vertices on any graph, including edgeless and disconnected
+    /// ones.
+    #[test]
+    fn samples_are_exact_and_valid((n, edges) in arb_graph(), seed in 0u64..200) {
+        let g = Graph::from_edges(n, edges);
+        for strat in strategies() {
+            let target = 1 + (seed as usize % n);
+            let s = sample_vertices(&g, strat, target, seed);
+            prop_assert_eq!(s.len(), target, "{:?}", strat);
+            let mut d = s.clone();
+            d.dedup();
+            prop_assert_eq!(d.len(), s.len(), "{:?} duplicated", strat);
+            prop_assert!(s.iter().all(|&v| (v as usize) < n));
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "{:?} unsorted", strat);
+        }
+    }
+
+    /// Samplers are deterministic in the seed.
+    #[test]
+    fn samples_deterministic((n, edges) in arb_graph(), seed in 0u64..200) {
+        let g = Graph::from_edges(n, edges);
+        for strat in strategies() {
+            let a = sample_vertices(&g, strat, n / 2 + 1, seed);
+            let b = sample_vertices(&g, strat, n / 2 + 1, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Extension always produces a full labeling that preserves the
+    /// sampled labels exactly.
+    #[test]
+    fn extension_preserves_sample_labels(
+        (n, edges) in arb_graph(),
+        seed in 0u64..200,
+        labels in proptest::collection::vec(0u32..4, 40),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let sampled = sample_vertices(&g, SamplingStrategy::UniformNode, n / 2 + 1, seed);
+        let sample_labels: Vec<u32> = sampled
+            .iter()
+            .enumerate()
+            .map(|(i, _)| labels[i % labels.len()])
+            .collect();
+        let full = extend_partition(&g, &sampled, &sample_labels);
+        prop_assert_eq!(full.len(), n);
+        for (i, &v) in sampled.iter().enumerate() {
+            prop_assert_eq!(full[v as usize], sample_labels[i], "sample label changed");
+        }
+        // Every assigned label must come from the sample's label set.
+        let label_set: std::collections::HashSet<u32> =
+            sample_labels.iter().copied().collect();
+        prop_assert!(full.iter().all(|l| label_set.contains(l)));
+    }
+}

@@ -1,0 +1,62 @@
+//! The island-vertex mechanism behind DC-SBP's failure (paper Fig. 2):
+//! round-robin data distribution cuts edges; on sparse graphs most
+//! vertices lose *every* edge and become uninformative islands.
+//!
+//! ```text
+//! cargo run --release --example island_study
+//! ```
+
+use edist::prelude::*;
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>8} | island fraction at n = 2, 4, 8, 16, 32, 64",
+        "graph", "V", "E"
+    );
+    for spec in ParamStudySpec::all() {
+        let planted = param_study(spec, 0.05, 21);
+        let g = &planted.graph;
+        let fractions: Vec<String> = [2usize, 4, 8, 16, 32, 64]
+            .iter()
+            .map(|&n| format!("{:>5.2}", island_fraction_round_robin(g, n).fraction()))
+            .collect();
+        println!(
+            "{:<10} {:>8} {:>8} | {}",
+            spec.id(),
+            g.num_vertices(),
+            g.total_edge_weight(),
+            fractions.join(" ")
+        );
+    }
+
+    println!(
+        "\nReading the table: the min-degree-truncated graphs (T***) stay near \
+         zero islands until high rank counts; the min-degree-1 graphs (F***) \
+         exceed the paper's ~20% collapse threshold almost immediately. \
+         Compare with Table VII: DC-SBP NMI goes to zero exactly where these \
+         fractions blow up."
+    );
+
+    // Show the same effect on one concrete subgraph.
+    let planted = param_study(
+        ParamStudySpec {
+            truncate_min: false,
+            truncate_max: false,
+            duplicated: false,
+            communities_base: 33,
+        },
+        0.05,
+        21,
+    );
+    let parts = round_robin_parts(planted.graph.num_vertices(), 8);
+    let sub = induced_subgraph(&planted.graph, &parts[0]);
+    let isolated = (0..sub.graph.num_vertices() as u32)
+        .filter(|&v| sub.graph.degree(v) == 0)
+        .count();
+    println!(
+        "\nconcrete example: rank 0 of 8 on FFF33 receives {} vertices, {} edges, {} islands",
+        sub.graph.num_vertices(),
+        sub.graph.total_edge_weight(),
+        isolated
+    );
+}

@@ -1,0 +1,455 @@
+//! `edist-cli` — command-line interface to the EDiSt stack.
+//!
+//! ```text
+//! edist-cli generate  --family challenge|param|scaling|realworld --out g.mtx [--truth t.txt]
+//!                     [--vertices N] [--id TTT33|1M|Amazon|...] [--difficulty easy|hard]
+//!                     [--scale F] [--seed N]
+//! edist-cli partition --graph g.mtx --algo sbp|edist|dcsbp [--ranks N] [--seed N]
+//!                     [--out assignment.txt]
+//! edist-cli sample    --graph g.mtx --fraction F [--strategy uniform|degree|edge|fire|snowball]
+//!                     [--seed N] [--out assignment.txt]
+//! edist-cli evaluate  --pred a.txt --truth b.txt
+//! edist-cli islands   --graph g.mtx --ranks 1,2,4,8
+//! edist-cli stats     --graph g.mtx
+//! ```
+//!
+//! Graphs load by extension: `.mtx` = Matrix Market, anything else =
+//! `src dst [weight]` edge list. Assignments are one label per line.
+
+use edist::dist::{dcsbp, edist as edist_run};
+use edist::graph::io::load_graph;
+use edist::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `edist-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "partition" => cmd_partition(&args),
+        "sample" => cmd_sample(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "islands" => cmd_islands(&args),
+        "stats" => cmd_stats(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+const HELP: &str = "edist-cli — exact distributed stochastic block partitioning
+
+subcommands:
+  generate   synthesize a dataset-family graph (writes .mtx/.txt + truth)
+  partition  infer communities with sbp | edist | dcsbp
+  sample     sampling-based inference (sample -> SBP -> extend)
+  evaluate   score a predicted labeling against ground truth
+  islands    island-vertex census under round-robin distribution
+  stats      basic graph statistics
+  help       this message";
+
+/// Minimal `--key value` argument map (flags must all take values).
+struct Args {
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { map })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+        }
+    }
+}
+
+fn load(args: &Args) -> Result<Graph, String> {
+    let path = args.require("graph")?;
+    load_graph(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn write_assignment(path: Option<&str>, assignment: &[u32]) -> Result<(), String> {
+    let text: String = assignment
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    match path {
+        Some(p) => std::fs::write(p, text).map_err(|e| format!("writing {p}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn read_assignment(path: &str) -> Result<Vec<u32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad label '{l}' in {path}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let family = args.get("family").unwrap_or("challenge");
+    let seed: u64 = args.num("seed", 42u64)?;
+    let scale: f64 = args.num("scale", 0.05f64)?;
+    let planted = match family {
+        "challenge" => {
+            let v: usize = args.num("vertices", 2000usize)?;
+            let difficulty = match args.get("difficulty").unwrap_or("hard") {
+                "easy" => Difficulty::Easy,
+                "hard" => Difficulty::Hard,
+                other => return Err(format!("unknown difficulty '{other}'")),
+            };
+            graph_challenge(v, difficulty, seed)
+        }
+        "param" => {
+            let id = args.get("id").unwrap_or("TTT33");
+            let spec = ParamStudySpec::all()
+                .into_iter()
+                .find(|s| s.id() == id)
+                .ok_or_else(|| format!("unknown param-study id '{id}'"))?;
+            param_study(spec, scale, seed)
+        }
+        "scaling" => {
+            let id = args.get("id").unwrap_or("1M");
+            let which = ScalingGraph::all()
+                .into_iter()
+                .find(|w| w.id() == id)
+                .ok_or_else(|| format!("unknown scaling graph '{id}'"))?;
+            scaling_graph(which, scale, seed)
+        }
+        "realworld" => {
+            let id = args.get("id").unwrap_or("Amazon");
+            let which = RealWorldStandIn::all()
+                .into_iter()
+                .find(|w| w.id() == id)
+                .ok_or_else(|| format!("unknown real-world stand-in '{id}'"))?;
+            realworld(which, scale, seed)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    let out = args.require("out")?;
+    edist::graph::io::save_graph(&planted.graph, Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: V={} E={} C={}",
+        planted.graph.num_vertices(),
+        planted.graph.total_edge_weight(),
+        planted.num_nonempty_communities()
+    );
+    if let Some(tp) = args.get("truth") {
+        write_assignment(Some(tp), &planted.ground_truth)?;
+        eprintln!("wrote ground truth to {tp}");
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let graph = Arc::new(load(args)?);
+    let algo = args.get("algo").unwrap_or("sbp");
+    let ranks: usize = args.num("ranks", 4usize)?;
+    let seed: u64 = args.num("seed", 0u64)?;
+    let cfg = SbpConfig {
+        seed,
+        ..SbpConfig::default()
+    };
+    let (assignment, num_blocks, dl) = match algo {
+        "sbp" => {
+            let r = sbp(&graph, &cfg);
+            (r.assignment, r.num_blocks, r.description_length)
+        }
+        "edist" => {
+            let ecfg = EdistConfig {
+                sbp: cfg,
+                ..EdistConfig::default()
+            };
+            let out = ThreadCluster::run(ranks.max(1), CostModel::hdr100(), |comm| {
+                edist_run(comm, &graph, &ecfg)
+            });
+            eprintln!("simulated runtime: {:.3}s", out.makespan());
+            let r = out.ranks.into_iter().next().expect("rank 0").result;
+            (r.assignment, r.num_blocks, r.description_length)
+        }
+        "dcsbp" => {
+            let dcfg = DcsbpConfig {
+                sbp: cfg,
+                ..DcsbpConfig::default()
+            };
+            let out = ThreadCluster::run(ranks.max(1), CostModel::hdr100(), |comm| {
+                dcsbp(comm, &graph, &dcfg)
+            });
+            eprintln!("simulated runtime: {:.3}s", out.makespan());
+            let r = out.ranks.into_iter().next().expect("rank 0").result;
+            (r.assignment, r.num_blocks, r.description_length)
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    eprintln!(
+        "blocks: {num_blocks}  DL: {dl:.2}  DL_norm: {:.4}",
+        normalized_dl(dl, graph.num_vertices(), graph.total_edge_weight())
+    );
+    write_assignment(args.get("out"), &assignment)
+}
+
+fn cmd_sample(args: &Args) -> Result<(), String> {
+    let graph = load(args)?;
+    let fraction: f64 = args.num("fraction", 0.5f64)?;
+    let seed: u64 = args.num("seed", 0u64)?;
+    let strategy = match args.get("strategy").unwrap_or("snowball") {
+        "uniform" => SamplingStrategy::UniformNode,
+        "degree" => SamplingStrategy::DegreeWeightedNode,
+        "edge" => SamplingStrategy::RandomEdge,
+        "fire" => SamplingStrategy::ForestFire {
+            burn_probability_pct: 70,
+        },
+        "snowball" => SamplingStrategy::ExpansionSnowball,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let cfg = SamplePipelineConfig {
+        strategy,
+        fraction,
+        sbp: SbpConfig {
+            seed,
+            ..SbpConfig::default()
+        },
+        ..SamplePipelineConfig::default()
+    };
+    let res = sample_partition_extend(&graph, &cfg);
+    eprintln!(
+        "sampled {} of {} vertices; blocks: {}  DL: {:.2}",
+        res.sampled_vertices,
+        graph.num_vertices(),
+        res.num_blocks,
+        res.description_length
+    );
+    write_assignment(args.get("out"), &res.assignment)
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let pred = read_assignment(args.require("pred")?)?;
+    let truth = read_assignment(args.require("truth")?)?;
+    if pred.len() != truth.len() {
+        return Err(format!(
+            "length mismatch: {} predictions vs {} truth labels",
+            pred.len(),
+            truth.len()
+        ));
+    }
+    println!("NMI: {:.4}", nmi(&pred, &truth));
+    println!("ARI: {:.4}", adjusted_rand_index(&pred, &truth));
+    let pr = edist::eval::pairwise::pairwise_scores(&pred, &truth);
+    println!(
+        "pairwise precision: {:.4}  recall: {:.4}  F1: {:.4}",
+        pr.precision, pr.recall, pr.f1
+    );
+    Ok(())
+}
+
+fn cmd_islands(args: &Args) -> Result<(), String> {
+    let graph = load(args)?;
+    let ranks_spec = args.get("ranks").unwrap_or("1,2,4,8,16,32,64");
+    println!("{:>8} {:>10} {:>10}", "ranks", "islands", "fraction");
+    for tok in ranks_spec.split(',') {
+        let n: usize = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rank count '{tok}'"))?;
+        let rep = island_fraction_round_robin(&graph, n.max(1));
+        println!(
+            "{:>8} {:>10} {:>10.4}",
+            n,
+            rep.islands,
+            rep.fraction()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let g = load(args)?;
+    let n = g.num_vertices();
+    let mut degs: Vec<i64> = (0..n as u32).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let quantile = |q: f64| -> i64 {
+        if degs.is_empty() {
+            0
+        } else {
+            degs[((degs.len() - 1) as f64 * q) as usize]
+        }
+    };
+    println!("vertices:        {n}");
+    println!("arcs:            {}", g.num_arcs());
+    println!("total weight:    {}", g.total_edge_weight());
+    println!(
+        "avg out-degree:  {:.2}",
+        g.total_edge_weight() as f64 / n.max(1) as f64
+    );
+    println!("degree p50/p90/p99/max: {}/{}/{}/{}",
+        quantile(0.5), quantile(0.9), quantile(0.99), degs.last().copied().unwrap_or(0));
+    println!(
+        "isolated:        {}",
+        (0..n as u32).filter(|&v| g.degree(v) == 0).count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_pairs() {
+        let a = Args::parse(&argv(&["--x", "1", "--name", "foo"])).unwrap();
+        assert_eq!(a.get("x"), Some("1"));
+        assert_eq!(a.require("name").unwrap(), "foo");
+        assert_eq!(a.num::<u32>("x", 0).unwrap(), 1);
+        assert_eq!(a.num::<u32>("missing", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn args_reject_bad_shapes() {
+        assert!(Args::parse(&argv(&["positional"])).is_err());
+        assert!(Args::parse(&argv(&["--dangling"])).is_err());
+        let a = Args::parse(&argv(&["--x", "abc"])).unwrap();
+        assert!(a.num::<u32>("x", 0).is_err());
+        assert!(a.require("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+        assert!(run(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn generate_partition_evaluate_roundtrip() {
+        let dir = std::env::temp_dir();
+        let gpath = dir.join("edist_cli_test.mtx");
+        let tpath = dir.join("edist_cli_truth.txt");
+        let apath = dir.join("edist_cli_assign.txt");
+        run(&argv(&[
+            "generate",
+            "--family",
+            "challenge",
+            "--vertices",
+            "300",
+            "--difficulty",
+            "easy",
+            "--out",
+            gpath.to_str().unwrap(),
+            "--truth",
+            tpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "partition",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--algo",
+            "edist",
+            "--ranks",
+            "2",
+            "--out",
+            apath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "evaluate",
+            "--pred",
+            apath.to_str().unwrap(),
+            "--truth",
+            tpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["islands", "--graph", gpath.to_str().unwrap(), "--ranks", "1,4"])).unwrap();
+        run(&argv(&["stats", "--graph", gpath.to_str().unwrap()])).unwrap();
+        for p in [&gpath, &tpath, &apath] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn sample_subcommand_works() {
+        let dir = std::env::temp_dir();
+        let gpath = dir.join("edist_cli_sample.mtx");
+        run(&argv(&[
+            "generate",
+            "--family",
+            "challenge",
+            "--vertices",
+            "300",
+            "--out",
+            gpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let apath = dir.join("edist_cli_sample_assign.txt");
+        run(&argv(&[
+            "sample",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--fraction",
+            "0.5",
+            "--strategy",
+            "uniform",
+            "--out",
+            apath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let labels = read_assignment(apath.to_str().unwrap()).unwrap();
+        assert_eq!(labels.len(), 300);
+        let _ = std::fs::remove_file(&gpath);
+        let _ = std::fs::remove_file(&apath);
+    }
+}

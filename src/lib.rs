@@ -1,0 +1,92 @@
+//! # edist — Exact Distributed Stochastic Block Partitioning
+//!
+//! A from-scratch Rust reproduction of *“Exact Distributed Stochastic
+//! Block Partitioning”* (Wanye, Gleyzer, Kao, Feng — IEEE CLUSTER 2023,
+//! arXiv:2305.18663): the EDiSt algorithm, the divide-and-conquer DC-SBP
+//! baseline it is evaluated against, and every substrate they need —
+//! graph storage and IO, a DC-SBM graph generator, the DCSBM inference
+//! engine, an in-process MPI-style cluster simulator, and the evaluation
+//! metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edist::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Generate a planted-partition graph (4 communities, easy mixing).
+//! let planted = generate(&SbmParams::example());
+//! let graph = Arc::new(planted.graph.clone());
+//!
+//! // Run EDiSt on 4 simulated MPI ranks.
+//! let cfg = EdistConfig::default();
+//! let (result, report) = run_edist_cluster(&graph, 4, CostModel::hdr100(), &cfg);
+//!
+//! // Community recovery is measured with NMI against the planted truth.
+//! let score = nmi(&result.assignment, &planted.ground_truth);
+//! assert!(score > 0.5);
+//! assert!(report.makespan > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `sbp-graph` | CSR digraph, Matrix Market / edge-list IO, subgraphs, island census |
+//! | [`gen`] | `sbp-gen` | degree-corrected SBM generator + the paper's dataset families |
+//! | [`core`] | `sbp-core` | blockmodel, ΔS kernels, proposals, merges, MCMC, golden-ratio SBP |
+//! | [`mpi`] | `sbp-mpi` | communicator trait, thread cluster, virtual clocks, cost model |
+//! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) |
+//! | [`eval`] | `sbp-eval` | NMI, ARI, normalized description length |
+//!
+//! See `DESIGN.md` for the system inventory and the substitutions made to
+//! run the paper's cluster-scale evaluation on a single machine, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table/figure.
+
+pub use sbp_core as core;
+pub use sbp_dist as dist;
+pub use sbp_eval as eval;
+pub use sbp_gen as gen;
+pub use sbp_graph as graph;
+pub use sbp_mpi as mpi;
+pub use sbp_sample as sample;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sbp_core::{
+        sbp, sbp_from, Blockmodel, GoldenBracket, McmcStrategy, SbpConfig, SbpResult,
+    };
+    // The raw `dcsbp`/`edist` phase functions are available as
+    // `edist::dist::{dcsbp, edist}`; re-exporting them here would make the
+    // names collide with the crate itself under glob imports.
+    pub use sbp_dist::{
+        run_dcsbp_cluster, run_edist_cluster, DcsbpConfig, DcsbpResult, EdistConfig, EdistResult,
+        OwnershipStrategy,
+    };
+    pub use sbp_eval::{adjusted_rand_index, nmi, normalized_dl};
+    pub use sbp_gen::{
+        generate, graph_challenge, param_study, realworld, scaling_graph, Difficulty,
+        ParamStudySpec, PlantedGraph, RealWorldStandIn, SbmParams, ScalingGraph,
+    };
+    pub use sbp_graph::{
+        induced_subgraph, island_fraction_round_robin, round_robin_parts, Graph, GraphBuilder,
+    };
+    pub use sbp_mpi::{Communicator, CostModel, SelfComm, ThreadCluster};
+    pub use sbp_sample::{
+        extend_partition, sample_partition_extend, sample_vertices, SamplePipelineConfig,
+        SamplingStrategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_arc(0, 1).add_arc(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+    }
+}
