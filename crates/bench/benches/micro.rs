@@ -18,7 +18,7 @@ use sbp_core::mcmc::mh_sweep;
 use sbp_core::merge::propose_merges;
 use sbp_core::naive::DenseBlockmodel;
 use sbp_core::propose::propose_for_vertex;
-use sbp_core::{delta_entropy, vertex_move_delta, Blockmodel};
+use sbp_core::{Blockmodel, DeltaScratch, StorageKind};
 use sbp_dist::{balanced_ownership, modulo_ownership};
 use sbp_gen::{param_study, ParamStudySpec};
 use sbp_graph::Graph;
@@ -33,6 +33,8 @@ fn bench_graph() -> (Graph, Vec<u32>, usize) {
         duplicated: true,
         communities_base: 33,
     };
+    // Scale 0.03 matches the seed-era baseline recorded in
+    // BENCH_pr1.json, so before/after rows are directly comparable.
     let pg = param_study(spec, 0.03, 7);
     // A plausible mid-inference state: ~32 blocks from the ground truth
     // labels re-used as a partition.
@@ -54,32 +56,62 @@ fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurem
 }
 
 fn bench_delta(c: &mut Criterion) {
-    // Two regimes: few blocks (late inference — dense rows are tiny and
-    // cache-friendly) and many blocks (early inference, C = V/4 — where
-    // the paper's sparse-delta optimization pays off). Table VI shows the
-    // same crossover at the whole-algorithm level.
+    // Three regimes along the agglomerative trajectory: few blocks (the
+    // late-inference endgame, where the adaptive layer selects the flat
+    // dense matrix), many (C = V/4), and huge (identity partition, C = V,
+    // where Auto's occupancy rule keeps the hash-map representation).
+    // `adaptive_*` is the production path (Auto storage + DeltaScratch),
+    // `hashmap_*` forces the seed's sparse representation through the same
+    // scratch kernel, and `dense_naive_*` is the python-reference O(C)
+    // rescan baseline. Table VI shows the same crossover at the
+    // whole-algorithm level.
     let (graph, truth_assignment, truth_nb) = bench_graph();
     let n = graph.num_vertices();
     let many_nb = (n / 4).max(4);
     let many_assignment: Vec<u32> = (0..n as u32).map(|v| v % many_nb as u32).collect();
+    let identity_assignment: Vec<u32> = (0..n as u32).collect();
     let mut group = quick(c);
     for (label, assignment, nb) in [
         ("fewC", truth_assignment, truth_nb),
         ("manyC", many_assignment, many_nb),
+        ("hugeC", identity_assignment, n),
     ] {
-        let bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
-        let dense = DenseBlockmodel::from_assignment(&graph, assignment, nb);
-        group.bench_function(format!("delta_entropy/sparse_{label}"), |b| {
+        let eval_pairs = |bm: &Blockmodel, scratch: &mut DeltaScratch| {
+            let mut acc = 0.0;
+            for v in (0..n as u32).step_by(37) {
+                let to = (bm.block_of(v) + 1) % nb as u32;
+                scratch.vertex_move_delta(&graph, bm, v, to);
+                acc += scratch.delta_entropy(bm);
+            }
+            acc
+        };
+        let auto = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
+        group.bench_function(format!("delta_entropy/adaptive_{label}"), |b| {
+            let mut scratch = DeltaScratch::new();
+            b.iter(|| black_box(eval_pairs(&auto, &mut scratch)))
+        });
+        let sparse =
+            Blockmodel::from_assignment_with(&graph, assignment.clone(), nb, StorageKind::Sparse);
+        group.bench_function(format!("delta_entropy/hashmap_{label}"), |b| {
+            let mut scratch = DeltaScratch::new();
+            b.iter(|| black_box(eval_pairs(&sparse, &mut scratch)))
+        });
+        // Full proposal evaluation (delta + ΔS + Hastings correction) on
+        // the production path — the exact per-proposal MCMC kernel.
+        group.bench_function(format!("proposal_eval/adaptive_{label}"), |b| {
+            let mut scratch = DeltaScratch::new();
             b.iter(|| {
                 let mut acc = 0.0;
                 for v in (0..n as u32).step_by(37) {
-                    let to = (bm.block_of(v) + 1) % nb as u32;
-                    let d = vertex_move_delta(&graph, &bm, v, to);
-                    acc += delta_entropy(&bm, &d);
+                    let to = (auto.block_of(v) + 1) % nb as u32;
+                    scratch.vertex_move_delta(&graph, &auto, v, to);
+                    acc += scratch.delta_entropy(&auto);
+                    acc += scratch.hastings_correction(&graph, &auto, v);
                 }
                 black_box(acc)
             })
         });
+        let dense = DenseBlockmodel::from_assignment(&graph, assignment, nb);
         group.bench_function(format!("delta_entropy/dense_naive_{label}"), |b| {
             b.iter(|| {
                 let mut acc = 0.0;

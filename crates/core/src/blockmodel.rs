@@ -1,39 +1,289 @@
-//! The degree-corrected stochastic blockmodel state.
+//! The degree-corrected stochastic blockmodel state, with **adaptive**
+//! dense/sparse storage for the inter-block edge-count matrix `M`.
+//!
+//! ## Storage layer
+//!
+//! The agglomerative search spends most of its wall-clock time at small
+//! block counts (the endgame after the first few halvings), where a flat
+//! `C×C` array beats a vector of hash maps on every axis: O(1) `get` with
+//! no hashing, contiguous line scans for the ΔS kernel, and zero per-cell
+//! allocation. At large `C` (early iterations start at `C = V`) the dense
+//! array would be quadratic in memory, so rows stay as hash maps with a
+//! stored transpose — the paper's §III-A optimizations (a) and (b).
+//!
+//! [`Blockmodel::from_assignment`] picks the representation from the block
+//! count: dense when `C <= dense_threshold()` (default 1024, tunable via
+//! the `SBP_DENSE_THRESHOLD` environment variable, read once per process).
+//! Since the representation is fixed at construction, the switch happens
+//! exactly at [`Blockmodel::compacted`] / rebuild boundaries between
+//! iterations — never mid-sweep. Both representations expose the same
+//! iteration API ([`Blockmodel::row_iter`] / [`Blockmodel::col_iter`]) and
+//! are checked against each other by property tests.
+//!
+//! ## Cached logarithms
+//!
+//! Every ΔS term needs `ln(d_out)`/`ln(d_in)` of the blocks on its line.
+//! Degrees change only for the two blocks involved in a move, so the `ln`
+//! vectors are maintained incrementally by [`Blockmodel::move_vertex`] and
+//! the hot path pays one `ln` per *cell* (for `ln M_ij`) instead of three.
+//!
+//! Invariant maintained by every mutator: the storage, degree vectors and
+//! `ln` caches always equal what [`Blockmodel::from_assignment`] would
+//! rebuild from the current assignment. `validate` checks this in tests.
 
 use crate::fxhash::FxHashMap;
 use crate::model_description_length;
 use sbp_graph::{Graph, Vertex, Weight};
+use std::sync::OnceLock;
+
+/// Block counts at or below this use the flat dense matrix; above it, the
+/// sparse hash-map rows + transpose. Read once from `SBP_DENSE_THRESHOLD`
+/// (default 1024). See the crate docs for tuning guidance: raise it if your
+/// graphs converge to a few thousand communities and memory allows
+/// (`2·C²·8` bytes per blockmodel), lower it under tight memory or when
+/// simulating many ranks in one process.
+pub fn dense_threshold() -> usize {
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("SBP_DENSE_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1024)
+    })
+}
+
+/// Which matrix representation a [`Blockmodel`] should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Pick the representation from block count and expected occupancy:
+    /// dense when `C <= 64`, or when `C <= dense_threshold()` **and** the
+    /// mean cell occupancy `E/C²` is at least 1/8 (a dense line scan only
+    /// beats hash-map iteration when the lines are actually populated —
+    /// the identity partition at `C = V` has ~`avg_degree` entries per
+    /// 10k-slot line and must stay sparse).
+    #[default]
+    Auto,
+    /// Flat row-major `C×C` array plus its transpose.
+    Dense,
+    /// One hash map per row plus one per column (the stored transpose).
+    Sparse,
+}
+
+#[derive(Clone, Debug)]
+enum Storage {
+    Dense {
+        c: usize,
+        /// Row-major `C×C` edge counts.
+        m: Vec<Weight>,
+        /// Column-major copy (`mt[c*C + r] == m[r*C + c]`) so column scans
+        /// are contiguous.
+        mt: Vec<Weight>,
+    },
+    Sparse {
+        rows: Vec<FxHashMap<u32, Weight>>,
+        cols: Vec<FxHashMap<u32, Weight>>,
+    },
+}
+
+impl Storage {
+    fn new(kind: StorageKind, num_blocks: usize, total_edge_weight: Weight) -> Storage {
+        let dense = match kind {
+            StorageKind::Auto => {
+                num_blocks <= 64
+                    || (num_blocks <= dense_threshold()
+                        && total_edge_weight >= (num_blocks * num_blocks / 8) as Weight)
+            }
+            StorageKind::Dense => true,
+            StorageKind::Sparse => false,
+        };
+        if dense {
+            Storage::Dense {
+                c: num_blocks,
+                m: vec![0; num_blocks * num_blocks],
+                mt: vec![0; num_blocks * num_blocks],
+            }
+        } else {
+            Storage::Sparse {
+                rows: vec![FxHashMap::default(); num_blocks],
+                cols: vec![FxHashMap::default(); num_blocks],
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, r: u32, col: u32) -> Weight {
+        match self {
+            Storage::Dense { c, m, .. } => m[r as usize * c + col as usize],
+            Storage::Sparse { rows, .. } => rows[r as usize].get(&col).copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, r: u32, col: u32, w: Weight) {
+        match self {
+            Storage::Dense { c, m, mt } => {
+                m[r as usize * *c + col as usize] += w;
+                mt[col as usize * *c + r as usize] += w;
+            }
+            Storage::Sparse { rows, cols } => {
+                *rows[r as usize].entry(col).or_insert(0) += w;
+                *cols[col as usize].entry(r).or_insert(0) += w;
+            }
+        }
+    }
+
+    #[inline]
+    fn sub(&mut self, r: u32, col: u32, w: Weight) {
+        match self {
+            Storage::Dense { c, m, mt } => {
+                let e = &mut m[r as usize * *c + col as usize];
+                *e -= w;
+                debug_assert!(*e >= 0, "cell ({r}, {col}) went negative");
+                mt[col as usize * *c + r as usize] -= w;
+            }
+            Storage::Sparse { rows, cols } => {
+                let e = rows[r as usize]
+                    .get_mut(&col)
+                    .unwrap_or_else(|| panic!("subtracting from empty cell ({r}, {col})"));
+                *e -= w;
+                debug_assert!(*e >= 0, "cell ({r}, {col}) went negative");
+                if *e == 0 {
+                    rows[r as usize].remove(&col);
+                }
+                let e = cols[col as usize]
+                    .get_mut(&r)
+                    .expect("transpose out of sync");
+                *e -= w;
+                if *e == 0 {
+                    cols[col as usize].remove(&r);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn row_iter(&self, r: u32) -> LineIter<'_> {
+        match self {
+            Storage::Dense { c, m, .. } => LineIter::Dense {
+                line: &m[r as usize * c..(r as usize + 1) * c],
+                next: 0,
+            },
+            Storage::Sparse { rows, .. } => LineIter::Sparse(rows[r as usize].iter()),
+        }
+    }
+
+    #[inline]
+    fn col_iter(&self, col: u32) -> LineIter<'_> {
+        match self {
+            Storage::Dense { c, mt, .. } => LineIter::Dense {
+                line: &mt[col as usize * c..(col as usize + 1) * c],
+                next: 0,
+            },
+            Storage::Sparse { cols, .. } => LineIter::Sparse(cols[col as usize].iter()),
+        }
+    }
+
+    fn kind(&self) -> StorageKind {
+        match self {
+            Storage::Dense { .. } => StorageKind::Dense,
+            Storage::Sparse { .. } => StorageKind::Sparse,
+        }
+    }
+
+    #[inline]
+    fn dense_row(&self, r: u32) -> Option<&[Weight]> {
+        match self {
+            Storage::Dense { c, m, .. } => Some(&m[r as usize * c..(r as usize + 1) * c]),
+            Storage::Sparse { .. } => None,
+        }
+    }
+
+    #[inline]
+    fn dense_col(&self, col: u32) -> Option<&[Weight]> {
+        match self {
+            Storage::Dense { c, mt, .. } => Some(&mt[col as usize * c..(col as usize + 1) * c]),
+            Storage::Sparse { .. } => None,
+        }
+    }
+}
+
+/// Iterator over the nonzero `(other_block, weight)` entries of one matrix
+/// line (a row, or a column via the stored transpose).
+pub enum LineIter<'a> {
+    /// Dense scan of a contiguous line, skipping zeros.
+    Dense {
+        /// The line's cells, indexed by the other block id.
+        line: &'a [Weight],
+        /// Next index to inspect.
+        next: usize,
+    },
+    /// Sparse iteration over a hash-map line.
+    Sparse(std::collections::hash_map::Iter<'a, u32, Weight>),
+}
+
+impl Iterator for LineIter<'_> {
+    type Item = (u32, Weight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, Weight)> {
+        match self {
+            LineIter::Dense { line, next } => {
+                while *next < line.len() {
+                    let i = *next;
+                    *next += 1;
+                    let w = line[i];
+                    if w != 0 {
+                        return Some((i as u32, w));
+                    }
+                }
+                None
+            }
+            LineIter::Sparse(it) => it.next().map(|(&b, &w)| (b, w)),
+        }
+    }
+}
+
+#[inline]
+fn ln_or_zero(w: Weight) -> f64 {
+    crate::lntab::ln_int(w)
+}
 
 /// The blockmodel: a vertex→block assignment plus the inter-block
-/// edge-count matrix `M` in sparse form.
-///
-/// Per the paper's §III-A optimizations, `M` is stored as a vector of hash
-/// maps (one per row) **and** its transpose (one map per column), so both
-/// row- and column-wise traversal are O(nnz-of-line). Block degree vectors
-/// are maintained incrementally.
-///
-/// Invariant maintained by every mutator: `M`, the transpose, and the
-/// degree vectors always equal what [`Blockmodel::from_assignment`] would
-/// rebuild from the current assignment. `validate` checks this in tests.
+/// edge-count matrix `M` in adaptive dense/sparse form (see module docs),
+/// with incrementally maintained block degree vectors and their cached
+/// logarithms.
 #[derive(Clone, Debug)]
 pub struct Blockmodel {
     assignment: Vec<u32>,
     num_blocks: usize,
-    rows: Vec<FxHashMap<u32, Weight>>,
-    cols: Vec<FxHashMap<u32, Weight>>,
+    storage: Storage,
     d_out: Vec<Weight>,
     d_in: Vec<Weight>,
+    ln_d_out: Vec<f64>,
+    ln_d_in: Vec<f64>,
     num_vertices: usize,
     total_edge_weight: Weight,
 }
 
 impl Blockmodel {
-    /// Builds the blockmodel implied by `assignment` over `graph`.
+    /// Builds the blockmodel implied by `assignment` over `graph`, picking
+    /// the storage representation automatically from the block count.
     ///
     /// # Panics
     /// Panics if the assignment length differs from the vertex count or any
     /// label is `>= num_blocks`.
     pub fn from_assignment(graph: &Graph, assignment: Vec<u32>, num_blocks: usize) -> Self {
+        Self::from_assignment_with(graph, assignment, num_blocks, StorageKind::Auto)
+    }
+
+    /// Builds the blockmodel with an explicit storage representation —
+    /// benchmarks and the dense/sparse agreement property tests force one.
+    pub fn from_assignment_with(
+        graph: &Graph,
+        assignment: Vec<u32>,
+        num_blocks: usize,
+        kind: StorageKind,
+    ) -> Self {
         assert_eq!(
             assignment.len(),
             graph.num_vertices(),
@@ -43,24 +293,25 @@ impl Blockmodel {
             assignment.iter().all(|&b| (b as usize) < num_blocks),
             "assignment label out of range"
         );
-        let mut rows: Vec<FxHashMap<u32, Weight>> = vec![FxHashMap::default(); num_blocks];
-        let mut cols: Vec<FxHashMap<u32, Weight>> = vec![FxHashMap::default(); num_blocks];
+        let mut storage = Storage::new(kind, num_blocks, graph.total_edge_weight());
         let mut d_out = vec![0 as Weight; num_blocks];
         let mut d_in = vec![0 as Weight; num_blocks];
         for (src, dst, w) in graph.arcs() {
             let (r, c) = (assignment[src as usize], assignment[dst as usize]);
-            *rows[r as usize].entry(c).or_insert(0) += w;
-            *cols[c as usize].entry(r).or_insert(0) += w;
+            storage.add(r, c, w);
             d_out[r as usize] += w;
             d_in[c as usize] += w;
         }
+        let ln_d_out = d_out.iter().map(|&w| ln_or_zero(w)).collect();
+        let ln_d_in = d_in.iter().map(|&w| ln_or_zero(w)).collect();
         Blockmodel {
             assignment,
             num_blocks,
-            rows,
-            cols,
+            storage,
             d_out,
             d_in,
+            ln_d_out,
+            ln_d_in,
             num_vertices: graph.num_vertices(),
             total_edge_weight: graph.total_edge_weight(),
         }
@@ -78,6 +329,13 @@ impl Blockmodel {
     #[inline]
     pub fn num_blocks(&self) -> usize {
         self.num_blocks
+    }
+
+    /// Which representation this blockmodel currently uses ([`StorageKind::
+    /// Dense`] or [`StorageKind::Sparse`], never `Auto`).
+    #[inline]
+    pub fn storage_kind(&self) -> StorageKind {
+        self.storage.kind()
     }
 
     /// The assignment vector.
@@ -112,19 +370,34 @@ impl Blockmodel {
     /// Edge count between blocks `r` and `c` (`M[r][c]`).
     #[inline]
     pub fn get(&self, r: u32, c: u32) -> Weight {
-        self.rows[r as usize].get(&c).copied().unwrap_or(0)
+        self.storage.get(r, c)
     }
 
-    /// Sparse row `r` of `M`.
+    /// Nonzero entries of row `r` as `(col, weight)`, in unspecified order.
     #[inline]
-    pub fn row(&self, r: u32) -> &FxHashMap<u32, Weight> {
-        &self.rows[r as usize]
+    pub fn row_iter(&self, r: u32) -> LineIter<'_> {
+        self.storage.row_iter(r)
     }
 
-    /// Sparse column `c` of `M` (the stored transpose row).
+    /// Nonzero entries of column `c` as `(row, weight)`, in unspecified
+    /// order.
     #[inline]
-    pub fn col(&self, c: u32) -> &FxHashMap<u32, Weight> {
-        &self.cols[c as usize]
+    pub fn col_iter(&self, c: u32) -> LineIter<'_> {
+        self.storage.col_iter(c)
+    }
+
+    /// Row `r` as a contiguous slice (dense storage only) — the ΔS
+    /// kernel's fast path.
+    #[inline]
+    pub(crate) fn dense_row(&self, r: u32) -> Option<&[Weight]> {
+        self.storage.dense_row(r)
+    }
+
+    /// Column `c` of the stored transpose as a contiguous slice (dense
+    /// storage only).
+    #[inline]
+    pub(crate) fn dense_col(&self, c: u32) -> Option<&[Weight]> {
+        self.storage.dense_col(c)
     }
 
     /// Weighted out-degree of block `r`.
@@ -139,14 +412,27 @@ impl Blockmodel {
         self.d_in[c as usize]
     }
 
+    /// Cached `ln(d_out(r))` (0.0 when the degree is zero).
+    #[inline]
+    pub fn ln_d_out(&self, r: u32) -> f64 {
+        self.ln_d_out[r as usize]
+    }
+
+    /// Cached `ln(d_in(c))` (0.0 when the degree is zero).
+    #[inline]
+    pub fn ln_d_in(&self, c: u32) -> f64 {
+        self.ln_d_in[c as usize]
+    }
+
     /// Weighted total degree of block `b`.
     #[inline]
     pub fn d_total(&self, b: u32) -> Weight {
         self.d_out[b as usize] + self.d_in[b as usize]
     }
 
-    /// Moves vertex `v` to block `to`, incrementally updating `M`, the
-    /// transpose and the degree vectors. No-op if `v` is already there.
+    /// Moves vertex `v` to block `to`, incrementally updating the matrix,
+    /// its transpose, the degree vectors and the `ln` caches. No-op if `v`
+    /// is already there.
     pub fn move_vertex(&mut self, graph: &Graph, v: Vertex, to: u32) {
         let from = self.assignment[v as usize];
         if from == to {
@@ -157,12 +443,12 @@ impl Blockmodel {
             if u == v {
                 // Self-loop: both endpoints move together. Handled once
                 // here; skipped in the in-edge loop below.
-                self.cell_sub(from, from, w);
-                self.cell_add(to, to, w);
+                self.storage.sub(from, from, w);
+                self.storage.add(to, to, w);
             } else {
                 let t = self.assignment[u as usize];
-                self.cell_sub(from, t, w);
-                self.cell_add(to, t, w);
+                self.storage.sub(from, t, w);
+                self.storage.add(to, t, w);
             }
         }
         for &(u, w) in graph.in_edges(v) {
@@ -170,57 +456,35 @@ impl Blockmodel {
                 continue;
             }
             let t = self.assignment[u as usize];
-            self.cell_sub(t, from, w);
-            self.cell_add(t, to, w);
+            self.storage.sub(t, from, w);
+            self.storage.add(t, to, w);
         }
         let (ov, iv) = (graph.out_degree(v), graph.in_degree(v));
         self.d_out[from as usize] -= ov;
         self.d_out[to as usize] += ov;
         self.d_in[from as usize] -= iv;
         self.d_in[to as usize] += iv;
+        // Incremental ln-cache invalidation: only the two touched blocks.
+        self.ln_d_out[from as usize] = ln_or_zero(self.d_out[from as usize]);
+        self.ln_d_out[to as usize] = ln_or_zero(self.d_out[to as usize]);
+        self.ln_d_in[from as usize] = ln_or_zero(self.d_in[from as usize]);
+        self.ln_d_in[to as usize] = ln_or_zero(self.d_in[to as usize]);
         self.assignment[v as usize] = to;
-    }
-
-    #[inline]
-    fn cell_add(&mut self, r: u32, c: u32, w: Weight) {
-        *self.rows[r as usize].entry(c).or_insert(0) += w;
-        *self.cols[c as usize].entry(r).or_insert(0) += w;
-    }
-
-    #[inline]
-    fn cell_sub(&mut self, r: u32, c: u32, w: Weight) {
-        let e = self.rows[r as usize]
-            .get_mut(&c)
-            .unwrap_or_else(|| panic!("subtracting from empty cell ({r}, {c})"));
-        *e -= w;
-        debug_assert!(*e >= 0, "cell ({r}, {c}) went negative");
-        if *e == 0 {
-            self.rows[r as usize].remove(&c);
-        }
-        let e = self.cols[c as usize]
-            .get_mut(&r)
-            .expect("transpose out of sync");
-        *e -= w;
-        if *e == 0 {
-            self.cols[c as usize].remove(&r);
-        }
     }
 
     /// The DCSBM entropy `S = −Σ M_ij ln(M_ij/(d_out_i · d_in_j))` — the
     /// negative log-likelihood of Eq. 1. Natural log; minimized.
     pub fn entropy(&self) -> f64 {
         let mut s = 0.0f64;
-        for (r, row) in self.rows.iter().enumerate() {
-            let dr = self.d_out[r];
-            if dr == 0 {
+        for r in 0..self.num_blocks as u32 {
+            if self.d_out[r as usize] == 0 {
                 continue;
             }
-            let ldr = (dr as f64).ln();
-            for (&c, &m) in row {
-                let di = self.d_in[c as usize];
-                debug_assert!(m > 0 && di > 0);
+            let ldr = self.ln_d_out[r as usize];
+            for (c, m) in self.row_iter(r) {
+                debug_assert!(m > 0 && self.d_in[c as usize] > 0);
                 let mf = m as f64;
-                s -= mf * (mf.ln() - ldr - (di as f64).ln());
+                s -= mf * (crate::lntab::ln_int(m) - ldr - self.ln_d_in[c as usize]);
             }
         }
         s
@@ -233,30 +497,31 @@ impl Blockmodel {
             + self.entropy()
     }
 
-    /// Counts blocks that currently have at least one member.
-    pub fn num_nonempty_blocks(&self) -> usize {
+    /// Marks which blocks currently have at least one member.
+    fn occupied_blocks(&self) -> Vec<bool> {
         let mut seen = vec![false; self.num_blocks];
         for &b in &self.assignment {
             seen[b as usize] = true;
         }
-        seen.iter().filter(|&&x| x).count()
+        seen
+    }
+
+    /// Counts blocks that currently have at least one member.
+    pub fn num_nonempty_blocks(&self) -> usize {
+        self.occupied_blocks().iter().filter(|&&x| x).count()
     }
 
     /// Returns a copy with blocks relabeled to the dense range
     /// `0..num_nonempty_blocks` (ascending by old label) and the matrix
-    /// rebuilt. Used after merge phases.
+    /// rebuilt — re-running the dense/sparse selection for the new block
+    /// count. Used after merge phases.
     pub fn compacted(&self, graph: &Graph) -> Blockmodel {
+        let seen = self.occupied_blocks();
         let mut map = vec![u32::MAX; self.num_blocks];
         let mut next = 0u32;
-        for &b in &self.assignment {
-            if map[b as usize] == u32::MAX {
-                map[b as usize] = u32::MAX - 1; // mark seen, assign below
-            }
-        }
-        for (old, slot) in map.iter_mut().enumerate() {
-            let _ = old;
-            if *slot == u32::MAX - 1 {
-                *slot = next;
+        for (old, &occupied) in seen.iter().enumerate() {
+            if occupied {
+                map[old] = next;
                 next += 1;
             }
         }
@@ -264,19 +529,54 @@ impl Blockmodel {
         Blockmodel::from_assignment(graph, assignment, next as usize)
     }
 
+    /// All nonzero cells as `(row, col, weight)`, sorted — the canonical
+    /// form used to compare representations.
+    fn cells_sorted(&self) -> Vec<(u32, u32, Weight)> {
+        let mut cells = Vec::new();
+        for r in 0..self.num_blocks as u32 {
+            for (c, m) in self.row_iter(r) {
+                cells.push((r, c, m));
+            }
+        }
+        cells.sort_unstable();
+        cells
+    }
+
+    /// Same, but gathered through the column side (transpose consistency).
+    fn cells_sorted_via_cols(&self) -> Vec<(u32, u32, Weight)> {
+        let mut cells = Vec::new();
+        for c in 0..self.num_blocks as u32 {
+            for (r, m) in self.col_iter(c) {
+                cells.push((r, c, m));
+            }
+        }
+        cells.sort_unstable();
+        cells
+    }
+
     /// Verifies every incremental invariant against a from-scratch rebuild.
     pub fn validate(&self, graph: &Graph) -> Result<(), String> {
-        let rebuilt = Blockmodel::from_assignment(graph, self.assignment.clone(), self.num_blocks);
-        for r in 0..self.num_blocks {
-            if self.rows[r] != rebuilt.rows[r] {
-                return Err(format!("row {r} out of sync with assignment"));
-            }
-            if self.cols[r] != rebuilt.cols[r] {
-                return Err(format!("col {r} out of sync with assignment"));
-            }
+        let rebuilt = Blockmodel::from_assignment_with(
+            graph,
+            self.assignment.clone(),
+            self.num_blocks,
+            self.storage_kind(),
+        );
+        if self.cells_sorted() != rebuilt.cells_sorted() {
+            return Err("matrix rows out of sync with assignment".into());
+        }
+        if self.cells_sorted_via_cols() != self.cells_sorted() {
+            return Err("transpose out of sync with rows".into());
         }
         if self.d_out != rebuilt.d_out || self.d_in != rebuilt.d_in {
             return Err("degree vectors out of sync".into());
+        }
+        for b in 0..self.num_blocks {
+            if (self.ln_d_out[b] - ln_or_zero(self.d_out[b])).abs() > 1e-12
+                || (self.ln_d_in[b] - ln_or_zero(self.d_in[b])).abs() > 1e-12
+            {
+                return Err(format!("ln cache stale for block {b}"));
+            }
         }
         Ok(())
     }
@@ -306,17 +606,57 @@ mod tests {
         vec![0, 0, 0, 1, 1, 1]
     }
 
+    /// Runs a check under both storage representations.
+    fn for_both_kinds(f: impl Fn(StorageKind)) {
+        f(StorageKind::Dense);
+        f(StorageKind::Sparse);
+    }
+
     #[test]
     fn from_assignment_counts_edges() {
+        for_both_kinds(|kind| {
+            let g = two_triangles();
+            let bm = Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, kind);
+            assert_eq!(bm.get(0, 0), 3);
+            assert_eq!(bm.get(1, 1), 3);
+            assert_eq!(bm.get(0, 1), 1);
+            assert_eq!(bm.get(1, 0), 0);
+            assert_eq!(bm.d_out(0), 4);
+            assert_eq!(bm.d_in(0), 3);
+            assert_eq!(bm.d_total(1), 7);
+        });
+    }
+
+    #[test]
+    fn auto_selects_by_threshold() {
         let g = two_triangles();
         let bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
-        assert_eq!(bm.get(0, 0), 3);
-        assert_eq!(bm.get(1, 1), 3);
-        assert_eq!(bm.get(0, 1), 1);
-        assert_eq!(bm.get(1, 0), 0);
-        assert_eq!(bm.d_out(0), 4);
-        assert_eq!(bm.d_in(0), 3);
-        assert_eq!(bm.d_total(1), 7);
+        assert_eq!(bm.storage_kind(), StorageKind::Dense);
+        // Forcing sparse is always allowed.
+        let bm =
+            Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Sparse);
+        assert_eq!(bm.storage_kind(), StorageKind::Sparse);
+    }
+
+    #[test]
+    fn row_and_col_iters_agree_across_kinds() {
+        let g = two_triangles();
+        let dense =
+            Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Dense);
+        let sparse =
+            Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Sparse);
+        for r in 0..2u32 {
+            let mut a: Vec<_> = dense.row_iter(r).collect();
+            let mut b: Vec<_> = sparse.row_iter(r).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "row {r}");
+            let mut a: Vec<_> = dense.col_iter(r).collect();
+            let mut b: Vec<_> = sparse.col_iter(r).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "col {r}");
+        }
     }
 
     #[test]
@@ -331,24 +671,28 @@ mod tests {
 
     #[test]
     fn move_vertex_keeps_invariants() {
-        let g = two_triangles();
-        let mut bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
-        bm.move_vertex(&g, 2, 1);
-        bm.validate(&g).unwrap();
-        assert_eq!(bm.block_of(2), 1);
-        // Edges with both endpoints in {2,3,4,5}: 3->4, 4->5, 5->3, 2->3.
-        assert_eq!(bm.get(1, 1), 4);
+        for_both_kinds(|kind| {
+            let g = two_triangles();
+            let mut bm = Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, kind);
+            bm.move_vertex(&g, 2, 1);
+            bm.validate(&g).unwrap();
+            assert_eq!(bm.block_of(2), 1);
+            // Edges with both endpoints in {2,3,4,5}: 3->4, 4->5, 5->3, 2->3.
+            assert_eq!(bm.get(1, 1), 4);
+        });
     }
 
     #[test]
     fn move_vertex_roundtrip_restores_state() {
-        let g = two_triangles();
-        let mut bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
-        let before_entropy = bm.entropy();
-        bm.move_vertex(&g, 0, 1);
-        bm.move_vertex(&g, 0, 0);
-        bm.validate(&g).unwrap();
-        assert!((bm.entropy() - before_entropy).abs() < 1e-12);
+        for_both_kinds(|kind| {
+            let g = two_triangles();
+            let mut bm = Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, kind);
+            let before_entropy = bm.entropy();
+            bm.move_vertex(&g, 0, 1);
+            bm.move_vertex(&g, 0, 0);
+            bm.validate(&g).unwrap();
+            assert!((bm.entropy() - before_entropy).abs() < 1e-12);
+        });
     }
 
     #[test]
@@ -363,24 +707,28 @@ mod tests {
 
     #[test]
     fn self_loops_move_correctly() {
-        let g = Graph::from_edges(3, vec![(0, 0, 2), (0, 1, 1), (2, 0, 1)]);
-        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 1], 2);
-        assert_eq!(bm.get(0, 0), 2);
-        bm.move_vertex(&g, 0, 1);
-        bm.validate(&g).unwrap();
-        assert_eq!(bm.get(1, 1), 4); // self-loop + 0->1 + 2->0 all inside block 1
-        assert_eq!(bm.get(0, 0), 0);
+        for_both_kinds(|kind| {
+            let g = Graph::from_edges(3, vec![(0, 0, 2), (0, 1, 1), (2, 0, 1)]);
+            let mut bm = Blockmodel::from_assignment_with(&g, vec![0, 1, 1], 2, kind);
+            assert_eq!(bm.get(0, 0), 2);
+            bm.move_vertex(&g, 0, 1);
+            bm.validate(&g).unwrap();
+            assert_eq!(bm.get(1, 1), 4); // self-loop + 0->1 + 2->0 all inside block 1
+            assert_eq!(bm.get(0, 0), 0);
+        });
     }
 
     #[test]
     fn entropy_matches_manual_computation() {
-        let g = two_triangles();
-        let bm = Blockmodel::from_assignment(&g, two_block_assignment(), 2);
-        // Cells: (0,0)=3 (d 4,3), (0,1)=1 (4,4), (1,1)=3 (3,4)
-        let manual = -(3.0 * (3.0f64 / (4.0 * 3.0)).ln()
-            + 1.0 * (1.0f64 / (4.0 * 4.0)).ln()
-            + 3.0 * (3.0f64 / (3.0 * 4.0)).ln());
-        assert!((bm.entropy() - manual).abs() < 1e-12);
+        for_both_kinds(|kind| {
+            let g = two_triangles();
+            let bm = Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, kind);
+            // Cells: (0,0)=3 (d 4,3), (0,1)=1 (4,4), (1,1)=3 (3,4)
+            let manual = -(3.0 * (3.0f64 / (4.0 * 3.0)).ln()
+                + 1.0 * (1.0f64 / (4.0 * 4.0)).ln()
+                + 3.0 * (3.0f64 / (3.0 * 4.0)).ln());
+            assert!((bm.entropy() - manual).abs() < 1e-12);
+        });
     }
 
     #[test]

@@ -1,47 +1,712 @@
-//! Sparse change-in-entropy computation (paper §III-A optimization c).
+//! Sparse change-in-entropy computation (paper §III-A optimization c) with
+//! a **zero-allocation hot path**.
 //!
 //! Moving a vertex (or merging a block) only changes matrix cells lying in
 //! rows `{from, to}` and columns `{from, to}` of the blockmodel, plus the
 //! four block degrees. `ΔS` is therefore computed by re-evaluating the
-//! entropy terms of exactly those lines under a sparse *cell delta*, never
+//! entropy terms of exactly those lines under a *cell delta*, never
 //! touching the rest of the matrix. Equality with a full recompute is
 //! enforced by property tests.
+//!
+//! The MCMC inner loop evaluates one delta per proposal — millions per
+//! inference run — so this module is built around [`DeltaScratch`], a
+//! reusable per-thread buffer set. A proposal evaluation performs **no
+//! heap allocation**, and the delta is kept in the representation that
+//! matches the blockmodel's storage:
+//!
+//! * **dense storage** → four per-line delta arrays indexed directly by
+//!   block id (written O(deg(v)), reset O(deg(v)) via a touched list).
+//!   The ΔS kernel walks the four contiguous matrix lines and reads the
+//!   matching delta slot — no searches, no hashing;
+//! * **sparse storage** → a sorted small vector of `(cell, delta)`
+//!   entries; the kernel snapshots the nonzero cells of the four affected
+//!   lines into a reusable buffer and merges the delta by binary search.
+//!
+//! The free functions ([`vertex_move_delta`], [`delta_entropy`], …) remain
+//! as allocating wrappers for tests and benchmarks; they use the sorted
+//! representation regardless of storage and borrow the thread-local
+//! scratch for intermediate buffers.
+//!
+//! Degree logarithms come from the blockmodel's incrementally maintained
+//! cache ([`Blockmodel::ln_d_out`]/[`ln_d_in`](Blockmodel::ln_d_in)) and
+//! integer `ln M_ij` values from [`crate::lntab`], so each affected cell
+//! costs a table lookup instead of three `ln` calls.
 
 use crate::blockmodel::Blockmodel;
-use crate::fxhash::FxHashMap;
+use crate::lntab::ln_int;
 use sbp_graph::{Graph, Vertex, Weight};
+use std::cell::RefCell;
+
+#[inline]
+fn pack(r: u32, c: u32) -> u64 {
+    ((r as u64) << 32) | c as u64
+}
+
+#[inline]
+fn unpack(k: u64) -> (u32, u32) {
+    ((k >> 32) as u32, k as u32)
+}
+
+/// −m·(ln m − ln_deg_sum); callers guarantee `m > 0`.
+#[inline]
+fn term(m: Weight, ln_deg_sum: f64) -> f64 {
+    -(m as f64) * (ln_int(m) - ln_deg_sum)
+}
 
 /// A sparse description of how a vertex move or block merge changes the
 /// blockmodel: per-cell edge-count deltas (all cells lie in rows/columns
 /// `{from, to}`) plus the degree mass shifted from `from` to `to`.
-#[derive(Clone, Debug)]
+///
+/// Cell deltas are stored as a sorted vector keyed by the packed
+/// `(row, col)` pair — point lookups are a binary search over a handful of
+/// entries, iteration is a linear scan, and reuse across proposals needs
+/// only a `clear()`.
+#[derive(Clone, Debug, Default)]
 pub struct LineDelta {
     /// Source block.
     pub from: u32,
     /// Destination block.
     pub to: u32,
-    /// Cell deltas keyed by `(row, col)`.
-    pub cells: FxHashMap<(u32, u32), Weight>,
+    /// Sorted `(packed cell, delta)` entries. Opposite-sign contributions
+    /// may fold to an explicit zero entry; those are harmless to the
+    /// kernels and filtered from the public iterator.
+    cells: Vec<(u64, Weight)>,
     /// Out-degree mass moving from `from` to `to`.
     pub dout_shift: Weight,
     /// In-degree mass moving from `from` to `to`.
     pub din_shift: Weight,
 }
 
-/// Builds the [`LineDelta`] for moving vertex `v` into block `to`.
-/// Self-loops are handled once (both endpoints move together).
-pub fn vertex_move_delta(graph: &Graph, bm: &Blockmodel, v: Vertex, to: u32) -> LineDelta {
+impl LineDelta {
+    /// Delta applied to cell `(r, c)` (zero when untouched).
+    #[inline]
+    pub fn cell_delta(&self, r: u32, c: u32) -> Weight {
+        let k = pack(r, c);
+        match self.cells.binary_search_by_key(&k, |e| e.0) {
+            Ok(i) => self.cells[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates the nonzero cell deltas as `((row, col), delta)`.
+    pub fn cells(&self) -> impl Iterator<Item = ((u32, u32), Weight)> + '_ {
+        self.cells
+            .iter()
+            .filter(|&&(_, d)| d != 0)
+            .map(|&(k, d)| (unpack(k), d))
+    }
+
+    /// Number of cells with a nonzero delta.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.iter().filter(|&&(_, d)| d != 0).count()
+    }
+
+    /// Rebuilds `cells` from an unsorted contribution stream by
+    /// sort-and-fold — O(n log n) regardless of how many distinct cells a
+    /// high-degree vertex touches (a sorted per-cell insert would be
+    /// quadratic for hubs at large block counts).
+    fn fold_from(&mut self, raw: &mut [(u64, Weight)]) {
+        raw.sort_unstable_by_key(|e| e.0);
+        self.cells.clear();
+        for &(k, d) in raw.iter() {
+            match self.cells.last_mut() {
+                Some(last) if last.0 == k => last.1 += d,
+                _ => self.cells.push((k, d)),
+            }
+        }
+    }
+}
+
+/// Which of the four dense delta arrays a touched index belongs to.
+const ROW_FROM: u8 = 0;
+const ROW_TO: u8 = 1;
+const COL_FROM: u8 = 2;
+const COL_TO: u8 = 3;
+
+/// Direct-indexed delta representation for dense-storage blockmodels:
+/// one array per affected line, plus a touched list for O(deg) reset.
+/// Cells in rows `{from, to}` live in the row arrays (indexed by column);
+/// cells in columns `{from, to}` with a row outside `{from, to}` live in
+/// the column arrays (indexed by row) — mirroring the ΔS kernel's pass
+/// structure so nothing is double-counted.
+#[derive(Debug, Default)]
+struct DenseDelta {
+    row_from: Vec<Weight>,
+    row_to: Vec<Weight>,
+    col_from: Vec<Weight>,
+    col_to: Vec<Weight>,
+    touched: Vec<(u8, u32)>,
+}
+
+impl DenseDelta {
+    /// Zeroes previously touched slots and grows the arrays to `c`.
+    fn reset(&mut self, c: usize) {
+        for &(which, idx) in &self.touched {
+            let arr = match which {
+                ROW_FROM => &mut self.row_from,
+                ROW_TO => &mut self.row_to,
+                COL_FROM => &mut self.col_from,
+                _ => &mut self.col_to,
+            };
+            arr[idx as usize] = 0;
+        }
+        self.touched.clear();
+        if self.row_from.len() < c {
+            self.row_from.resize(c, 0);
+            self.row_to.resize(c, 0);
+            self.col_from.resize(c, 0);
+            self.col_to.resize(c, 0);
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, which: u8, idx: u32, w: Weight) {
+        let arr = match which {
+            ROW_FROM => &mut self.row_from,
+            ROW_TO => &mut self.row_to,
+            COL_FROM => &mut self.col_from,
+            _ => &mut self.col_to,
+        };
+        arr[idx as usize] += w;
+        self.touched.push((which, idx));
+    }
+
+    /// Delta of cell `(x, y)` given the move's `from`/`to` blocks.
+    #[inline]
+    fn cell_delta(&self, from: u32, to: u32, x: u32, y: u32) -> Weight {
+        if x == from {
+            self.row_from[y as usize]
+        } else if x == to {
+            self.row_to[y as usize]
+        } else if y == from {
+            self.col_from[x as usize]
+        } else if y == to {
+            self.col_to[x as usize]
+        } else {
+            0
+        }
+    }
+}
+
+/// Which representation the scratch's current delta uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum DeltaRepr {
+    /// Sorted cell vector in `delta.cells`.
+    #[default]
+    Sorted,
+    /// Direct-indexed arrays in `dense` (dense-storage vertex moves).
+    DirectIndexed,
+}
+
+/// Reusable per-proposal buffers: build a delta, evaluate its `ΔS` and its
+/// Metropolis–Hastings correction without heap allocation.
+///
+/// One scratch per thread; [`with_scratch`] hands out the thread-local
+/// instance, which is how the sweep loops and the parallel merge phase
+/// share it.
+#[derive(Debug, Default)]
+pub struct DeltaScratch {
+    delta: LineDelta,
+    dense: DenseDelta,
+    repr: DeltaRepr,
+    /// Unsorted build/sort buffer (merge deltas, Hastings fold).
+    raw: Vec<(u64, Weight)>,
+    /// Snapshot of the currently-nonzero cells on the affected lines.
+    affected: Vec<(u64, Weight)>,
+    /// Marks delta cells consumed while walking `affected`.
+    used: Vec<bool>,
+    /// Per-column delta entries for the dense-storage column passes.
+    colbuf: Vec<(u32, Weight)>,
+    /// Neighbor-block weights for the Hastings correction.
+    wt: Vec<(u32, Weight)>,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<DeltaScratch> = RefCell::new(DeltaScratch::default());
+}
+
+/// Runs `f` with this thread's [`DeltaScratch`].
+pub fn with_scratch<R>(f: impl FnOnce(&mut DeltaScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+impl DeltaScratch {
+    /// Fresh scratch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the delta for moving vertex `v` into block `to`. Self-loops
+    /// are handled once (both endpoints move together). Picks the delta
+    /// representation matching the blockmodel's storage.
+    pub fn vertex_move_delta(&mut self, graph: &Graph, bm: &Blockmodel, v: Vertex, to: u32) {
+        let from = bm.block_of(v);
+        self.delta.from = from;
+        self.delta.to = to;
+        self.delta.dout_shift = graph.out_degree(v);
+        self.delta.din_shift = graph.in_degree(v);
+        if bm.storage_kind() == crate::blockmodel::StorageKind::Dense {
+            self.repr = DeltaRepr::DirectIndexed;
+            self.dense.reset(bm.num_blocks());
+            if from == to {
+                return;
+            }
+            for &(u, w) in graph.out_edges(v) {
+                if u == v {
+                    self.dense.add(ROW_FROM, from, -w);
+                    self.dense.add(ROW_TO, to, w);
+                } else {
+                    let t = bm.block_of(u);
+                    self.dense.add(ROW_FROM, t, -w);
+                    self.dense.add(ROW_TO, t, w);
+                }
+            }
+            for &(u, w) in graph.in_edges(v) {
+                if u == v {
+                    continue;
+                }
+                // Cells (t, from) −w and (t, to) +w, routed to the array
+                // that owns them (rows from/to claim their corner cells).
+                let t = bm.block_of(u);
+                if t == from {
+                    self.dense.add(ROW_FROM, from, -w);
+                    self.dense.add(ROW_FROM, to, w);
+                } else if t == to {
+                    self.dense.add(ROW_TO, from, -w);
+                    self.dense.add(ROW_TO, to, w);
+                } else {
+                    self.dense.add(COL_FROM, t, -w);
+                    self.dense.add(COL_TO, t, w);
+                }
+            }
+        } else {
+            self.repr = DeltaRepr::Sorted;
+            build_vertex_move_cells(graph, bm, v, to, &mut self.delta, &mut self.raw);
+        }
+    }
+
+    /// Builds the delta for merging block `from` into block `to`: row
+    /// `from` folds into row `to`, column `from` into column `to`, and all
+    /// of `from`'s degree mass moves. Merge deltas touch O(nnz of block
+    /// `from`'s lines) cells, so they always use the sorted representation
+    /// (built with one sort instead of per-cell insertion).
+    pub fn merge_delta(&mut self, bm: &Blockmodel, from: u32, to: u32) {
+        assert_ne!(from, to, "cannot merge a block into itself");
+        self.repr = DeltaRepr::Sorted;
+        self.raw.clear();
+        for (c, m) in bm.row_iter(from) {
+            self.raw.push((pack(from, c), -m));
+            let c2 = if c == from { to } else { c };
+            self.raw.push((pack(to, c2), m));
+        }
+        for (r, m) in bm.col_iter(from) {
+            if r == from {
+                continue; // diagonal already handled via the row pass
+            }
+            self.raw.push((pack(r, from), -m));
+            if r == to {
+                self.raw.push((pack(to, to), m));
+            } else {
+                self.raw.push((pack(r, to), m));
+            }
+        }
+        self.delta.fold_from(&mut self.raw);
+        self.delta.from = from;
+        self.delta.to = to;
+        self.delta.dout_shift = bm.d_out(from);
+        self.delta.din_shift = bm.d_in(from);
+    }
+
+    /// Computes `ΔS = S_after − S_before` for the delta built by the last
+    /// `*_delta` call, in O(nnz of the four affected lines) with no
+    /// allocation. Negative is an improvement (the description length
+    /// decreases by the same amount since the model-complexity term is
+    /// unaffected by moves at fixed block count).
+    pub fn delta_entropy(&mut self, bm: &Blockmodel) -> f64 {
+        if self.delta.from == self.delta.to {
+            return 0.0;
+        }
+        match self.repr {
+            DeltaRepr::DirectIndexed => delta_entropy_direct(bm, &self.delta, &self.dense),
+            DeltaRepr::Sorted => {
+                let DeltaScratch {
+                    delta,
+                    affected,
+                    used,
+                    colbuf,
+                    ..
+                } = self;
+                delta_entropy_cells(bm, delta, affected, used, colbuf)
+            }
+        }
+    }
+
+    /// The Metropolis–Hastings correction `p(s→r) / p(r→s)` for moving
+    /// vertex `v` along the delta built by the last `vertex_move_delta`
+    /// call (Graph-Challenge reference formulation):
+    ///
+    /// `p(r→s) ∝ Σ_t w_t · (M[t][s] + M[s][t] + 1) / (d_t + B)`
+    ///
+    /// with `t` ranging over the blocks of `v`'s (non-self) neighbors,
+    /// `w_t` the edge weight between `v` and block `t`, forward evaluated
+    /// on the current matrix and backward on the post-move matrix implied
+    /// by the delta. Allocation-free: neighbor-block weights accumulate in
+    /// the reusable `wt` buffer via sort-and-fold.
+    pub fn hastings_correction(&mut self, graph: &Graph, bm: &Blockmodel, v: Vertex) -> f64 {
+        let DeltaScratch {
+            delta,
+            dense,
+            repr,
+            raw,
+            wt,
+            ..
+        } = self;
+        let (from, to) = (delta.from, delta.to);
+        match repr {
+            DeltaRepr::DirectIndexed => hastings_kernel(graph, bm, v, delta, raw, wt, |x, y| {
+                dense.cell_delta(from, to, x, y)
+            }),
+            DeltaRepr::Sorted => {
+                hastings_kernel(graph, bm, v, delta, raw, wt, |x, y| delta.cell_delta(x, y))
+            }
+        }
+    }
+}
+
+/// Post-move `ln(degree)` helpers shared by the ΔS kernels.
+struct NewDegreeLns {
+    r: u32,
+    s: u32,
+    ln_ndo_r: f64,
+    ln_ndo_s: f64,
+    ln_ndi_r: f64,
+    ln_ndi_s: f64,
+}
+
+impl NewDegreeLns {
+    fn compute(bm: &Blockmodel, delta: &LineDelta) -> Self {
+        let (r, s) = (delta.from, delta.to);
+        NewDegreeLns {
+            r,
+            s,
+            ln_ndo_r: ln_int(bm.d_out(r) - delta.dout_shift),
+            ln_ndo_s: ln_int(bm.d_out(s) + delta.dout_shift),
+            ln_ndi_r: ln_int(bm.d_in(r) - delta.din_shift),
+            ln_ndi_s: ln_int(bm.d_in(s) + delta.din_shift),
+        }
+    }
+
+    #[inline]
+    fn ln_dout(&self, bm: &Blockmodel, x: u32) -> f64 {
+        if x == self.r {
+            self.ln_ndo_r
+        } else if x == self.s {
+            self.ln_ndo_s
+        } else {
+            bm.ln_d_out(x)
+        }
+    }
+
+    #[inline]
+    fn ln_din(&self, bm: &Blockmodel, y: u32) -> f64 {
+        if y == self.r {
+            self.ln_ndi_r
+        } else if y == self.s {
+            self.ln_ndi_s
+        } else {
+            bm.ln_d_in(y)
+        }
+    }
+}
+
+/// ΔS kernel for dense storage + direct-indexed delta: four contiguous
+/// line scans with the delta read by direct indexing.
+fn delta_entropy_direct(bm: &Blockmodel, delta: &LineDelta, dense: &DenseDelta) -> f64 {
+    let (r, s) = (delta.from, delta.to);
+    let lns = NewDegreeLns::compute(bm, delta);
+    let mut old_sum = 0.0f64;
+    let mut new_sum = 0.0f64;
+    // Row passes: rows r and s in full.
+    for (x, dline, ln_do_new) in [
+        (r, &dense.row_from, lns.ln_ndo_r),
+        (s, &dense.row_to, lns.ln_ndo_s),
+    ] {
+        let line = bm.dense_row(x).expect("direct repr implies dense storage");
+        let ln_do_old = bm.ln_d_out(x);
+        for (y, (&m, &dm)) in line.iter().zip(dline.iter()).enumerate() {
+            if m == 0 && dm == 0 {
+                continue;
+            }
+            let yu = y as u32;
+            if m > 0 {
+                old_sum += term(m, ln_do_old + bm.ln_d_in(yu));
+            }
+            let m2 = m + dm;
+            debug_assert!(m2 >= 0, "cell ({x}, {yu}) went negative in delta");
+            if m2 > 0 {
+                new_sum += term(m2, ln_do_new + lns.ln_din(bm, yu));
+            }
+        }
+    }
+    // Column passes: columns r and s via the stored transpose, skipping
+    // rows r/s (already counted above).
+    for (y, dline, ln_di_new) in [
+        (r, &dense.col_from, lns.ln_ndi_r),
+        (s, &dense.col_to, lns.ln_ndi_s),
+    ] {
+        let line = bm.dense_col(y).expect("direct repr implies dense storage");
+        let ln_di_old = bm.ln_d_in(y);
+        for (x, (&m, &dm)) in line.iter().zip(dline.iter()).enumerate() {
+            if m == 0 && dm == 0 {
+                continue;
+            }
+            let xu = x as u32;
+            if xu == r || xu == s {
+                continue;
+            }
+            if m > 0 {
+                old_sum += term(m, bm.ln_d_out(xu) + ln_di_old);
+            }
+            let m2 = m + dm;
+            debug_assert!(m2 >= 0, "cell ({xu}, {y}) went negative in delta");
+            if m2 > 0 {
+                new_sum += term(m2, bm.ln_d_out(xu) + ln_di_new);
+            }
+        }
+    }
+    new_sum - old_sum
+}
+
+/// ΔS kernel for a sorted cell delta, on either storage representation.
+fn delta_entropy_cells(
+    bm: &Blockmodel,
+    delta: &LineDelta,
+    affected: &mut Vec<(u64, Weight)>,
+    used: &mut Vec<bool>,
+    colbuf: &mut Vec<(u32, Weight)>,
+) -> f64 {
+    let (r, s) = (delta.from, delta.to);
+    if r == s {
+        return 0.0;
+    }
+    let lns = NewDegreeLns::compute(bm, delta);
+
+    // Dense storage: the four affected lines are contiguous slices, so
+    // walk every slot with a two-pointer merge against the sorted delta —
+    // no snapshot, no binary searches; newly created cells are covered by
+    // the full-line scan itself.
+    if bm.storage_kind() == crate::blockmodel::StorageKind::Dense {
+        let cells = &delta.cells;
+        let mut old_sum = 0.0f64;
+        let mut new_sum = 0.0f64;
+        for (x, ln_do_new) in [(r, lns.ln_ndo_r), (s, lns.ln_ndo_s)] {
+            let line = bm.dense_row(x).expect("dense storage");
+            let ln_do_old = bm.ln_d_out(x);
+            let base = (x as u64) << 32;
+            let lo = cells.partition_point(|e| e.0 < base);
+            let hi = cells.partition_point(|e| e.0 < base + (1u64 << 32));
+            let mut p = lo;
+            for (y, &m) in line.iter().enumerate() {
+                let yu = y as u32;
+                let mut dm = 0;
+                if p < hi && cells[p].0 as u32 == yu {
+                    dm = cells[p].1;
+                    p += 1;
+                }
+                if m == 0 && dm == 0 {
+                    continue;
+                }
+                if m > 0 {
+                    old_sum += term(m, ln_do_old + bm.ln_d_in(yu));
+                }
+                let m2 = m + dm;
+                debug_assert!(m2 >= 0, "cell ({x}, {yu}) went negative in delta");
+                if m2 > 0 {
+                    new_sum += term(m2, ln_do_new + lns.ln_din(bm, yu));
+                }
+            }
+            debug_assert_eq!(p, hi, "row-{x} delta cells not consumed");
+        }
+        // The columns' delta entries are scattered across the row-sorted
+        // cell list; gather each column's entries (already in ascending
+        // row order) into a tiny buffer, then merge-walk the transpose.
+        for (y, ln_di_new) in [(r, lns.ln_ndi_r), (s, lns.ln_ndi_s)] {
+            let line = bm.dense_col(y).expect("dense storage");
+            let ln_di_old = bm.ln_d_in(y);
+            colbuf.clear();
+            for &(k, d) in cells.iter() {
+                let (x, col) = unpack(k);
+                if col == y && x != r && x != s {
+                    colbuf.push((x, d));
+                }
+            }
+            let mut p = 0;
+            for (x, &m) in line.iter().enumerate() {
+                let xu = x as u32;
+                if xu == r || xu == s {
+                    continue;
+                }
+                let mut dm = 0;
+                if p < colbuf.len() && colbuf[p].0 == xu {
+                    dm = colbuf[p].1;
+                    p += 1;
+                }
+                if m == 0 && dm == 0 {
+                    continue;
+                }
+                if m > 0 {
+                    old_sum += term(m, bm.ln_d_out(xu) + ln_di_old);
+                }
+                let m2 = m + dm;
+                debug_assert!(m2 >= 0, "cell ({xu}, {y}) went negative in delta");
+                if m2 > 0 {
+                    new_sum += term(m2, bm.ln_d_out(xu) + ln_di_new);
+                }
+            }
+            debug_assert_eq!(p, colbuf.len(), "col-{y} delta cells not consumed");
+        }
+        return new_sum - old_sum;
+    }
+
+    // Sparse storage: snapshot every currently-nonzero cell in the
+    // affected lines exactly once — rows r and s in full, columns r and s
+    // excluding rows r/s; disjoint by construction, so no dedup pass.
+    affected.clear();
+    for (c, m) in bm.row_iter(r) {
+        affected.push((pack(r, c), m));
+    }
+    for (c, m) in bm.row_iter(s) {
+        affected.push((pack(s, c), m));
+    }
+    for (x, m) in bm.col_iter(r) {
+        if x != r && x != s {
+            affected.push((pack(x, r), m));
+        }
+    }
+    for (x, m) in bm.col_iter(s) {
+        if x != r && x != s {
+            affected.push((pack(x, s), m));
+        }
+    }
+
+    used.clear();
+    used.resize(delta.cells.len(), false);
+    let mut old_sum = 0.0f64;
+    let mut new_sum = 0.0f64;
+    for &(k, m) in affected.iter() {
+        let (x, y) = unpack(k);
+        old_sum += term(m, bm.ln_d_out(x) + bm.ln_d_in(y));
+        let dm = match delta.cells.binary_search_by_key(&k, |e| e.0) {
+            Ok(i) => {
+                used[i] = true;
+                delta.cells[i].1
+            }
+            Err(_) => 0,
+        };
+        let m2 = m + dm;
+        debug_assert!(m2 >= 0, "cell ({x}, {y}) went negative in delta");
+        if m2 > 0 {
+            new_sum += term(m2, lns.ln_dout(bm, x) + lns.ln_din(bm, y));
+        }
+    }
+    // Delta cells absent from the snapshot are newly created (old mass
+    // zero).
+    for (i, &(k, dm)) in delta.cells.iter().enumerate() {
+        if used[i] || dm == 0 {
+            continue;
+        }
+        let (x, y) = unpack(k);
+        debug_assert!(
+            x == r || x == s || y == r || y == s,
+            "delta cell outside affected lines"
+        );
+        debug_assert!(dm > 0, "negative delta on an empty cell ({x}, {y})");
+        new_sum += term(dm, lns.ln_dout(bm, x) + lns.ln_din(bm, y));
+    }
+    new_sum - old_sum
+}
+
+/// Shared Hastings-correction kernel, parameterized over the delta's cell
+/// lookup so both representations stay allocation-free.
+fn hastings_kernel(
+    graph: &Graph,
+    bm: &Blockmodel,
+    v: Vertex,
+    delta: &LineDelta,
+    raw: &mut Vec<(u64, Weight)>,
+    wt: &mut Vec<(u32, Weight)>,
+    cell_delta: impl Fn(u32, u32) -> Weight,
+) -> f64 {
+    let (r, s) = (delta.from, delta.to);
+    if r == s {
+        return 1.0;
+    }
+    let b = bm.num_blocks() as f64;
+    // Neighbor-block weights: gather, sort, fold — no hashing, no alloc.
+    raw.clear();
+    for &(u, w) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+        if u == v {
+            continue;
+        }
+        raw.push((bm.block_of(u) as u64, w));
+    }
+    if raw.is_empty() {
+        return 1.0; // both directions proposed uniformly
+    }
+    raw.sort_unstable_by_key(|e| e.0);
+    wt.clear();
+    for &(t, w) in raw.iter() {
+        match wt.last_mut() {
+            Some(last) if last.0 == t as u32 => last.1 += w,
+            _ => wt.push((t as u32, w)),
+        }
+    }
+
+    let new_cell = |x: u32, y: u32| (bm.get(x, y) + cell_delta(x, y)) as f64;
+    let shift = delta.dout_shift + delta.din_shift;
+    let new_d_total = |t: u32| -> f64 {
+        let base = bm.d_total(t);
+        (if t == r {
+            base - shift
+        } else if t == s {
+            base + shift
+        } else {
+            base
+        }) as f64
+    };
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    for &(t, w) in wt.iter() {
+        let wf = w as f64;
+        fwd += wf * ((bm.get(t, s) + bm.get(s, t)) as f64 + 1.0) / (bm.d_total(t) as f64 + b);
+        bwd += wf * (new_cell(t, r) + new_cell(r, t) + 1.0) / (new_d_total(t) + b);
+    }
+    debug_assert!(fwd > 0.0);
+    bwd / fwd
+}
+
+/// Fills `delta` with the sorted cell representation of moving `v` to
+/// block `to`, using `raw` as the unsorted gather buffer.
+fn build_vertex_move_cells(
+    graph: &Graph,
+    bm: &Blockmodel,
+    v: Vertex,
+    to: u32,
+    delta: &mut LineDelta,
+    raw: &mut Vec<(u64, Weight)>,
+) {
     let from = bm.block_of(v);
-    let mut cells: FxHashMap<(u32, u32), Weight> = FxHashMap::default();
+    raw.clear();
     if from != to {
         for &(u, w) in graph.out_edges(v) {
             if u == v {
-                *cells.entry((from, from)).or_insert(0) -= w;
-                *cells.entry((to, to)).or_insert(0) += w;
+                raw.push((pack(from, from), -w));
+                raw.push((pack(to, to), w));
             } else {
                 let t = bm.block_of(u);
-                *cells.entry((from, t)).or_insert(0) -= w;
-                *cells.entry((to, t)).or_insert(0) += w;
+                raw.push((pack(from, t), -w));
+                raw.push((pack(to, t), w));
             }
         }
         for &(u, w) in graph.in_edges(v) {
@@ -49,134 +714,63 @@ pub fn vertex_move_delta(graph: &Graph, bm: &Blockmodel, v: Vertex, to: u32) -> 
                 continue;
             }
             let t = bm.block_of(u);
-            *cells.entry((t, from)).or_insert(0) -= w;
-            *cells.entry((t, to)).or_insert(0) += w;
+            raw.push((pack(t, from), -w));
+            raw.push((pack(t, to), w));
         }
     }
-    LineDelta {
-        from,
-        to,
-        cells,
-        dout_shift: graph.out_degree(v),
-        din_shift: graph.in_degree(v),
-    }
+    delta.fold_from(raw);
+    delta.from = from;
+    delta.to = to;
+    delta.dout_shift = graph.out_degree(v);
+    delta.din_shift = graph.in_degree(v);
 }
 
-/// Builds the [`LineDelta`] for merging block `from` into block `to`:
-/// row `from` folds into row `to`, column `from` into column `to`, and all
-/// of `from`'s degree mass moves.
+/// Builds the [`LineDelta`] for moving vertex `v` into block `to`
+/// (allocating wrapper used by tests, benchmarks and external callers).
+pub fn vertex_move_delta(graph: &Graph, bm: &Blockmodel, v: Vertex, to: u32) -> LineDelta {
+    let mut delta = LineDelta::default();
+    let mut raw = Vec::new();
+    build_vertex_move_cells(graph, bm, v, to, &mut delta, &mut raw);
+    delta
+}
+
+/// Builds the [`LineDelta`] for merging block `from` into block `to`
+/// (allocating wrapper around [`DeltaScratch::merge_delta`]).
 pub fn merge_delta(bm: &Blockmodel, from: u32, to: u32) -> LineDelta {
-    assert_ne!(from, to, "cannot merge a block into itself");
-    let mut cells: FxHashMap<(u32, u32), Weight> = FxHashMap::default();
-    for (&c, &m) in bm.row(from) {
-        *cells.entry((from, c)).or_insert(0) -= m;
-        let c2 = if c == from { to } else { c };
-        *cells.entry((to, c2)).or_insert(0) += m;
-    }
-    for (&r, &m) in bm.col(from) {
-        if r == from {
-            continue; // diagonal already handled via the row pass
-        }
-        *cells.entry((r, from)).or_insert(0) -= m;
-        if r == to {
-            *cells.entry((to, to)).or_insert(0) += m;
-        } else {
-            *cells.entry((r, to)).or_insert(0) += m;
-        }
-    }
-    LineDelta {
-        from,
-        to,
-        cells,
-        dout_shift: bm.d_out(from),
-        din_shift: bm.d_in(from),
-    }
+    with_scratch(|s| {
+        s.merge_delta(bm, from, to);
+        s.delta.clone()
+    })
 }
 
-#[inline]
-fn term(m: Weight, d_out: Weight, d_in: Weight) -> f64 {
-    debug_assert!(m > 0 && d_out > 0 && d_in > 0);
-    let mf = m as f64;
-    -mf * (mf.ln() - (d_out as f64).ln() - (d_in as f64).ln())
-}
-
-/// Computes `ΔS = S_after − S_before` for a hypothetical change described
-/// by `delta`, in O(nnz of the four affected lines). Negative is an
-/// improvement (the description length decreases by the same amount since
-/// the model-complexity term is unaffected by moves at fixed block count).
+/// Computes `ΔS` for an externally held delta. Uses the thread-local
+/// scratch for the affected-line snapshot, so repeated calls do not
+/// allocate after warm-up.
 pub fn delta_entropy(bm: &Blockmodel, delta: &LineDelta) -> f64 {
-    let (r, s) = (delta.from, delta.to);
-    if r == s {
-        return 0.0;
-    }
-    // Collect every currently-nonzero cell in the affected lines exactly
-    // once: rows r and s in full, columns r and s excluding rows r/s.
-    let mut affected: FxHashMap<(u32, u32), Weight> = FxHashMap::default();
-    for (&c, &m) in bm.row(r) {
-        affected.insert((r, c), m);
-    }
-    for (&c, &m) in bm.row(s) {
-        affected.insert((s, c), m);
-    }
-    for (&x, &m) in bm.col(r) {
-        if x != r && x != s {
-            affected.insert((x, r), m);
-        }
-    }
-    for (&x, &m) in bm.col(s) {
-        if x != r && x != s {
-            affected.insert((x, s), m);
-        }
-    }
+    with_scratch(|s| {
+        let DeltaScratch {
+            affected,
+            used,
+            colbuf,
+            ..
+        } = s;
+        delta_entropy_cells(bm, delta, affected, used, colbuf)
+    })
+}
 
-    let old_sum: f64 = affected
-        .iter()
-        .map(|(&(x, y), &m)| term(m, bm.d_out(x), bm.d_in(y)))
-        .sum();
-
-    // Apply the cell deltas (all of which lie inside the affected lines).
-    for (&cell, &dm) in &delta.cells {
-        debug_assert!(
-            cell.0 == r || cell.0 == s || cell.1 == r || cell.1 == s,
-            "delta cell outside affected lines"
-        );
-        *affected.entry(cell).or_insert(0) += dm;
-    }
-
-    let nd_out = |x: u32| -> Weight {
-        if x == r {
-            bm.d_out(r) - delta.dout_shift
-        } else if x == s {
-            bm.d_out(s) + delta.dout_shift
-        } else {
-            bm.d_out(x)
-        }
-    };
-    let nd_in = |y: u32| -> Weight {
-        if y == r {
-            bm.d_in(r) - delta.din_shift
-        } else if y == s {
-            bm.d_in(s) + delta.din_shift
-        } else {
-            bm.d_in(y)
-        }
-    };
-
-    let new_sum: f64 = affected
-        .iter()
-        .filter(|&(_, &m)| m != 0)
-        .map(|(&(x, y), &m)| {
-            debug_assert!(m > 0, "cell ({x}, {y}) went negative in delta");
-            term(m, nd_out(x), nd_in(y))
-        })
-        .sum();
-
-    new_sum - old_sum
+/// The Metropolis–Hastings correction for an externally held delta (see
+/// [`DeltaScratch::hastings_correction`]).
+pub fn hastings_for_delta(graph: &Graph, bm: &Blockmodel, v: Vertex, delta: &LineDelta) -> f64 {
+    with_scratch(|s| {
+        let DeltaScratch { raw, wt, .. } = s;
+        hastings_kernel(graph, bm, v, delta, raw, wt, |x, y| delta.cell_delta(x, y))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blockmodel::StorageKind;
 
     fn two_triangles() -> Graph {
         Graph::from_edges(
@@ -193,22 +787,25 @@ mod tests {
         )
     }
 
-    /// ΔS computed sparsely must equal full recomputation after the move.
+    /// ΔS computed sparsely must equal full recomputation after the move —
+    /// under both storage representations.
     #[test]
     fn vertex_move_delta_matches_recompute() {
         let g = two_triangles();
-        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
-        for v in 0..6u32 {
-            for to in 0..2u32 {
-                let d = vertex_move_delta(&g, &bm, v, to);
-                let ds = delta_entropy(&bm, &d);
-                let mut after = bm.clone();
-                after.move_vertex(&g, v, to);
-                let exact = after.entropy() - bm.entropy();
-                assert!(
-                    (ds - exact).abs() < 1e-9,
-                    "v={v} to={to}: sparse {ds}, exact {exact}"
-                );
+        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+            let bm = Blockmodel::from_assignment_with(&g, vec![0, 0, 0, 1, 1, 1], 2, kind);
+            for v in 0..6u32 {
+                for to in 0..2u32 {
+                    let d = vertex_move_delta(&g, &bm, v, to);
+                    let ds = delta_entropy(&bm, &d);
+                    let mut after = bm.clone();
+                    after.move_vertex(&g, v, to);
+                    let exact = after.entropy() - bm.entropy();
+                    assert!(
+                        (ds - exact).abs() < 1e-9,
+                        "v={v} to={to} kind={kind:?}: sparse {ds}, exact {exact}"
+                    );
+                }
             }
         }
     }
@@ -216,28 +813,70 @@ mod tests {
     #[test]
     fn merge_delta_matches_recompute() {
         let g = two_triangles();
-        let bm = Blockmodel::from_assignment(&g, vec![0, 1, 1, 2, 2, 3], 4);
-        for from in 0..4u32 {
-            for to in 0..4u32 {
-                if from == to {
-                    continue;
+        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+            let bm = Blockmodel::from_assignment_with(&g, vec![0, 1, 1, 2, 2, 3], 4, kind);
+            for from in 0..4u32 {
+                for to in 0..4u32 {
+                    if from == to {
+                        continue;
+                    }
+                    let d = merge_delta(&bm, from, to);
+                    let ds = delta_entropy(&bm, &d);
+                    // Exact: rebuild with merged assignment.
+                    let merged: Vec<u32> = bm
+                        .assignment()
+                        .iter()
+                        .map(|&b| if b == from { to } else { b })
+                        .collect();
+                    let after = Blockmodel::from_assignment(&g, merged, 4);
+                    let exact = after.entropy() - bm.entropy();
+                    assert!(
+                        (ds - exact).abs() < 1e-9,
+                        "merge {from}->{to} kind={kind:?}: sparse {ds}, exact {exact}"
+                    );
                 }
-                let d = merge_delta(&bm, from, to);
-                let ds = delta_entropy(&bm, &d);
-                // Exact: rebuild with merged assignment.
-                let merged: Vec<u32> = bm
-                    .assignment()
-                    .iter()
-                    .map(|&b| if b == from { to } else { b })
-                    .collect();
-                let after = Blockmodel::from_assignment(&g, merged, 4);
-                let exact = after.entropy() - bm.entropy();
-                assert!(
-                    (ds - exact).abs() < 1e-9,
-                    "merge {from}->{to}: sparse {ds}, exact {exact}"
-                );
             }
         }
+    }
+
+    /// The scratch's storage-matched representations agree with the free
+    /// functions for every (vertex, target) pair under both storages.
+    #[test]
+    fn scratch_reuse_matches_fresh_computation() {
+        let g = two_triangles();
+        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+            let bm = Blockmodel::from_assignment_with(&g, vec![0, 0, 1, 1, 2, 2], 3, kind);
+            let mut scratch = DeltaScratch::new();
+            for v in 0..6u32 {
+                for to in 0..3u32 {
+                    scratch.vertex_move_delta(&g, &bm, v, to);
+                    let ds_scratch = scratch.delta_entropy(&bm);
+                    let h_scratch = scratch.hastings_correction(&g, &bm, v);
+                    let d = vertex_move_delta(&g, &bm, v, to);
+                    let ds_fresh = delta_entropy(&bm, &d);
+                    let h_fresh = hastings_for_delta(&g, &bm, v, &d);
+                    assert!(
+                        (ds_scratch - ds_fresh).abs() < 1e-12,
+                        "v={v} to={to} kind={kind:?}: scratch {ds_scratch} vs fresh {ds_fresh}"
+                    );
+                    assert!(
+                        (h_scratch - h_fresh).abs() < 1e-12,
+                        "v={v} to={to} kind={kind:?}: scratch {h_scratch} vs fresh {h_fresh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_delta_lookup_matches_iteration() {
+        let g = two_triangles();
+        let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
+        let d = vertex_move_delta(&g, &bm, 2, 1);
+        for ((r, c), dm) in d.cells() {
+            assert_eq!(d.cell_delta(r, c), dm);
+        }
+        assert_eq!(d.cell_delta(9, 9), 0);
     }
 
     #[test]
@@ -246,6 +885,7 @@ mod tests {
         let bm = Blockmodel::from_assignment(&g, vec![0, 0, 0, 1, 1, 1], 2);
         let d = vertex_move_delta(&g, &bm, 0, 0);
         assert_eq!(delta_entropy(&bm, &d), 0.0);
+        assert_eq!(d.num_cells(), 0);
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //! as an ablation.
 
 use crate::blockmodel::Blockmodel;
-use crate::delta::{delta_entropy, vertex_move_delta};
+use crate::delta::{with_scratch, DeltaScratch};
 use crate::mcmc::{AcceptedMove, SweepOutcome};
-use crate::propose::{hastings_correction, propose_for_vertex};
+use crate::propose::propose_for_vertex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -60,13 +60,14 @@ fn vertex_rng(seed: u64, sweep: usize, v: Vertex) -> SmallRng {
 }
 
 /// Evaluates one vertex against the current (frozen) blockmodel; returns
-/// the accepted move, if any.
+/// the accepted move, if any. Allocation-free via the caller's scratch.
 fn evaluate(
     graph: &Graph,
     bm: &Blockmodel,
     v: Vertex,
     beta: f64,
     rng: &mut SmallRng,
+    scratch: &mut DeltaScratch,
 ) -> Option<AcceptedMove> {
     if graph.degree(v) == 0 {
         return None;
@@ -75,9 +76,9 @@ fn evaluate(
     if to == bm.block_of(v) {
         return None;
     }
-    let delta = vertex_move_delta(graph, bm, v, to);
-    let ds = delta_entropy(bm, &delta);
-    let hastings = hastings_correction(graph, bm, v, &delta);
+    scratch.vertex_move_delta(graph, bm, v, to);
+    let ds = scratch.delta_entropy(bm);
+    let hastings = scratch.hastings_correction(graph, bm, v);
     let p_accept = ((-beta * ds).exp() * hastings).min(1.0);
     (rng.random::<f64>() < p_accept).then_some(AcceptedMove { v, to })
 }
@@ -103,16 +104,19 @@ pub fn hybrid_sweep(
     let mut out = SweepOutcome::default();
 
     // Sequential high-degree portion.
-    for &v in head {
-        let mut rng = vertex_rng(seed, sweep_idx, v);
-        out.proposals += 1;
-        if let Some(m) = evaluate(graph, bm, v, beta, &mut rng) {
-            bm.move_vertex(graph, v, m.to);
-            out.moves.push(m);
+    with_scratch(|scratch| {
+        for &v in head {
+            let mut rng = vertex_rng(seed, sweep_idx, v);
+            out.proposals += 1;
+            if let Some(m) = evaluate(graph, bm, v, beta, &mut rng, scratch) {
+                bm.move_vertex(graph, v, m.to);
+                out.moves.push(m);
+            }
         }
-    }
+    });
 
-    // Chunked asynchronous Gibbs over the low-degree tail.
+    // Chunked asynchronous Gibbs over the low-degree tail. Each worker
+    // thread evaluates through its own thread-local scratch.
     let chunk_size = cfg.chunk_size.max(1);
     for chunk in tail.chunks(chunk_size) {
         let accepted: Vec<AcceptedMove> = if cfg.parallel && chunk.len() >= 32 {
@@ -120,17 +124,19 @@ pub fn hybrid_sweep(
                 .par_iter()
                 .filter_map(|&v| {
                     let mut rng = vertex_rng(seed, sweep_idx, v);
-                    evaluate(graph, &*bm, v, beta, &mut rng)
+                    with_scratch(|scratch| evaluate(graph, &*bm, v, beta, &mut rng, scratch))
                 })
                 .collect()
         } else {
-            chunk
-                .iter()
-                .filter_map(|&v| {
-                    let mut rng = vertex_rng(seed, sweep_idx, v);
-                    evaluate(graph, &*bm, v, beta, &mut rng)
-                })
-                .collect()
+            with_scratch(|scratch| {
+                chunk
+                    .iter()
+                    .filter_map(|&v| {
+                        let mut rng = vertex_rng(seed, sweep_idx, v);
+                        evaluate(graph, &*bm, v, beta, &mut rng, scratch)
+                    })
+                    .collect()
+            })
         };
         out.proposals += chunk.len();
         for m in accepted {
@@ -153,13 +159,15 @@ pub fn batch_sweep(
     seed: u64,
     sweep_idx: usize,
 ) -> SweepOutcome {
-    let accepted: Vec<AcceptedMove> = vertices
-        .iter()
-        .filter_map(|&v| {
-            let mut rng = vertex_rng(seed, sweep_idx, v);
-            evaluate(graph, &*bm, v, beta, &mut rng)
-        })
-        .collect();
+    let accepted: Vec<AcceptedMove> = with_scratch(|scratch| {
+        vertices
+            .iter()
+            .filter_map(|&v| {
+                let mut rng = vertex_rng(seed, sweep_idx, v);
+                evaluate(graph, &*bm, v, beta, &mut rng, scratch)
+            })
+            .collect()
+    });
     let mut out = SweepOutcome {
         proposals: vertices.len(),
         ..Default::default()

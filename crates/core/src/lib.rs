@@ -5,12 +5,17 @@
 //! foundation of sequential SBP, shared-memory Hybrid SBP, DC-SBP and
 //! EDiSt:
 //!
-//! * [`Blockmodel`] — the sparse inter-block edge-count matrix (vector of
-//!   hash maps plus a stored transpose, the paper's §III-A optimizations a
-//!   and b), with incremental vertex moves and exact description-length
-//!   (Eq. 2) evaluation;
+//! * [`Blockmodel`] — the inter-block edge-count matrix with **adaptive
+//!   storage**: a flat dense `C×C` array (plus transpose) when the block
+//!   count is at most [`blockmodel::dense_threshold`], and sparse hash-map
+//!   rows plus a stored transpose above it (the paper's §III-A
+//!   optimizations a and b). Incremental vertex moves, cached
+//!   `ln(degree)` vectors, and exact description-length (Eq. 2)
+//!   evaluation;
 //! * [`delta`] — sparse O(affected-lines) change-in-entropy computation for
-//!   vertex moves and block merges (optimization c);
+//!   vertex moves and block merges (optimization c), built around the
+//!   reusable per-thread [`DeltaScratch`] so the MCMC inner loop performs
+//!   zero heap allocation per proposal;
 //! * [`propose`] — the Graph-Challenge proposal distribution and
 //!   Metropolis–Hastings correction;
 //! * [`merge`] — the agglomerative block-merge phase (Alg. 1) with
@@ -28,25 +33,44 @@
 //! distributed algorithms in `sbp-dist` can reuse them unchanged: EDiSt's
 //! distributed phases are literally these functions run on the owned subset
 //! followed by an allgather.
+//!
+//! ## Tuning the dense/sparse threshold
+//!
+//! The storage representation switches at `compacted()`/rebuild boundaries
+//! based on block count and occupancy: dense when `C <= 64`, or when
+//! `C <= SBP_DENSE_THRESHOLD` (environment variable, default 1024, read
+//! once per process) *and* the mean cell occupancy `E/C²` is at least 1/8
+//! — a dense line scan only wins when the lines are populated, so the
+//! sparse early phase (`C ≈ V`, near-empty lines) stays on hash maps even
+//! below the threshold. The dense side costs `2·C²·8` bytes per
+//! blockmodel but makes `get` O(1) and line scans contiguous — at
+//! `C ≤ 256` the ΔS kernel runs several times faster than the hash-map
+//! path (see `benchmarks/summary.md`). Raise the threshold on
+//! large-memory machines whose graphs converge to a few thousand
+//! communities; lower it when simulating many MPI ranks in one process
+//! (every rank keeps its own replica) or under tight memory.
 
 pub mod blockmodel;
 pub mod delta;
 pub mod fxhash;
 pub mod golden;
 pub mod hybrid;
+pub mod lntab;
 pub mod mcmc;
 pub mod merge;
 pub mod naive;
 pub mod propose;
 pub mod sbp;
 
-pub use blockmodel::Blockmodel;
-pub use delta::{delta_entropy, merge_delta, vertex_move_delta, LineDelta};
+pub use blockmodel::{dense_threshold, Blockmodel, LineIter, StorageKind};
+pub use delta::{
+    delta_entropy, merge_delta, vertex_move_delta, with_scratch, DeltaScratch, LineDelta,
+};
 pub use golden::{GoldenBracket, NextStep};
 pub use hybrid::HybridConfig;
 pub use mcmc::{mcmc_phase, mh_sweep, AcceptedMove, McmcStats};
 pub use merge::{apply_merges, propose_merges, MergeCandidate};
-pub use naive::{naive_sbp, naive_sbp_from};
+pub use naive::{naive_sbp, naive_sbp_from, NaiveScratch};
 pub use propose::{hastings_correction, propose_for_block, propose_for_vertex};
 pub use sbp::{sbp, sbp_from, IterationStat, McmcStrategy, SbpConfig, SbpResult};
 

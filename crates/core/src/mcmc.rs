@@ -7,8 +7,8 @@
 //! falls below `threshold × initial DL`, or after `max_sweeps`.
 
 use crate::blockmodel::Blockmodel;
-use crate::delta::{delta_entropy, vertex_move_delta};
-use crate::propose::{hastings_correction, propose_for_vertex};
+use crate::delta::with_scratch;
+use crate::propose::propose_for_vertex;
 use rand::Rng;
 use sbp_graph::{Graph, Vertex};
 
@@ -48,7 +48,9 @@ pub struct McmcStats {
 /// accepted moves to `bm` immediately (Alg. 2 lines 3–10).
 ///
 /// Zero-degree vertices are skipped: their block membership does not
-/// affect the likelihood, so proposals would be wasted work.
+/// affect the likelihood, so proposals would be wasted work. Proposal
+/// evaluation runs through the thread-local [`crate::delta::DeltaScratch`],
+/// so the per-proposal hot path performs no heap allocation.
 pub fn mh_sweep<R: Rng + ?Sized>(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -56,29 +58,31 @@ pub fn mh_sweep<R: Rng + ?Sized>(
     beta: f64,
     rng: &mut R,
 ) -> SweepOutcome {
-    let mut out = SweepOutcome::default();
-    for &v in vertices {
-        if graph.degree(v) == 0 {
-            continue;
+    with_scratch(|scratch| {
+        let mut out = SweepOutcome::default();
+        for &v in vertices {
+            if graph.degree(v) == 0 {
+                continue;
+            }
+            let Some(to) = propose_for_vertex(rng, graph, bm, v) else {
+                continue;
+            };
+            let from = bm.block_of(v);
+            if to == from {
+                continue;
+            }
+            out.proposals += 1;
+            scratch.vertex_move_delta(graph, bm, v, to);
+            let ds = scratch.delta_entropy(bm);
+            let hastings = scratch.hastings_correction(graph, bm, v);
+            let p_accept = ((-beta * ds).exp() * hastings).min(1.0);
+            if rng.random::<f64>() < p_accept {
+                bm.move_vertex(graph, v, to);
+                out.moves.push(AcceptedMove { v, to });
+            }
         }
-        let Some(to) = propose_for_vertex(rng, graph, bm, v) else {
-            continue;
-        };
-        let from = bm.block_of(v);
-        if to == from {
-            continue;
-        }
-        out.proposals += 1;
-        let delta = vertex_move_delta(graph, bm, v, to);
-        let ds = delta_entropy(bm, &delta);
-        let hastings = hastings_correction(graph, bm, v, &delta);
-        let p_accept = ((-beta * ds).exp() * hastings).min(1.0);
-        if rng.random::<f64>() < p_accept {
-            bm.move_vertex(graph, v, to);
-            out.moves.push(AcceptedMove { v, to });
-        }
-    }
-    out
+        out
+    })
 }
 
 /// The sweep-loop convergence controller used by both the single-node and

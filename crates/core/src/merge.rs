@@ -11,7 +11,7 @@
 //! list, which is what keeps every rank's blockmodel bit-identical.
 
 use crate::blockmodel::Blockmodel;
-use crate::delta::{delta_entropy, merge_delta};
+use crate::delta::with_scratch;
 use crate::propose::propose_for_block;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -35,7 +35,9 @@ pub struct MergeCandidate {
 ///
 /// Proposals are evaluated in parallel across blocks; each block uses an
 /// independent RNG stream derived from `seed`, so results are deterministic
-/// regardless of thread scheduling.
+/// regardless of thread scheduling. Each worker evaluates `ΔS` through its
+/// thread-local [`crate::delta::DeltaScratch`], so the per-proposal path is
+/// allocation-free.
 pub fn propose_merges(
     bm: &Blockmodel,
     blocks: &[u32],
@@ -45,20 +47,23 @@ pub fn propose_merges(
     let run = |&r: &u32| -> Option<MergeCandidate> {
         let mut rng =
             SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1)));
-        let mut best: Option<MergeCandidate> = None;
-        for _ in 0..proposals_per_block {
-            let s = propose_for_block(&mut rng, bm, r)?;
-            debug_assert_ne!(s, r);
-            let ds = delta_entropy(bm, &merge_delta(bm, r, s));
-            if best.is_none_or(|b| ds < b.delta_s) {
-                best = Some(MergeCandidate {
-                    block: r,
-                    target: s,
-                    delta_s: ds,
-                });
+        with_scratch(|scratch| {
+            let mut best: Option<MergeCandidate> = None;
+            for _ in 0..proposals_per_block {
+                let s = propose_for_block(&mut rng, bm, r)?;
+                debug_assert_ne!(s, r);
+                scratch.merge_delta(bm, r, s);
+                let ds = scratch.delta_entropy(bm);
+                if best.is_none_or(|b| ds < b.delta_s) {
+                    best = Some(MergeCandidate {
+                        block: r,
+                        target: s,
+                        delta_s: ds,
+                    });
+                }
             }
-        }
-        best
+            best
+        })
     };
     // Parallelism only pays off on non-trivial block counts.
     if blocks.len() >= 64 {

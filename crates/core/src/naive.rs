@@ -139,17 +139,35 @@ impl DenseBlockmodel {
         sum
     }
 
-    /// ΔS for moving vertex `v` to block `s`, via dense line rescans.
+    /// ΔS for moving vertex `v` to block `s`, via dense line rescans
+    /// (allocating convenience wrapper over
+    /// [`DenseBlockmodel::delta_entropy_move_with`]).
     pub fn delta_entropy_move(&self, graph: &Graph, v: Vertex, s: usize) -> f64 {
+        self.delta_entropy_move_with(graph, v, s, &mut NaiveScratch::default())
+    }
+
+    /// ΔS for moving vertex `v` to block `s`, reusing the caller's
+    /// scratch buffers (no allocation after the first call).
+    pub fn delta_entropy_move_with(
+        &self,
+        graph: &Graph,
+        v: Vertex,
+        s: usize,
+        scratch: &mut NaiveScratch,
+    ) -> f64 {
         let r = self.assignment[v as usize] as usize;
         if r == s {
             return 0.0;
         }
         // Dense per-line deltas.
-        let mut d_row_r = vec![0 as Weight; self.c];
-        let mut d_row_s = vec![0 as Weight; self.c];
-        let mut d_col_r = vec![0 as Weight; self.c];
-        let mut d_col_s = vec![0 as Weight; self.c];
+        scratch.reset(self.c);
+        let NaiveScratch {
+            d_row_r,
+            d_row_s,
+            d_col_r,
+            d_col_s,
+            ..
+        } = scratch;
         for &(u, w) in graph.out_edges(v) {
             if u == v {
                 d_row_r[r] -= w;
@@ -322,16 +340,22 @@ impl DenseBlockmodel {
         Some(t)
     }
 
-    fn hastings<R: Rng + ?Sized>(
+    fn hastings(
         &self,
-        _rng: &mut R,
         graph: &Graph,
         v: Vertex,
         r: usize,
         s: usize,
+        scratch: &mut NaiveScratch,
     ) -> f64 {
         let b = self.c as f64;
-        let mut w_t: Vec<(usize, Weight)> = Vec::new();
+        scratch.reset(self.c);
+        let NaiveScratch {
+            w_t,
+            d_row_r: d_row,
+            d_col_r: d_col,
+            ..
+        } = scratch;
         for &(u, w) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
             if u == v {
                 continue;
@@ -348,8 +372,6 @@ impl DenseBlockmodel {
         let (ov, iv) = (graph.out_degree(v), graph.in_degree(v));
         let shift = ov + iv;
         // Post-move cell values for the backward direction.
-        let mut d_row = vec![0 as Weight; self.c];
-        let mut d_col = vec![0 as Weight; self.c];
         for &(u, w) in graph.out_edges(v) {
             if u != v {
                 d_row[self.assignment[u as usize] as usize] += w;
@@ -362,7 +384,7 @@ impl DenseBlockmodel {
         }
         let mut fwd = 0.0;
         let mut bwd = 0.0;
-        for &(t, w) in &w_t {
+        for &(t, w) in w_t.iter() {
             let wf = w as f64;
             let dt = (self.d_out[t] + self.d_in[t]) as f64;
             fwd += wf * ((self.get(t, s) + self.get(s, t) + 1) as f64) / (dt + b);
@@ -396,6 +418,34 @@ impl DenseBlockmodel {
             return 1.0;
         }
         bwd / fwd
+    }
+}
+
+/// Reusable dense per-line delta buffers for the naive engine — the same
+/// role [`crate::delta::DeltaScratch`] plays for the sparse engine, so the
+/// naive baseline's *allocation* behavior no longer pollutes the Table VI
+/// comparison (which isolates the data-structure asymptotics).
+#[derive(Debug, Default)]
+pub struct NaiveScratch {
+    d_row_r: Vec<Weight>,
+    d_row_s: Vec<Weight>,
+    d_col_r: Vec<Weight>,
+    d_col_s: Vec<Weight>,
+    w_t: Vec<(usize, Weight)>,
+}
+
+impl NaiveScratch {
+    fn reset(&mut self, c: usize) {
+        for buf in [
+            &mut self.d_row_r,
+            &mut self.d_row_s,
+            &mut self.d_col_r,
+            &mut self.d_col_s,
+        ] {
+            buf.clear();
+            buf.resize(c, 0);
+        }
+        self.w_t.clear();
     }
 }
 
@@ -571,6 +621,7 @@ fn naive_mcmc_phase(
 ) {
     let initial = bm.description_length();
     let mut check = ConvergenceCheck::new(initial, threshold);
+    let mut scratch = NaiveScratch::default();
     for _ in 0..cfg.max_sweeps {
         // Batch sweep: evaluate all vertices against frozen state.
         let mut accepted: Vec<(Vertex, usize)> = Vec::new();
@@ -585,8 +636,8 @@ fn naive_mcmc_phase(
             if s == r {
                 continue;
             }
-            let ds = bm.delta_entropy_move(graph, v, s);
-            let h = bm.hastings(rng, graph, v, r, s);
+            let ds = bm.delta_entropy_move_with(graph, v, s, &mut scratch);
+            let h = bm.hastings(graph, v, r, s, &mut scratch);
             let p = ((-cfg.beta * ds).exp() * h).min(1.0);
             if rng.random::<f64>() < p {
                 accepted.push((v, s));

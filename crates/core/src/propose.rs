@@ -10,7 +10,6 @@
 
 use crate::blockmodel::Blockmodel;
 use crate::delta::LineDelta;
-use crate::fxhash::FxHashMap;
 use rand::Rng;
 use sbp_graph::{Graph, Vertex, Weight};
 
@@ -67,12 +66,12 @@ pub fn propose_for_block<R: Rng + ?Sized>(rng: &mut R, bm: &Blockmodel, r: u32) 
     }
     // Neighbor blocks of r with weights M[r][t] + M[t][r], diagonal excluded.
     let mut total: Weight = 0;
-    for (&c, &m) in bm.row(r) {
+    for (c, m) in bm.row_iter(r) {
         if c != r {
             total += m;
         }
     }
-    for (&x, &m) in bm.col(r) {
+    for (x, m) in bm.col_iter(r) {
         if x != r {
             total += m;
         }
@@ -84,7 +83,7 @@ pub fn propose_for_block<R: Rng + ?Sized>(rng: &mut R, bm: &Blockmodel, r: u32) 
     let mut x = rng.random_range(0..total);
     let mut t = None;
     'outer: {
-        for (&c, &m) in bm.row(r) {
+        for (c, m) in bm.row_iter(r) {
             if c == r {
                 continue;
             }
@@ -94,7 +93,7 @@ pub fn propose_for_block<R: Rng + ?Sized>(rng: &mut R, bm: &Blockmodel, r: u32) 
             }
             x -= m;
         }
-        for (&y, &m) in bm.col(r) {
+        for (y, m) in bm.col_iter(r) {
             if y == r {
                 continue;
             }
@@ -133,14 +132,14 @@ fn propose_from_anchor<R: Rng + ?Sized>(
     let mut x = rng.random_range(0..dt);
     let mut s = None;
     'outer: {
-        for (&c, &m) in bm.row(t) {
+        for (c, m) in bm.row_iter(t) {
             if x < m {
                 s = Some(c);
                 break 'outer;
             }
             x -= m;
         }
-        for (&y, &m) in bm.col(t) {
+        for (y, m) in bm.col_iter(t) {
             if x < m {
                 s = Some(y);
                 break 'outer;
@@ -174,46 +173,11 @@ fn uniform_excluding<R: Rng + ?Sized>(rng: &mut R, b: u32, excl: u32) -> u32 {
 /// with `t` ranging over the blocks of `v`'s (non-self) neighbors, `w_t`
 /// the edge weight between `v` and block `t`, forward evaluated on the
 /// current matrix and backward on the post-move matrix implied by `delta`.
+///
+/// Thin wrapper over the allocation-free kernel in [`crate::delta`]; sweep
+/// loops use [`crate::delta::DeltaScratch::hastings_correction`] directly.
 pub fn hastings_correction(graph: &Graph, bm: &Blockmodel, v: Vertex, delta: &LineDelta) -> f64 {
-    let (r, s) = (delta.from, delta.to);
-    if r == s {
-        return 1.0;
-    }
-    let b = bm.num_blocks() as f64;
-    // Neighbor-block weights under the current assignment.
-    let mut w_t: FxHashMap<u32, Weight> = FxHashMap::default();
-    for &(u, w) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
-        if u == v {
-            continue;
-        }
-        *w_t.entry(bm.block_of(u)).or_insert(0) += w;
-    }
-    if w_t.is_empty() {
-        return 1.0; // both directions proposed uniformly
-    }
-    let cell = |x: u32, y: u32| bm.get(x, y) as f64;
-    let new_cell =
-        |x: u32, y: u32| (bm.get(x, y) + delta.cells.get(&(x, y)).copied().unwrap_or(0)) as f64;
-    let new_d_total = |t: u32| -> f64 {
-        let base = bm.d_total(t);
-        let shift = delta.dout_shift + delta.din_shift;
-        (if t == r {
-            base - shift
-        } else if t == s {
-            base + shift
-        } else {
-            base
-        }) as f64
-    };
-    let mut fwd = 0.0;
-    let mut bwd = 0.0;
-    for (&t, &w) in &w_t {
-        let wf = w as f64;
-        fwd += wf * (cell(t, s) + cell(s, t) + 1.0) / (bm.d_total(t) as f64 + b);
-        bwd += wf * (new_cell(t, r) + new_cell(r, t) + 1.0) / (new_d_total(t) + b);
-    }
-    debug_assert!(fwd > 0.0);
-    bwd / fwd
+    crate::delta::hastings_for_delta(graph, bm, v, delta)
 }
 
 #[cfg(test)]

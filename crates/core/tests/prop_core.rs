@@ -3,10 +3,10 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use sbp_core::delta::{delta_entropy, merge_delta, vertex_move_delta};
+use sbp_core::delta::{delta_entropy, merge_delta, vertex_move_delta, DeltaScratch};
 use sbp_core::mcmc::mh_sweep;
 use sbp_core::merge::{apply_merges, MergeCandidate};
-use sbp_core::Blockmodel;
+use sbp_core::{Blockmodel, StorageKind};
 use sbp_graph::Graph;
 
 /// (num vertices, weighted edges, assignment, num blocks).
@@ -169,5 +169,120 @@ proptest! {
         let compact = bm.compacted(&g);
         prop_assert!(compact.num_blocks() <= c);
         prop_assert!((bm.entropy() - compact.entropy()).abs() < 1e-9);
+    }
+
+    /// The dense and sparse matrix representations agree on `get` and
+    /// `entropy` for any graph and assignment — the adaptive storage layer
+    /// must be observationally invisible.
+    #[test]
+    fn dense_and_sparse_agree_on_get_and_entropy(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let dense = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Dense);
+        let sparse = Blockmodel::from_assignment_with(
+            &g, assignment, c, StorageKind::Sparse);
+        prop_assert_eq!(dense.storage_kind(), StorageKind::Dense);
+        prop_assert_eq!(sparse.storage_kind(), StorageKind::Sparse);
+        for r in 0..c as u32 {
+            for col in 0..c as u32 {
+                prop_assert_eq!(dense.get(r, col), sparse.get(r, col), "cell ({}, {})", r, col);
+            }
+            prop_assert_eq!(dense.d_out(r), sparse.d_out(r));
+            prop_assert_eq!(dense.d_in(r), sparse.d_in(r));
+        }
+        prop_assert!((dense.entropy() - sparse.entropy()).abs() < 1e-9);
+        prop_assert!(
+            (dense.description_length() - sparse.description_length()).abs() < 1e-9
+        );
+    }
+
+    /// Both representations produce the same ΔS for any vertex move and
+    /// any block merge (within floating-point tolerance).
+    #[test]
+    fn dense_and_sparse_agree_on_delta_entropy(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        vsel in 0usize..24,
+        tosel in 0u32..5,
+        merge_from in 0u32..5,
+        merge_to in 0u32..5,
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let dense = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Dense);
+        let sparse = Blockmodel::from_assignment_with(
+            &g, assignment, c, StorageKind::Sparse);
+        let v = (vsel % n) as u32;
+        let to = tosel % c as u32;
+        let dd = vertex_move_delta(&g, &dense, v, to);
+        let ds = vertex_move_delta(&g, &sparse, v, to);
+        prop_assert!(
+            (delta_entropy(&dense, &dd) - delta_entropy(&sparse, &ds)).abs() < 1e-9
+        );
+        let (mf, mt) = (merge_from % c as u32, merge_to % c as u32);
+        if mf != mt {
+            let dd = merge_delta(&dense, mf, mt);
+            let ds = merge_delta(&sparse, mf, mt);
+            prop_assert!(
+                (delta_entropy(&dense, &dd) - delta_entropy(&sparse, &ds)).abs() < 1e-9
+            );
+        }
+    }
+
+    /// After any shared move sequence, both representations hold identical
+    /// state: same assignment, same cells, same entropy, both valid.
+    #[test]
+    fn dense_and_sparse_agree_under_move_sequences(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        moves in proptest::collection::vec((0usize..24, 0u32..5), 0..30),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let mut dense = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Dense);
+        let mut sparse = Blockmodel::from_assignment_with(
+            &g, assignment, c, StorageKind::Sparse);
+        for (vsel, tosel) in moves {
+            let (v, to) = ((vsel % n) as u32, tosel % c as u32);
+            dense.move_vertex(&g, v, to);
+            sparse.move_vertex(&g, v, to);
+        }
+        prop_assert_eq!(dense.assignment(), sparse.assignment());
+        for r in 0..c as u32 {
+            for col in 0..c as u32 {
+                prop_assert_eq!(dense.get(r, col), sparse.get(r, col), "cell ({}, {})", r, col);
+            }
+        }
+        prop_assert!((dense.entropy() - sparse.entropy()).abs() < 1e-9);
+        prop_assert!(dense.validate(&g).is_ok());
+        prop_assert!(sparse.validate(&g).is_ok());
+    }
+
+    /// The reusable scratch never leaks state between proposals: a fresh
+    /// scratch and a heavily reused one agree on every evaluation, under
+    /// both representations.
+    #[test]
+    fn scratch_reuse_is_stateless(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        probes in proptest::collection::vec((0usize..24, 0u32..5), 1..20),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+            let bm = Blockmodel::from_assignment_with(
+                &g, assignment.clone(), c, kind);
+            let mut reused = DeltaScratch::new();
+            for &(vsel, tosel) in &probes {
+                let (v, to) = ((vsel % n) as u32, tosel % c as u32);
+                reused.vertex_move_delta(&g, &bm, v, to);
+                let ds_reused = reused.delta_entropy(&bm);
+                let h_reused = reused.hastings_correction(&g, &bm, v);
+                let mut fresh = DeltaScratch::new();
+                fresh.vertex_move_delta(&g, &bm, v, to);
+                let ds_fresh = fresh.delta_entropy(&bm);
+                let h_fresh = fresh.hastings_correction(&g, &bm, v);
+                prop_assert!((ds_reused - ds_fresh).abs() < 1e-12);
+                prop_assert!((h_reused - h_fresh).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -1,0 +1,198 @@
+//! Divide-and-conquer SBP (paper Alg. 3) — the baseline EDiSt is measured
+//! against.
+//!
+//! Each rank receives a round-robin vertex share, induces the subgraph on
+//! it (edges with exactly one endpoint in the share are *dropped*, which is
+//! what islands low-degree vertices on sparse graphs — the failure mode of
+//! Tables VII and Fig. 2), runs full single-node SBP on its piece, and
+//! sends the partial partition to the root. The root offsets the label
+//! spaces, fine-tunes the combined partition with `sbp_from` (Alg. 3 line
+//! 23), and broadcasts the result.
+
+use crate::{mix_seed, ClusterReport};
+use sbp_core::{naive_sbp, sbp, sbp_from, SbpConfig, SbpResult};
+use sbp_graph::{induced_subgraph, round_robin_parts, Graph};
+use sbp_mpi::{Communicator, CostModel, ThreadCluster};
+use std::sync::Arc;
+
+/// Which single-node engine each rank runs on its subgraph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The optimized sparse engine (`sbp_core::sbp`).
+    #[default]
+    Optimized,
+    /// The python-reference-equivalent dense engine (`sbp_core::naive_sbp`)
+    /// — Table VI's subject.
+    Naive,
+}
+
+/// DC-SBP configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DcsbpConfig {
+    /// Hyper-parameters shared with the per-rank and fine-tuning phases.
+    pub sbp: SbpConfig,
+    /// Single-node engine used on the per-rank subgraphs.
+    pub engine: Engine,
+    /// Skip the root-side fine-tuning pass (ablation switch). The combined
+    /// partition is then only compacted, as in the paper's "no fine-tune"
+    /// variant.
+    pub skip_finetune: bool,
+}
+
+/// DC-SBP result (identical on every rank after the final broadcast).
+#[derive(Clone, Debug)]
+pub struct DcsbpResult {
+    /// Inferred block assignment over the full graph.
+    pub assignment: Vec<u32>,
+    /// Inferred number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the returned partition.
+    pub description_length: f64,
+}
+
+/// Runs DC-SBP on this rank; collective calls must be matched by every rank
+/// of `comm`.
+pub fn dcsbp<C: Communicator>(comm: &C, graph: &Graph, cfg: &DcsbpConfig) -> DcsbpResult {
+    let n_ranks = comm.size();
+    let rank = comm.rank();
+    let parts = round_robin_parts(graph.num_vertices(), n_ranks);
+    let sub = induced_subgraph(graph, &parts[rank]);
+
+    let mut sub_cfg = cfg.sbp.clone();
+    sub_cfg.seed = mix_seed(cfg.sbp.seed, 0xDC00 + rank as u64);
+    let local: SbpResult = match cfg.engine {
+        Engine::Optimized => sbp(&sub.graph, &sub_cfg),
+        Engine::Naive => naive_sbp(&sub.graph, &sub_cfg),
+    };
+
+    // (global vertex, local label) pairs travel to the root.
+    let payload: Vec<(u32, u32)> = local
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(v, &b)| (sub.to_global(v as u32), b))
+        .collect();
+    let gathered = comm.gatherv(0, payload);
+
+    let root_result = gathered.map(|parts| {
+        let mut combined = vec![0u32; graph.num_vertices()];
+        let mut offset = 0u32;
+        for part in parts {
+            let width = part.iter().map(|&(_, b)| b + 1).max().unwrap_or(0);
+            for (v, b) in part {
+                combined[v as usize] = offset + b;
+            }
+            offset += width;
+        }
+        let num_blocks = (offset as usize).max(usize::from(!combined.is_empty()));
+        if cfg.skip_finetune {
+            let bm =
+                sbp_core::Blockmodel::from_assignment(graph, combined, num_blocks).compacted(graph);
+            let dl = bm.description_length();
+            let nb = bm.num_blocks();
+            (bm.into_assignment(), nb, dl)
+        } else {
+            let r = sbp_from(graph, combined, num_blocks, &cfg.sbp);
+            (r.assignment, r.num_blocks, r.description_length)
+        }
+    });
+
+    let (assignment, num_blocks, description_length) = comm.broadcast(0, root_result);
+    DcsbpResult {
+        assignment,
+        num_blocks,
+        description_length,
+    }
+}
+
+/// Runs DC-SBP on `n_ranks` simulated ranks; returns the (rank-identical)
+/// result and the cluster report.
+pub fn run_dcsbp_cluster(
+    graph: &Arc<Graph>,
+    n_ranks: usize,
+    cost: CostModel,
+    cfg: &DcsbpConfig,
+) -> (DcsbpResult, ClusterReport) {
+    let g = Arc::clone(graph);
+    let out = ThreadCluster::run(n_ranks.max(1), cost, move |comm| dcsbp(comm, &g, cfg));
+    let report = ClusterReport::from_outcome(&out);
+    let result = out
+        .ranks
+        .into_iter()
+        .next()
+        .expect("at least one rank")
+        .result;
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques(k: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    edges.push((i, j, 1));
+                    edges.push((k + i, k + j, 1));
+                }
+            }
+        }
+        edges.push((0, k, 1));
+        Graph::from_edges(2 * k as usize, edges)
+    }
+
+    #[test]
+    fn single_rank_recovers_two_cliques() {
+        let g = Arc::new(two_cliques(8));
+        let (res, rep) = run_dcsbp_cluster(&g, 1, CostModel::zero(), &DcsbpConfig::default());
+        assert_eq!(res.num_blocks, 2);
+        assert_eq!(res.assignment.len(), 16);
+        assert!(rep.makespan >= 0.0);
+    }
+
+    #[test]
+    fn all_ranks_agree_after_broadcast() {
+        let g = Arc::new(two_cliques(6));
+        let cfg = DcsbpConfig::default();
+        let g2 = Arc::clone(&g);
+        let out = ThreadCluster::run(3, CostModel::zero(), move |comm| dcsbp(comm, &g2, &cfg));
+        let first = &out.ranks[0].result;
+        for r in &out.ranks {
+            assert_eq!(r.result.assignment, first.assignment);
+            assert_eq!(r.result.num_blocks, first.num_blocks);
+        }
+    }
+
+    #[test]
+    fn skip_finetune_still_returns_valid_partition() {
+        let g = Arc::new(two_cliques(6));
+        let cfg = DcsbpConfig {
+            skip_finetune: true,
+            ..DcsbpConfig::default()
+        };
+        let (res, _) = run_dcsbp_cluster(&g, 2, CostModel::zero(), &cfg);
+        assert_eq!(res.assignment.len(), 12);
+        assert!(res.num_blocks >= 1);
+        assert!(res
+            .assignment
+            .iter()
+            .all(|&b| (b as usize) < res.num_blocks));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = Arc::new(Graph::from_edges(0, Vec::new()));
+        let (res, _) = run_dcsbp_cluster(&g, 2, CostModel::zero(), &DcsbpConfig::default());
+        assert!(res.assignment.is_empty());
+        assert_eq!(res.num_blocks, 0);
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let g = Arc::new(two_cliques(2));
+        let (res, _) = run_dcsbp_cluster(&g, 6, CostModel::zero(), &DcsbpConfig::default());
+        assert_eq!(res.assignment.len(), 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! EDiSt — exact distributed stochastic block partitioning (paper
+//! Algs. 4–5).
+//!
+//! Every rank holds the full graph and a replica of the blockmodel; only
+//! the *work* is partitioned. Each iteration of the golden-ratio search
+//! runs:
+//!
+//! 1. **Distributed merge phase** (Alg. 4): rank `r` evaluates merge
+//!    proposals for the blocks it owns (`b mod n == r`), the candidate
+//!    lists are allgathered, and every rank applies the identical best
+//!    merge set (the candidate order is normalized by `apply_merges`'
+//!    total-order sort, so replicas stay bit-identical).
+//! 2. **Distributed MCMC phase** (Alg. 5): rank `r` sweeps the vertices it
+//!    owns against its replica, accepted moves are allgathered every
+//!    `sync_period` sweeps, and each rank applies its peers' moves. Since
+//!    a vertex is moved only by its owner, the post-sync assignment — and
+//!    therefore the blockmodel, a pure function of the assignment — is
+//!    identical on every rank.
+//!
+//! Convergence decisions use a description length broadcast from rank 0:
+//! all replicas hold the same state, but hash-map iteration order can
+//! differ between ranks, and a last-bit difference in the floating-point
+//! sum must never make ranks disagree on control flow (that would
+//! mismatch the collective schedule).
+
+use crate::ownership::{owned_blocks, OwnershipStrategy};
+use crate::{mix_seed, ClusterReport};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbp_core::golden::{BracketEntry, GoldenBracket, NextStep};
+use sbp_core::hybrid::{batch_sweep, hybrid_sweep};
+use sbp_core::mcmc::{mh_sweep, AcceptedMove, ConvergenceCheck, SweepOutcome};
+use sbp_core::merge::{apply_merges, propose_merges, MergeCandidate};
+use sbp_core::{Blockmodel, McmcStrategy, SbpConfig};
+use sbp_graph::{Graph, Vertex};
+use sbp_mpi::{Communicator, CostModel, ThreadCluster};
+use std::sync::Arc;
+
+/// EDiSt configuration.
+#[derive(Clone, Debug)]
+pub struct EdistConfig {
+    /// Hyper-parameters of the underlying SBP search.
+    pub sbp: SbpConfig,
+    /// Vertex-ownership scheme for the MCMC phase.
+    pub ownership: OwnershipStrategy,
+    /// Sweeps between move exchanges (1 = the paper's every-sweep
+    /// allgather; larger values trade staleness for fewer collectives).
+    pub sync_period: usize,
+}
+
+impl Default for EdistConfig {
+    fn default() -> Self {
+        EdistConfig {
+            sbp: SbpConfig::default(),
+            ownership: OwnershipStrategy::SortedBalanced,
+            sync_period: 1,
+        }
+    }
+}
+
+/// EDiSt result (identical on every rank).
+#[derive(Clone, Debug)]
+pub struct EdistResult {
+    /// Inferred block assignment.
+    pub assignment: Vec<u32>,
+    /// Inferred number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the returned partition.
+    pub description_length: f64,
+}
+
+fn result_from(entry: BracketEntry) -> EdistResult {
+    EdistResult {
+        assignment: entry.assignment,
+        num_blocks: entry.num_blocks,
+        description_length: entry.dl,
+    }
+}
+
+/// Broadcasts rank 0's description length so every replica records the
+/// bit-identical value (see module docs).
+fn shared_dl<C: Communicator>(comm: &C, bm: &Blockmodel) -> f64 {
+    comm.broadcast(0, (comm.rank() == 0).then(|| bm.description_length()))
+}
+
+/// Runs EDiSt on this rank; collective calls must be matched by every rank
+/// of `comm`. Returns the same result on every rank.
+pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> EdistResult {
+    if graph.num_vertices() == 0 {
+        return EdistResult {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            description_length: 0.0,
+        };
+    }
+    let (rank, size) = (comm.rank(), comm.size());
+    let ownership = cfg.ownership.partition(graph, size);
+    let my_vertices: &[Vertex] = &ownership[rank];
+    let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.sbp.seed, 0xED15_7000 + rank as u64));
+
+    let start = Blockmodel::identity(graph);
+    let mut bracket = GoldenBracket::new(cfg.sbp.block_reduction_rate);
+    bracket.seed(BracketEntry {
+        assignment: start.assignment().to_vec(),
+        num_blocks: start.num_blocks(),
+        dl: shared_dl(comm, &start),
+    });
+
+    for iter_idx in 0..cfg.sbp.max_iterations {
+        match bracket.next() {
+            NextStep::Done(best) => return result_from(best),
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
+
+                // ---- distributed merge phase (Alg. 4) ----
+                let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
+                let merge_seed = mix_seed(cfg.sbp.seed, 0xA5A5_0000 ^ iter_idx as u64);
+                let mine = propose_merges(
+                    &bm,
+                    &my_blocks,
+                    cfg.sbp.merge_proposals_per_block,
+                    merge_seed,
+                );
+                let candidates: Vec<MergeCandidate> =
+                    comm.allgatherv(mine).into_iter().flatten().collect();
+                let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
+                let mut bm = Blockmodel::from_assignment(graph, assignment, num_blocks);
+
+                // ---- distributed MCMC phase (Alg. 5) ----
+                let threshold = if bracket.established() {
+                    cfg.sbp.threshold_post
+                } else {
+                    cfg.sbp.threshold_pre
+                };
+                let dl = mcmc_phase_distributed(
+                    comm,
+                    graph,
+                    &mut bm,
+                    my_vertices,
+                    cfg,
+                    threshold,
+                    iter_idx,
+                    rank,
+                    &mut rng,
+                );
+
+                bracket.record(BracketEntry {
+                    assignment: bm.assignment().to_vec(),
+                    num_blocks: bm.num_blocks(),
+                    dl,
+                });
+            }
+        }
+    }
+    let best = bracket.best().expect("bracket was seeded").clone();
+    result_from(best)
+}
+
+/// One distributed MCMC phase: sweep owned vertices, exchange moves every
+/// `sync_period` sweeps, stop on the shared convergence rule. Returns the
+/// final (broadcast) description length.
+#[allow(clippy::too_many_arguments)]
+fn mcmc_phase_distributed<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    my_vertices: &[Vertex],
+    cfg: &EdistConfig,
+    threshold: f64,
+    iter_idx: usize,
+    rank: usize,
+    rng: &mut SmallRng,
+) -> f64 {
+    let beta = cfg.sbp.beta;
+    let sync_period = cfg.sync_period.max(1);
+    let sweep_seed = mix_seed(
+        cfg.sbp.seed,
+        0x5A5A_0000 ^ ((iter_idx as u64) << 20) ^ rank as u64,
+    );
+    let initial_dl = shared_dl(comm, bm);
+    let mut check = ConvergenceCheck::new(initial_dl, threshold);
+    let mut pending: Vec<AcceptedMove> = Vec::new();
+    let mut dl = initial_dl;
+
+    let mut sweeps = 0usize;
+    while sweeps < cfg.sbp.max_sweeps {
+        let outcome: SweepOutcome = match &cfg.sbp.strategy {
+            McmcStrategy::MetropolisHastings => mh_sweep(graph, bm, my_vertices, beta, rng),
+            McmcStrategy::Hybrid(hcfg) => {
+                hybrid_sweep(graph, bm, my_vertices, beta, hcfg, sweep_seed, sweeps)
+            }
+            McmcStrategy::Batch => batch_sweep(graph, bm, my_vertices, beta, sweep_seed, sweeps),
+        };
+        pending.extend(outcome.moves);
+        sweeps += 1;
+
+        if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
+            let gathered = comm.allgatherv(std::mem::take(&mut pending));
+            for (from_rank, moves) in gathered.into_iter().enumerate() {
+                if from_rank == rank {
+                    continue; // already applied during the sweep
+                }
+                for m in moves {
+                    bm.move_vertex(graph, m.v, m.to);
+                }
+            }
+            dl = shared_dl(comm, bm);
+            if check.record(dl) {
+                break;
+            }
+        }
+    }
+    dl
+}
+
+/// Runs EDiSt on `n_ranks` simulated ranks; returns the (rank-identical)
+/// result and the cluster report.
+pub fn run_edist_cluster(
+    graph: &Arc<Graph>,
+    n_ranks: usize,
+    cost: CostModel,
+    cfg: &EdistConfig,
+) -> (EdistResult, ClusterReport) {
+    let g = Arc::clone(graph);
+    let out = ThreadCluster::run(n_ranks.max(1), cost, move |comm| edist(comm, &g, cfg));
+    let report = ClusterReport::from_outcome(&out);
+    let result = out
+        .ranks
+        .into_iter()
+        .next()
+        .expect("at least one rank")
+        .result;
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques(k: u32) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    edges.push((i, j, 1));
+                    edges.push((k + i, k + j, 1));
+                }
+            }
+        }
+        edges.push((0, k, 1));
+        Graph::from_edges(2 * k as usize, edges)
+    }
+
+    #[test]
+    fn single_rank_recovers_two_cliques() {
+        let g = Arc::new(two_cliques(8));
+        let (res, _) = run_edist_cluster(&g, 1, CostModel::zero(), &EdistConfig::default());
+        assert_eq!(res.num_blocks, 2);
+        assert_eq!(res.assignment[0], res.assignment[7]);
+        assert_ne!(res.assignment[0], res.assignment[8]);
+    }
+
+    #[test]
+    fn four_ranks_recover_and_agree() {
+        let g = Arc::new(two_cliques(8));
+        let cfg = EdistConfig::default();
+        let g2 = Arc::clone(&g);
+        let out = ThreadCluster::run(4, CostModel::zero(), move |comm| edist(comm, &g2, &cfg));
+        let first = &out.ranks[0].result;
+        assert_eq!(first.num_blocks, 2);
+        for r in &out.ranks {
+            assert_eq!(r.result.assignment, first.assignment);
+            assert_eq!(
+                r.result.description_length.to_bits(),
+                first.description_length.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sync_period_two_still_converges() {
+        let g = Arc::new(two_cliques(8));
+        let cfg = EdistConfig {
+            sync_period: 2,
+            ..EdistConfig::default()
+        };
+        let (res, _) = run_edist_cluster(&g, 3, CostModel::zero(), &cfg);
+        assert_eq!(res.num_blocks, 2);
+    }
+
+    #[test]
+    fn modulo_ownership_works_too() {
+        let g = Arc::new(two_cliques(8));
+        let cfg = EdistConfig {
+            ownership: OwnershipStrategy::Modulo,
+            ..EdistConfig::default()
+        };
+        let (res, _) = run_edist_cluster(&g, 2, CostModel::zero(), &cfg);
+        assert_eq!(res.assignment.len(), 16);
+        assert_eq!(res.num_blocks, 2);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = Arc::new(Graph::from_edges(0, Vec::new()));
+        let (res, _) = run_edist_cluster(&g, 3, CostModel::zero(), &EdistConfig::default());
+        assert!(res.assignment.is_empty());
+        assert_eq!(res.num_blocks, 0);
+    }
+
+    #[test]
+    fn report_counts_collectives() {
+        let g = Arc::new(two_cliques(6));
+        let (_, rep) = run_edist_cluster(&g, 2, CostModel::hdr100(), &EdistConfig::default());
+        assert!(rep.collectives > 0);
+        assert!(rep.makespan > 0.0);
+        assert_eq!(rep.ranks, 2);
+    }
+}

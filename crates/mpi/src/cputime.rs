@@ -6,25 +6,46 @@
 //! thread only for cycles it actually executed, which is what the virtual
 //! clocks must accumulate.
 
+// Minimal hand-rolled binding: the build container has no crates.io
+// access, so the `libc` crate is unavailable; `clock_gettime` lives in the
+// C library std already links against.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod sys {
+    #[repr(C)]
+    pub struct Timespec {
+        pub tv_sec: i64,
+        pub tv_nsec: i64,
+    }
+
+    /// `CLOCK_THREAD_CPUTIME_ID` from `<time.h>` (Linux UAPI, stable ABI).
+    pub const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        pub fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+}
+
 /// Seconds of CPU time consumed by the calling thread.
 ///
 /// Falls back to a process-wide monotonic clock on platforms without
 /// `clock_gettime` thread clocks (never on Linux, where the paper's
 /// experiments and ours run).
 pub fn thread_cpu_time() -> f64 {
-    #[cfg(target_os = "linux")]
+    // The hand-rolled timespec assumes 64-bit time_t/long; 32-bit targets
+    // fall back to the wall clock below.
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
     {
-        let mut ts = libc::timespec {
+        let mut ts = sys::Timespec {
             tv_sec: 0,
             tv_nsec: 0,
         };
         // SAFETY: ts is a valid, writable timespec; the clock id is a
         // compile-time constant supported on all Linux kernels we target.
-        let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        let rc = unsafe { sys::clock_gettime(sys::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
         ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
     }
-    #[cfg(not(target_os = "linux"))]
+    #[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
     {
         use std::time::{SystemTime, UNIX_EPOCH};
         SystemTime::now()

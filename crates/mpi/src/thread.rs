@@ -4,11 +4,11 @@
 use crate::comm::{CommStats, Communicator};
 use crate::cost::CostModel;
 use crate::cputime::thread_cpu_time;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 enum Envelope {
     Data {

@@ -63,10 +63,7 @@ pub fn extend_partition(graph: &Graph, sampled: &[Vertex], sample_labels: &[u32]
         .max_by_key(|&(l, c)| (*c, std::cmp::Reverse(*l)))
         .map(|(&l, _)| l)
         .unwrap_or(0);
-    label
-        .into_iter()
-        .map(|l| l.unwrap_or(fallback))
-        .collect()
+    label.into_iter().map(|l| l.unwrap_or(fallback)).collect()
 }
 
 /// The weighted majority label among `u`'s labeled neighbors (ties broken

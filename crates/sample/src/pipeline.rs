@@ -52,10 +52,7 @@ pub struct SamplePipelineResult {
 ///
 /// # Panics
 /// Panics when `fraction` is outside `(0, 1]`.
-pub fn sample_partition_extend(
-    graph: &Graph,
-    cfg: &SamplePipelineConfig,
-) -> SamplePipelineResult {
+pub fn sample_partition_extend(graph: &Graph, cfg: &SamplePipelineConfig) -> SamplePipelineResult {
     assert!(
         cfg.fraction > 0.0 && cfg.fraction <= 1.0,
         "sampling fraction must be in (0, 1]"
@@ -70,7 +67,7 @@ pub fn sample_partition_extend(
         };
     }
     let target = ((n as f64) * cfg.fraction).round().max(1.0) as usize;
-    let sampled = sample_vertices(graph, cfg.strategy, target, cfg.sbp.seed ^ 0x5A11_CE);
+    let sampled = sample_vertices(graph, cfg.strategy, target, cfg.sbp.seed ^ 0x005A_11CE);
     let sub = induced_subgraph(graph, &sampled);
 
     // Infer on the sample.

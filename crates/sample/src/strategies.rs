@@ -181,10 +181,10 @@ fn expansion_snowball(graph: &Graph, target: usize, rng: &mut SmallRng) -> Vec<V
     let mut in_frontier = vec![false; n];
 
     let add = |v: Vertex,
-                   in_sample: &mut Vec<bool>,
-                   picked: &mut Vec<Vertex>,
-                   frontier: &mut Vec<Vertex>,
-                   in_frontier: &mut Vec<bool>| {
+               in_sample: &mut Vec<bool>,
+               picked: &mut Vec<Vertex>,
+               frontier: &mut Vec<Vertex>,
+               in_frontier: &mut Vec<bool>| {
         in_sample[v as usize] = true;
         in_frontier[v as usize] = false;
         picked.push(v);
@@ -210,7 +210,13 @@ fn expansion_snowball(graph: &Graph, target: usize, rng: &mut SmallRng) -> Vec<V
                 fill_uniform_remainder(n, target, &mut in_sample, &mut picked, rng);
                 return picked;
             }
-            add(seed_v, &mut in_sample, &mut picked, &mut frontier, &mut in_frontier);
+            add(
+                seed_v,
+                &mut in_sample,
+                &mut picked,
+                &mut frontier,
+                &mut in_frontier,
+            );
             continue;
         }
         // Pick the frontier vertex with the largest expansion contribution
@@ -228,7 +234,13 @@ fn expansion_snowball(graph: &Graph, target: usize, rng: &mut SmallRng) -> Vec<V
                 (novel, std::cmp::Reverse(u)) // deterministic tie-break
             })
             .expect("frontier non-empty");
-        add(best, &mut in_sample, &mut picked, &mut frontier, &mut in_frontier);
+        add(
+            best,
+            &mut in_sample,
+            &mut picked,
+            &mut frontier,
+            &mut in_frontier,
+        );
     }
     picked
 }
@@ -240,9 +252,7 @@ fn fill_uniform_remainder<R: Rng + ?Sized>(
     picked: &mut Vec<Vertex>,
     rng: &mut R,
 ) {
-    let mut remaining: Vec<Vertex> = (0..n as Vertex)
-        .filter(|&v| !chosen[v as usize])
-        .collect();
+    let mut remaining: Vec<Vertex> = (0..n as Vertex).filter(|&v| !chosen[v as usize]).collect();
     while picked.len() < target && !remaining.is_empty() {
         let i = rng.random_range(0..remaining.len());
         let v = remaining.swap_remove(i);
@@ -256,9 +266,8 @@ mod tests {
     use super::*;
 
     fn ring(n: usize) -> Graph {
-        let edges: Vec<(u32, u32, i64)> = (0..n as u32)
-            .map(|v| (v, (v + 1) % n as u32, 1))
-            .collect();
+        let edges: Vec<(u32, u32, i64)> =
+            (0..n as u32).map(|v| (v, (v + 1) % n as u32, 1)).collect();
         Graph::from_edges(n, edges)
     }
 
@@ -370,7 +379,11 @@ mod tests {
                     .any(|&(u, _)| set.contains(&u))
             })
             .count();
-        assert!(with_neighbor >= s.len() - 2, "snowball fragmented: {with_neighbor}/{}", s.len());
+        assert!(
+            with_neighbor >= s.len() - 2,
+            "snowball fragmented: {with_neighbor}/{}",
+            s.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Offline stand-in for `criterion`, implementing the subset this
+//! workspace's benches use: benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a warm-up phase sizes the iteration
+//! batch so one sample lasts `measurement_time / sample_size`, then
+//! `sample_size` wall-time samples are taken. The mean/min/max per-iteration
+//! times are printed in criterion's familiar `time: [lo mean hi]` layout and
+//! appended to `target/criterion-summary.json` (one JSON object per run) so
+//! CI and `benchmarks/summary.md` can consume machine-readable results.
+//! Passing `--test` (as `cargo bench -- --test` does) runs every benchmark
+//! body exactly once — a smoke pass with no timing.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export used by benches for preventing optimization.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measurement marker types (only wall time is supported).
+pub mod measurement {
+    /// Wall-clock measurement (the default and only measurement).
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortizes setup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small batches (setup cost amortized over many iterations).
+    SmallInput,
+    /// Large batches (one setup per timed routine call).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark id with an optional parameter, e.g. `ownership/balanced/64`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Full benchmark path (`group/name`).
+    pub id: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Harness configuration + collected results.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--test" | "-t" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = it.next();
+                }
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            crit: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id.to_string(), f);
+        g.finish();
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        full_id: String,
+        sample_size: usize,
+        warm_up: Duration,
+        measurement: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher::smoke();
+            f(&mut b);
+            println!("{full_id}: smoke ok");
+            return;
+        }
+        let mut b = Bencher::measured(sample_size, warm_up, measurement);
+        f(&mut b);
+        let rec = b.finish(full_id.clone());
+        println!(
+            "{full_id}\n                        time:   [{} {} {}]",
+            fmt_ns(rec.min_ns),
+            fmt_ns(rec.mean_ns),
+            fmt_ns(rec.max_ns)
+        );
+        self.records.push(rec);
+    }
+
+    /// Writes the JSON summary of all measured benchmarks.
+    pub fn final_summary(&self) {
+        if self.test_mode || self.records.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"iters\": {}}}{}\n",
+                r.id,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = std::env::var("CRITERION_SUMMARY")
+            .unwrap_or_else(|_| "target/criterion-summary.json".to_string());
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote benchmark summary to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M> {
+    crit: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn full_id(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = self.full_id(&id.into());
+        let (s, w, m) = (self.sample_size, self.warm_up, self.measurement);
+        self.crit.run_one(full, s, w, m, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = self.full_id(&id.full);
+        let (s, w, m) = (self.sample_size, self.warm_up, self.measurement);
+        self.crit.run_one(full, s, w, m, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; results live on the Criterion).
+    pub fn finish(self) {}
+}
+
+enum BenchMode {
+    Smoke,
+    Measure {
+        sample_size: usize,
+        warm_up: Duration,
+        measurement: Duration,
+    },
+}
+
+/// Passed to the benchmark closure; `iter`/`iter_batched` do the timing.
+pub struct Bencher {
+    mode: BenchMode,
+    total: Duration,
+    iters: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn smoke() -> Self {
+        Bencher {
+            mode: BenchMode::Smoke,
+            total: Duration::ZERO,
+            iters: 0,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    fn measured(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            mode: BenchMode::Measure {
+                sample_size,
+                warm_up,
+                measurement,
+            },
+            total: Duration::ZERO,
+            iters: 0,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Times `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.iter_batched(|| (), |()| f(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` with untimed `setup` per invocation.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            BenchMode::Smoke => {
+                let input = setup();
+                std_black_box(routine(input));
+                self.iters = 1;
+            }
+            BenchMode::Measure {
+                sample_size,
+                warm_up,
+                measurement,
+            } => {
+                // Warm-up: also estimates the per-iteration cost.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                let mut warm_busy = Duration::ZERO;
+                while warm_start.elapsed() < warm_up {
+                    let input = setup();
+                    let t = Instant::now();
+                    std_black_box(routine(input));
+                    warm_busy += t.elapsed();
+                    warm_iters += 1;
+                }
+                let per_iter = warm_busy
+                    .checked_div(warm_iters.max(1) as u32)
+                    .unwrap_or(Duration::from_nanos(1))
+                    .max(Duration::from_nanos(1));
+                let budget_per_sample = measurement / sample_size as u32;
+                let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1))
+                    .clamp(1, u32::MAX as u128) as u64;
+                for _ in 0..sample_size {
+                    let mut busy = Duration::ZERO;
+                    for _ in 0..iters_per_sample {
+                        let input = setup();
+                        let t = Instant::now();
+                        std_black_box(routine(input));
+                        busy += t.elapsed();
+                    }
+                    self.samples_ns
+                        .push(busy.as_nanos() as f64 / iters_per_sample as f64);
+                    self.total += busy;
+                    self.iters += iters_per_sample;
+                }
+            }
+        }
+    }
+
+    fn finish(self, id: String) -> BenchRecord {
+        let n = self.samples_ns.len().max(1) as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().copied().fold(0.0f64, f64::max);
+        BenchRecord {
+            id,
+            mean_ns: mean,
+            min_ns: if min.is_finite() { min } else { 0.0 },
+            max_ns: max,
+            iters: self.iters,
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher::smoke();
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut b = Bencher::measured(3, Duration::from_millis(5), Duration::from_millis(15));
+        b.iter(|| std_black_box(2u64 + 2));
+        let rec = b.finish("t".into());
+        assert_eq!(rec.id, "t");
+        assert!(rec.mean_ns > 0.0);
+        assert!(rec.iters >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("ownership/balanced", 64);
+        assert_eq!(id.full, "ownership/balanced/64");
+    }
+}

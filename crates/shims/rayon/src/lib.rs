@@ -1,0 +1,203 @@
+//! Offline stand-in for `rayon`, covering the slice-parallelism subset this
+//! workspace uses: `slice.par_iter().map(..)/.filter_map(..).collect()`.
+//!
+//! Work is split into contiguous chunks, one per available core, executed on
+//! scoped OS threads, and results are concatenated in input order — the same
+//! ordering guarantee rayon's indexed parallel iterators provide. There is
+//! no work stealing; the kernels this repo parallelizes (per-block merge
+//! proposals, per-vertex MCMC evaluation) are uniform enough that static
+//! chunking loses nothing.
+
+/// Everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParFilterMap, ParIter, ParMap};
+}
+
+/// Number of worker threads used by `collect`.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `&collection → parallel iterator` entry point (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the parallel iterator.
+    type Item: Send + 'data;
+    /// Produces the parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + Send + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A materialized parallel iterator over `T` items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { base: self, f }
+    }
+
+    /// Parallel filter-map preserving input order.
+    pub fn filter_map<U, F>(self, f: F) -> ParFilterMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync,
+    {
+        ParFilterMap { base: self, f }
+    }
+}
+
+/// Runs `f` over `items` on scoped threads, chunked contiguously, and
+/// returns the per-item outputs flattened in input order.
+fn run_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Option<U> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().filter_map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split from the back to avoid shifting; reverse to restore order.
+    while items.len() > chunk_len {
+        let tail = items.split_off(items.len() - chunk_len);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse();
+    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().filter_map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in results {
+        out.extend(part);
+    }
+    out
+}
+
+/// Pending parallel map; `collect` executes it.
+pub struct ParMap<T, F> {
+    base: ParIter<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map in parallel, preserving input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        let f = self.f;
+        C::from_vec(run_chunked(self.base.items, |t| Some(f(t))))
+    }
+}
+
+/// Pending parallel filter-map; `collect` executes it.
+pub struct ParFilterMap<T, F> {
+    base: ParIter<T>,
+    f: F,
+}
+
+impl<T, U, F> ParFilterMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Option<U> + Sync,
+{
+    /// Executes the filter-map in parallel, preserving input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_vec(run_chunked(self.base.items, self.f))
+    }
+}
+
+/// Collection targets for `collect` (rayon's `FromParallelIterator`,
+/// reduced to the shapes used here).
+pub trait FromParallel<U> {
+    /// Builds the collection from ordered results.
+    fn from_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_drops() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let evens: Vec<u32> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn closure_by_reference_works() {
+        let xs: Vec<u32> = (0..64).collect();
+        let f = |x: &u32| -> Option<u32> { Some(*x + 1) };
+        let ys: Vec<u32> = xs.par_iter().filter_map(&f).collect();
+        assert_eq!(ys[0], 1);
+        assert_eq!(ys.len(), 64);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

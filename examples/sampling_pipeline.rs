@@ -30,7 +30,13 @@ fn main() {
 
     // Full-graph baseline.
     let t0 = Instant::now();
-    let full = sbp(graph, &SbpConfig { seed: 1, ..Default::default() });
+    let full = sbp(
+        graph,
+        &SbpConfig {
+            seed: 1,
+            ..Default::default()
+        },
+    );
     let full_time = t0.elapsed().as_secs_f64();
     println!(
         "\nfull SBP:        NMI={:.3}  time={:.2}s",
@@ -58,7 +64,10 @@ fn main() {
         let cfg = SamplePipelineConfig {
             strategy,
             fraction: 0.5,
-            sbp: SbpConfig { seed: 1, ..Default::default() },
+            sbp: SbpConfig {
+                seed: 1,
+                ..Default::default()
+            },
             finetune_sweeps: 3,
         };
         let t1 = Instant::now();

@@ -99,7 +99,9 @@ impl Args {
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: '{v}'")),
         }
     }
 }
@@ -110,10 +112,7 @@ fn load(args: &Args) -> Result<Graph, String> {
 }
 
 fn write_assignment(path: Option<&str>, assignment: &[u32]) -> Result<(), String> {
-    let text: String = assignment
-        .iter()
-        .map(|l| format!("{l}\n"))
-        .collect();
+    let text: String = assignment.iter().map(|l| format!("{l}\n")).collect();
     match path {
         Some(p) => std::fs::write(p, text).map_err(|e| format!("writing {p}: {e}")),
         None => {
@@ -302,12 +301,7 @@ fn cmd_islands(args: &Args) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad rank count '{tok}'"))?;
         let rep = island_fraction_round_robin(&graph, n.max(1));
-        println!(
-            "{:>8} {:>10} {:>10.4}",
-            n,
-            rep.islands,
-            rep.fraction()
-        );
+        println!("{:>8} {:>10} {:>10.4}", n, rep.islands, rep.fraction());
     }
     Ok(())
 }
@@ -331,8 +325,13 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         "avg out-degree:  {:.2}",
         g.total_edge_weight() as f64 / n.max(1) as f64
     );
-    println!("degree p50/p90/p99/max: {}/{}/{}/{}",
-        quantile(0.5), quantile(0.9), quantile(0.99), degs.last().copied().unwrap_or(0));
+    println!(
+        "degree p50/p90/p99/max: {}/{}/{}/{}",
+        quantile(0.5),
+        quantile(0.9),
+        quantile(0.99),
+        degs.last().copied().unwrap_or(0)
+    );
     println!(
         "isolated:        {}",
         (0..n as u32).filter(|&v| g.degree(v) == 0).count()
@@ -413,7 +412,14 @@ mod tests {
             tpath.to_str().unwrap(),
         ]))
         .unwrap();
-        run(&argv(&["islands", "--graph", gpath.to_str().unwrap(), "--ranks", "1,4"])).unwrap();
+        run(&argv(&[
+            "islands",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--ranks",
+            "1,4",
+        ]))
+        .unwrap();
         run(&argv(&["stats", "--graph", gpath.to_str().unwrap()])).unwrap();
         for p in [&gpath, &tpath, &apath] {
             let _ = std::fs::remove_file(p);
