@@ -12,18 +12,17 @@
 //! cargo run --release -p sbp-bench --bin ablation
 //! ```
 
+use edist::{Backend, Partitioner};
 use sbp_bench::{demo_graph, experiment_sbp_config, f2, secs, BenchConfig, Table};
 use sbp_core::hybrid::HybridConfig;
 use sbp_core::McmcStrategy;
-use sbp_dist::{run_edist_cluster, EdistConfig, OwnershipStrategy};
+use sbp_dist::OwnershipStrategy;
 use sbp_eval::nmi;
-use sbp_mpi::CostModel;
-use std::sync::Arc;
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let planted = demo_graph(&cfg);
-    let g = Arc::new(planted.graph.clone());
+    let g = &planted.graph;
     let ranks = 8.min(cfg.max_ranks);
     eprintln!(
         "ablation graph: V={} E={}, {} ranks",
@@ -41,16 +40,16 @@ fn main() {
         ("sorted-balanced", OwnershipStrategy::SortedBalanced),
         ("modulo", OwnershipStrategy::Modulo),
     ] {
-        let ecfg = EdistConfig {
-            sbp: experiment_sbp_config(cfg.seed),
-            ownership,
-            sync_period: 1,
-        };
-        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        let run = Partitioner::on(g)
+            .backend(Backend::Edist { ranks })
+            .config(experiment_sbp_config(cfg.seed))
+            .ownership(ownership)
+            .run()
+            .expect("valid configuration");
         t.row(vec![
             name.into(),
-            secs(rep.makespan),
-            f2(nmi(&res.assignment, &planted.ground_truth)),
+            secs(run.virtual_seconds),
+            f2(nmi(&run.assignment, &planted.ground_truth)),
         ]);
     }
     t.emit("ablation_ownership.csv");
@@ -58,21 +57,30 @@ fn main() {
     // ---- 2. sync period ----
     let mut t = Table::new(
         "Ablation 2 — MCMC sync period (communication vs quality)",
-        &["period", "collectives", "MB on wire", "runtime (s)", "NMI"],
+        &[
+            "period",
+            "collectives",
+            "MB on wire",
+            "max-rank MB",
+            "runtime (s)",
+            "NMI",
+        ],
     );
     for k in [1usize, 2, 4, 8] {
-        let ecfg = EdistConfig {
-            sbp: experiment_sbp_config(cfg.seed),
-            ownership: OwnershipStrategy::SortedBalanced,
-            sync_period: k,
-        };
-        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        let run = Partitioner::on(g)
+            .backend(Backend::Edist { ranks })
+            .config(experiment_sbp_config(cfg.seed))
+            .sync_period(k)
+            .run()
+            .expect("valid configuration");
+        let rep = run.cluster.expect("distributed backend reports cluster");
         t.row(vec![
             k.to_string(),
             rep.collectives.to_string(),
             format!("{:.2}", rep.total_bytes as f64 / 1e6),
+            format!("{:.2}", rep.max_rank_bytes as f64 / 1e6),
             secs(rep.makespan),
-            f2(nmi(&res.assignment, &planted.ground_truth)),
+            f2(nmi(&run.assignment, &planted.ground_truth)),
         ]);
     }
     t.emit("ablation_sync.csv");
@@ -95,16 +103,15 @@ fn main() {
     ] {
         let mut sbp = experiment_sbp_config(cfg.seed);
         sbp.strategy = strategy;
-        let ecfg = EdistConfig {
-            sbp,
-            ownership: OwnershipStrategy::SortedBalanced,
-            sync_period: 1,
-        };
-        let (res, rep) = run_edist_cluster(&g, ranks, CostModel::hdr100(), &ecfg);
+        let run = Partitioner::on(g)
+            .backend(Backend::Edist { ranks })
+            .config(sbp)
+            .run()
+            .expect("valid configuration");
         t.row(vec![
             name.into(),
-            secs(rep.makespan),
-            f2(nmi(&res.assignment, &planted.ground_truth)),
+            secs(run.virtual_seconds),
+            f2(nmi(&run.assignment, &planted.ground_truth)),
         ]);
     }
     t.emit("ablation_strategy.csv");

@@ -7,19 +7,16 @@
 //! NMI/DL_norm come from `sbp-eval`.
 
 use crate::harness::BenchConfig;
+use edist::{Backend, Partitioner, Run};
 use sbp_core::hybrid::HybridConfig;
 use sbp_core::{McmcStrategy, SbpConfig};
-use sbp_dist::{
-    run_dcsbp_cluster, run_edist_cluster, DcsbpConfig, EdistConfig, Engine, OwnershipStrategy,
-};
-use sbp_eval::{nmi, normalized_dl};
+use sbp_eval::nmi;
 use sbp_gen::{
     graph_challenge, param_study, realworld, scaling_graph, Difficulty, ParamStudySpec,
     PlantedGraph, RealWorldStandIn, ScalingGraph,
 };
-use sbp_graph::island_fraction_round_robin;
+use sbp_graph::{island_fraction_round_robin, Graph};
 use sbp_mpi::CostModel;
-use std::sync::Arc;
 
 /// The SBP hyper-parameters used throughout the evaluation: the Hybrid-SBP
 /// MCMC (the paper's intra-rank algorithm), with rayon disabled because the
@@ -35,24 +32,27 @@ pub fn experiment_sbp_config(seed: u64) -> SbpConfig {
     }
 }
 
-fn edist_cfg(seed: u64) -> EdistConfig {
-    EdistConfig {
-        sbp: experiment_sbp_config(seed),
-        ownership: OwnershipStrategy::SortedBalanced,
-        sync_period: 1,
-    }
-}
-
-fn dcsbp_cfg(seed: u64, engine: Engine) -> DcsbpConfig {
-    DcsbpConfig {
-        sbp: experiment_sbp_config(seed),
-        engine,
-        ..DcsbpConfig::default()
-    }
-}
-
 fn interconnect() -> CostModel {
     CostModel::hdr100()
+}
+
+/// Every experiment drives inference through the unified `Partitioner`
+/// facade: the backend is the only thing that varies between cells.
+fn run_backend(graph: &Graph, backend: Backend, seed: u64) -> Run {
+    Partitioner::on(graph)
+        .backend(backend)
+        .config(experiment_sbp_config(seed))
+        .cost_model(interconnect())
+        .run()
+        .expect("experiment configurations are valid")
+}
+
+fn edist_backend(ranks: usize) -> Backend {
+    Backend::Edist { ranks }
+}
+
+fn dcsbp_backend(ranks: usize) -> Backend {
+    Backend::DcSbp { ranks }
 }
 
 // ---------------------------------------------------------------- Table VI
@@ -90,7 +90,6 @@ pub struct Table6Row {
 /// count starts at `V` and the dense engine's O(C) kernels dominate.
 pub fn table6(cfg: &BenchConfig) -> Vec<Table6Row> {
     use sbp_core::naive::naive_sbp;
-    use sbp_core::sbp::sbp;
     let mut rows = Vec::new();
     for (base_v, label) in [(800usize, "20k"), (1300, "50k"), (2000, "200k")] {
         for difficulty in [Difficulty::Easy, Difficulty::Hard] {
@@ -112,10 +111,18 @@ pub fn table6(cfg: &BenchConfig) -> Vec<Table6Row> {
             let naive_res = naive_sbp(&pg.graph, &naive_cfg);
             let naive_time = sbp_mpi::thread_cpu_time() - t0;
 
-            let opt_cfg = experiment_sbp_config(cfg.seed);
-            let t1 = sbp_mpi::thread_cpu_time();
-            let opt_res = sbp(&pg.graph, &opt_cfg);
-            let opt_time = sbp_mpi::thread_cpu_time() - t1;
+            // The optimized engine runs through the unified facade; its
+            // `virtual_seconds` is exactly the thread-CPU measurement the
+            // naive side uses.
+            let opt_res = run_backend(
+                &pg.graph,
+                Backend::Hybrid(HybridConfig {
+                    parallel: false,
+                    ..HybridConfig::default()
+                }),
+                cfg.seed,
+            );
+            let opt_time = opt_res.virtual_seconds;
 
             rows.push(Table6Row {
                 graph_id,
@@ -170,32 +177,21 @@ pub fn param_sweep(cfg: &BenchConfig, algo: Algo) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for spec in ParamStudySpec::all() {
         let pg = param_study(spec, scale, cfg.seed);
-        let g = Arc::new(pg.graph.clone());
         for &n in &cfg.rank_counts() {
             eprintln!("[{algo:?}] {} n={n} ...", spec.id());
-            let island = island_fraction_round_robin(&g, n).fraction();
-            let (assignment, num_blocks, makespan) = match algo {
-                Algo::Dcsbp => {
-                    let (r, rep) = run_dcsbp_cluster(
-                        &g,
-                        n,
-                        interconnect(),
-                        &dcsbp_cfg(cfg.seed, Engine::Optimized),
-                    );
-                    (r.assignment, r.num_blocks, rep.makespan)
-                }
-                Algo::Edist => {
-                    let (r, rep) = run_edist_cluster(&g, n, interconnect(), &edist_cfg(cfg.seed));
-                    (r.assignment, r.num_blocks, rep.makespan)
-                }
+            let island = island_fraction_round_robin(&pg.graph, n).fraction();
+            let backend = match algo {
+                Algo::Dcsbp => dcsbp_backend(n),
+                Algo::Edist => edist_backend(n),
             };
+            let run = run_backend(&pg.graph, backend, cfg.seed);
             cells.push(SweepCell {
                 graph_id: spec.id(),
                 n_ranks: n,
-                nmi: nmi(&assignment, &pg.ground_truth),
+                nmi: nmi(&run.assignment, &pg.ground_truth),
                 island_fraction: island,
-                makespan,
-                num_blocks,
+                makespan: run.virtual_seconds,
+                num_blocks: run.num_blocks,
             });
         }
     }
@@ -249,7 +245,6 @@ pub fn fig3(cfg: &BenchConfig) -> Vec<Fig3Row> {
         SCALING_DEFAULT_SCALE * cfg.scale,
         cfg.seed,
     );
-    let g = Arc::new(pg.graph.clone());
     let mut rows = Vec::new();
     let mut base = f64::NAN;
     for tasks in [1usize, 2, 4, 8, 16] {
@@ -257,14 +252,14 @@ pub fn fig3(cfg: &BenchConfig) -> Vec<Fig3Row> {
             break;
         }
         eprintln!("[fig3] tasks={tasks} ...");
-        let (_, rep) = run_edist_cluster(&g, tasks, interconnect(), &edist_cfg(cfg.seed));
+        let run = run_backend(&pg.graph, edist_backend(tasks), cfg.seed);
         if tasks == 1 {
-            base = rep.makespan;
+            base = run.virtual_seconds;
         }
         rows.push(Fig3Row {
             tasks,
-            makespan: rep.makespan,
-            speedup: base / rep.makespan,
+            makespan: run.virtual_seconds,
+            speedup: base / run.virtual_seconds,
         });
     }
     rows
@@ -294,20 +289,23 @@ pub fn fig4(cfg: &BenchConfig) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     for which in ScalingGraph::all() {
         let pg = scaling_graph(which, scale, cfg.seed);
-        let g = Arc::new(pg.graph.clone());
         let mut base = f64::NAN;
         for &n in &cfg.rank_counts() {
-            eprintln!("[fig4] {} (V={}) n={n} ...", which.id(), g.num_vertices());
-            let (res, rep) = run_edist_cluster(&g, n, interconnect(), &edist_cfg(cfg.seed));
+            eprintln!(
+                "[fig4] {} (V={}) n={n} ...",
+                which.id(),
+                pg.graph.num_vertices()
+            );
+            let run = run_backend(&pg.graph, edist_backend(n), cfg.seed);
             if n == 1 {
-                base = rep.makespan;
+                base = run.virtual_seconds;
             }
             rows.push(Fig4Row {
                 graph_id: which.id().to_string(),
                 n_ranks: n,
-                makespan: rep.makespan,
-                nmi: nmi(&res.assignment, &pg.ground_truth),
-                speedup: base / rep.makespan,
+                makespan: run.virtual_seconds,
+                nmi: nmi(&run.assignment, &pg.ground_truth),
+                speedup: base / run.virtual_seconds,
             });
         }
     }
@@ -354,24 +352,18 @@ pub fn fig5(cfg: &BenchConfig, fig4_rows: Option<&[Fig4Row]>) -> Vec<Fig5Row> {
     let mut out = Vec::new();
     for which in ScalingGraph::all() {
         let pg = scaling_graph(which, scale, cfg.seed);
-        let g = Arc::new(pg.graph.clone());
         // DC-SBP: find the largest rank count that preserves NMI.
         let mut baseline_nmi = f64::NAN;
         let mut best: Option<(usize, f64)> = None;
         for &n in &cfg.rank_counts() {
             eprintln!("[fig5] DC-SBP {} n={n} ...", which.id());
-            let (res, rep) = run_dcsbp_cluster(
-                &g,
-                n,
-                interconnect(),
-                &dcsbp_cfg(cfg.seed, Engine::Optimized),
-            );
-            let score = nmi(&res.assignment, &pg.ground_truth);
+            let run = run_backend(&pg.graph, dcsbp_backend(n), cfg.seed);
+            let score = nmi(&run.assignment, &pg.ground_truth);
             if n == 1 {
                 baseline_nmi = score;
-                best = Some((1, rep.makespan));
+                best = Some((1, run.virtual_seconds));
             } else if score >= baseline_nmi - 0.05 {
-                best = Some((n, rep.makespan));
+                best = Some((n, run.virtual_seconds));
             }
         }
         let (dc_ranks, dc_time) = best.expect("at least the 1-rank run");
@@ -434,34 +426,25 @@ pub fn fig6(cfg: &BenchConfig) -> Vec<Fig6Row> {
     let mut rows = Vec::new();
     for which in RealWorldStandIn::all() {
         let pg = realworld(which, realworld_scale(which, cfg.scale), cfg.seed);
-        let g = Arc::new(pg.graph.clone());
-        let (v, e) = (g.num_vertices(), g.total_edge_weight());
+        let v = pg.graph.num_vertices();
         for &n in &[1usize, 4, 16, 64] {
             if n > cfg.max_ranks {
                 break;
             }
             eprintln!("[fig6] {} (V={v}) n={n} ...", which.id());
-            let (dc, dc_rep) = run_dcsbp_cluster(
-                &g,
-                n,
-                interconnect(),
-                &dcsbp_cfg(cfg.seed, Engine::Optimized),
-            );
-            rows.push(Fig6Row {
-                graph_id: which.id().to_string(),
-                algo: Algo::Dcsbp,
-                n_ranks: n,
-                makespan: dc_rep.makespan,
-                dl_norm: normalized_dl(dc.description_length, v, e),
-            });
-            let (ed, ed_rep) = run_edist_cluster(&g, n, interconnect(), &edist_cfg(cfg.seed));
-            rows.push(Fig6Row {
-                graph_id: which.id().to_string(),
-                algo: Algo::Edist,
-                n_ranks: n,
-                makespan: ed_rep.makespan,
-                dl_norm: normalized_dl(ed.description_length, v, e),
-            });
+            for (algo, backend) in [
+                (Algo::Dcsbp, dcsbp_backend(n)),
+                (Algo::Edist, edist_backend(n)),
+            ] {
+                let run = run_backend(&pg.graph, backend, cfg.seed);
+                rows.push(Fig6Row {
+                    graph_id: which.id().to_string(),
+                    algo,
+                    n_ranks: n,
+                    makespan: run.virtual_seconds,
+                    dl_norm: run.dl_norm(&pg.graph),
+                });
+            }
         }
     }
     rows

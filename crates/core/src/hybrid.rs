@@ -49,7 +49,12 @@ impl Default for HybridConfig {
     }
 }
 
-fn vertex_rng(seed: u64, sweep: usize, v: Vertex) -> SmallRng {
+/// Derives the `(seed, sweep, vertex)`-keyed RNG stream shared by every
+/// keyed sweep implementation (hybrid, batch, and keyed MH). Keying by
+/// vertex — never by rank or thread — is what makes sweep schedules
+/// deterministic under thread scheduling and invariant to how the
+/// distributed drivers partition the vertex set.
+pub(crate) fn vertex_rng(seed: u64, sweep: usize, v: Vertex) -> SmallRng {
     // SplitMix-style mixing of the three stream coordinates.
     let mut z = seed
         ^ (sweep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -61,7 +66,7 @@ fn vertex_rng(seed: u64, sweep: usize, v: Vertex) -> SmallRng {
 
 /// Evaluates one vertex against the current (frozen) blockmodel; returns
 /// the accepted move, if any. Allocation-free via the caller's scratch.
-fn evaluate(
+pub(crate) fn evaluate_vertex(
     graph: &Graph,
     bm: &Blockmodel,
     v: Vertex,
@@ -108,7 +113,7 @@ pub fn hybrid_sweep(
         for &v in head {
             let mut rng = vertex_rng(seed, sweep_idx, v);
             out.proposals += 1;
-            if let Some(m) = evaluate(graph, bm, v, beta, &mut rng, scratch) {
+            if let Some(m) = evaluate_vertex(graph, bm, v, beta, &mut rng, scratch) {
                 bm.move_vertex(graph, v, m.to);
                 out.moves.push(m);
             }
@@ -124,7 +129,7 @@ pub fn hybrid_sweep(
                 .par_iter()
                 .filter_map(|&v| {
                     let mut rng = vertex_rng(seed, sweep_idx, v);
-                    with_scratch(|scratch| evaluate(graph, &*bm, v, beta, &mut rng, scratch))
+                    with_scratch(|scratch| evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch))
                 })
                 .collect()
         } else {
@@ -133,7 +138,7 @@ pub fn hybrid_sweep(
                     .iter()
                     .filter_map(|&v| {
                         let mut rng = vertex_rng(seed, sweep_idx, v);
-                        evaluate(graph, &*bm, v, beta, &mut rng, scratch)
+                        evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch)
                     })
                     .collect()
             })
@@ -164,7 +169,7 @@ pub fn batch_sweep(
             .iter()
             .filter_map(|&v| {
                 let mut rng = vertex_rng(seed, sweep_idx, v);
-                evaluate(graph, &*bm, v, beta, &mut rng, scratch)
+                evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch)
             })
             .collect()
     });

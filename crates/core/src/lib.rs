@@ -25,7 +25,10 @@
 //! * [`hybrid`] — the Hybrid-SBP shared-memory parallel MCMC (sequential
 //!   high-degree vertices + chunked asynchronous-Gibbs low-degree ones);
 //! * [`golden`] — the golden-ratio search over the number of communities;
-//! * [`mod@sbp`] — the end-to-end driver;
+//! * [`run`] — the unified backend API: the object-safe [`Solver`] trait,
+//!   the shared [`RunConfig`]/[`RunOutcome`] types, progress events, and
+//!   cooperative cancellation via [`CancelToken`];
+//! * [`mod@sbp`] — the end-to-end driver ([`solve_sbp`]);
 //! * [`naive`] — a deliberately dense/batched baseline equivalent to the
 //!   original python reference implementation, used to regenerate Table VI.
 //!
@@ -60,6 +63,7 @@ pub mod mcmc;
 pub mod merge;
 pub mod naive;
 pub mod propose;
+pub mod run;
 pub mod sbp;
 
 pub use blockmodel::{dense_threshold, Blockmodel, LineIter, StorageKind};
@@ -68,11 +72,17 @@ pub use delta::{
 };
 pub use golden::{GoldenBracket, NextStep};
 pub use hybrid::HybridConfig;
-pub use mcmc::{mcmc_phase, mh_sweep, AcceptedMove, McmcStats};
+pub use mcmc::{keyed_mh_sweep, mcmc_phase, mh_sweep, AcceptedMove, McmcStats};
 pub use merge::{apply_merges, propose_merges, MergeCandidate};
 pub use naive::{naive_sbp, naive_sbp_from, NaiveScratch};
 pub use propose::{hastings_correction, propose_for_block, propose_for_vertex};
-pub use sbp::{sbp, sbp_from, IterationStat, McmcStrategy, SbpConfig, SbpResult};
+pub use run::{
+    Batch, CancelToken, Hybrid, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig,
+    RunOutcome, Sequential, Solver,
+};
+#[allow(deprecated)]
+pub use sbp::{sbp, sbp_from};
+pub use sbp::{solve_sbp, IterationStat, McmcStrategy, SbpConfig, SbpResult};
 
 /// `h(x) = (1+x)·ln(1+x) − x·ln(x)`, the model-complexity kernel of the
 /// description length (paper Eq. 2).

@@ -1,14 +1,21 @@
 //! The Metropolis–Hastings MCMC phase (paper Alg. 2).
 //!
-//! `mh_sweep` performs one sequential pass over an explicit vertex subset
-//! (EDiSt calls it with a rank's owned vertices, Alg. 5 lines 4–15);
-//! `mcmc_phase` wraps the sweep loop with the paper's convergence rule:
+//! `keyed_mh_sweep` performs one sequential pass over an explicit vertex
+//! subset (EDiSt calls it with a rank's owned vertices, Alg. 5 lines
+//! 4–15) drawing each vertex's proposal randomness from a
+//! `(seed, sweep, vertex)`-keyed stream, so the same vertex draws the
+//! same randomness no matter which rank sweeps it; `mh_sweep` is the
+//! explicit-RNG variant for callers that manage their own stream.
+//! `mcmc_phase` wraps the sweep loop with the paper's convergence rule —
 //! stop when the moving average of the last three per-sweep ΔDL values
-//! falls below `threshold × initial DL`, or after `max_sweeps`.
+//! falls below `threshold × initial DL`, or after `max_sweeps` — plus a
+//! cancellation check between sweeps.
 
 use crate::blockmodel::Blockmodel;
 use crate::delta::with_scratch;
+use crate::hybrid::{evaluate_vertex, vertex_rng};
 use crate::propose::propose_for_vertex;
+use crate::run::CancelToken;
 use rand::Rng;
 use sbp_graph::{Graph, Vertex};
 
@@ -85,6 +92,37 @@ pub fn mh_sweep<R: Rng + ?Sized>(
     })
 }
 
+/// One sequential Metropolis–Hastings pass over `vertices` with
+/// per-vertex keyed RNG streams: vertex `v`'s proposal randomness is a
+/// pure function of `(seed, sweep_idx, v)`, independent of sweep order,
+/// history, and — in the distributed drivers — of which rank owns `v`.
+/// Accepted moves are applied to `bm` immediately, exactly like
+/// [`mh_sweep`].
+pub fn keyed_mh_sweep(
+    graph: &Graph,
+    bm: &mut Blockmodel,
+    vertices: &[Vertex],
+    beta: f64,
+    seed: u64,
+    sweep_idx: usize,
+) -> SweepOutcome {
+    with_scratch(|scratch| {
+        let mut out = SweepOutcome::default();
+        for &v in vertices {
+            if graph.degree(v) == 0 {
+                continue;
+            }
+            out.proposals += 1;
+            let mut rng = vertex_rng(seed, sweep_idx, v);
+            if let Some(m) = evaluate_vertex(graph, bm, v, beta, &mut rng, scratch) {
+                bm.move_vertex(graph, v, m.to);
+                out.moves.push(m);
+            }
+        }
+        out
+    })
+}
+
 /// The sweep-loop convergence controller used by both the single-node and
 /// the distributed drivers: feeds per-sweep ΔDL values and answers whether
 /// the phase should stop.
@@ -127,13 +165,17 @@ impl ConvergenceCheck {
 
 /// Runs sweeps until convergence (paper Alg. 2). `sweep` is the sweep
 /// implementation — sequential MH, hybrid, or batch — so the same
-/// controller drives every MCMC variant.
+/// controller drives every MCMC variant. `cancel` is polled between
+/// sweeps: a cancelled phase stops early and reports the sweeps it
+/// completed (the distributed drivers coordinate the equivalent check
+/// through a broadcast instead, so ranks never disagree).
 pub fn mcmc_phase<F>(
     graph: &Graph,
     bm: &mut Blockmodel,
     vertices: &[Vertex],
     max_sweeps: usize,
     threshold: f64,
+    cancel: &CancelToken,
     mut sweep: F,
 ) -> McmcStats
 where
@@ -146,6 +188,9 @@ where
         ..Default::default()
     };
     for sweep_idx in 0..max_sweeps {
+        if cancel.is_cancelled() {
+            break;
+        }
         let outcome = sweep(graph, bm, vertices, sweep_idx);
         stats.sweeps += 1;
         stats.moves += outcome.moves.len();
@@ -258,11 +303,48 @@ mod tests {
         let initial = bm.description_length();
         let mut rng = SmallRng::seed_from_u64(15);
         let vertices: Vec<u32> = (0..6).collect();
-        let stats = mcmc_phase(&g, &mut bm, &vertices, 60, 1e-6, |g, bm, vs, _| {
-            mh_sweep(g, bm, vs, 3.0, &mut rng)
-        });
+        let stats = mcmc_phase(
+            &g,
+            &mut bm,
+            &vertices,
+            60,
+            1e-6,
+            &CancelToken::default(),
+            |g, bm, vs, _| mh_sweep(g, bm, vs, 3.0, &mut rng),
+        );
         assert!(stats.final_dl <= initial);
         assert!(stats.sweeps > 0);
+    }
+
+    #[test]
+    fn mcmc_phase_stops_on_cancel() {
+        let g = two_triangles();
+        let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+        let cancel = CancelToken::default();
+        cancel.cancel();
+        let vertices: Vec<u32> = (0..6).collect();
+        let stats = mcmc_phase(&g, &mut bm, &vertices, 60, 1e-6, &cancel, |g, bm, vs, s| {
+            keyed_mh_sweep(g, bm, vs, 3.0, 1, s)
+        });
+        assert_eq!(stats.sweeps, 0, "cancelled phase must not sweep");
+    }
+
+    #[test]
+    fn keyed_mh_sweep_is_deterministic_and_stateless_across_runs() {
+        // The stream for vertex v in sweep s is a pure function of
+        // (seed, s, v): re-running the whole schedule reproduces the
+        // exact move sequence, with no hidden RNG state carried over.
+        let g = two_triangles();
+        let run = || {
+            let mut bm = Blockmodel::from_assignment(&g, vec![0, 1, 0, 1, 0, 1], 2);
+            let vertices: Vec<u32> = (0..6).collect();
+            let mut all_moves = Vec::new();
+            for sweep in 0..5 {
+                all_moves.extend(keyed_mh_sweep(&g, &mut bm, &vertices, 3.0, 7, sweep).moves);
+            }
+            (bm.assignment().to_vec(), all_moves)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

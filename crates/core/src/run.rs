@@ -1,0 +1,377 @@
+//! The unified solver API: one trait, one config, one result shape.
+//!
+//! Sequential SBP, Hybrid SBP, batch SBP, DC-SBP and EDiSt are the same
+//! inference engine under different execution strategies (the paper's
+//! framing). This module gives that fact an API: an object-safe
+//! [`Solver`] trait whose implementations are interchangeable backends,
+//! a shared [`RunConfig`], and a single [`RunOutcome`] carrying the
+//! partition, the per-iteration trajectory, timings, and (for
+//! distributed backends) the cluster report.
+//!
+//! Long runs are observable and interruptible: every backend reports
+//! [`ProgressEvent`]s through a caller-supplied [`ProgressSink`] and
+//! polls a [`CancelToken`] at iteration boundaries, returning the
+//! best-so-far bracket entry when cancelled. The `edist` facade crate
+//! builds the `Partitioner` builder on top of this module.
+
+use crate::hybrid::HybridConfig;
+use crate::sbp::{solve_sbp, IterationStat, McmcStrategy, SbpConfig};
+use sbp_graph::Graph;
+use sbp_mpi::ClusterReport;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------- cancellation
+
+/// A cheap, cloneable cancellation handle.
+///
+/// Clone it, hand one copy to the run (via [`RunConfig::cancel`]) and
+/// keep the other; calling [`CancelToken::cancel`] from any thread — or
+/// from inside a progress callback — makes the solver stop at its next
+/// check point and return the best partition found so far, flagged with
+/// [`RunOutcome::cancelled`]. Distributed backends coordinate the check
+/// through a broadcast so every rank aborts at the same collective.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+// ------------------------------------------------------------- progress
+
+/// What a running solver reports while it works.
+#[derive(Clone, Debug)]
+pub enum ProgressEvent {
+    /// Inference is starting on a graph of this size.
+    Started {
+        /// Vertices in the graph being partitioned.
+        num_vertices: usize,
+        /// Blocks in the starting partition.
+        num_blocks: usize,
+    },
+    /// A distributed backend is spawning its simulated cluster.
+    ClusterStarted {
+        /// Simulated MPI ranks.
+        ranks: usize,
+    },
+    /// A named pipeline stage is starting (e.g. `"sample"`, `"extend"`,
+    /// `"local-sbp"`, `"finetune"`).
+    PhaseStarted {
+        /// Stage label.
+        phase: &'static str,
+    },
+    /// A block-merge phase finished.
+    Merged {
+        /// Golden-search iteration index.
+        iteration: usize,
+        /// Block count before the merges.
+        from_blocks: usize,
+        /// Block count after the merges.
+        num_blocks: usize,
+    },
+    /// A full merge+MCMC iteration finished.
+    Iteration {
+        /// Golden-search iteration index.
+        iteration: usize,
+        /// The iteration's trajectory entry.
+        stat: IterationStat,
+    },
+    /// The run observed its [`CancelToken`] and is returning early.
+    Cancelled {
+        /// Iteration at which the cancellation was observed.
+        iteration: usize,
+    },
+    /// The run completed normally.
+    Finished {
+        /// Final number of blocks.
+        num_blocks: usize,
+        /// Final description length.
+        description_length: f64,
+    },
+}
+
+/// Receives [`ProgressEvent`]s from a running solver.
+///
+/// Object-safe so backends can thread `&mut dyn ProgressSink` through
+/// without generics; distributed backends relay rank 0's events to the
+/// caller's sink on the spawning thread.
+pub trait ProgressSink {
+    /// Called for every event, in order. Keep it cheap: sequential
+    /// backends invoke it inline from the optimization loop.
+    fn on_event(&mut self, event: &ProgressEvent);
+}
+
+/// The silent sink used when no progress callback is registered.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProgress;
+
+impl ProgressSink for NoProgress {
+    fn on_event(&mut self, _event: &ProgressEvent) {}
+}
+
+/// Adapts any closure into a [`ProgressSink`].
+pub struct ProgressFn<F>(pub F);
+
+impl<F: FnMut(&ProgressEvent)> ProgressSink for ProgressFn<F> {
+    fn on_event(&mut self, event: &ProgressEvent) {
+        (self.0)(event)
+    }
+}
+
+// -------------------------------------------------------------- config
+
+/// The backend-independent run configuration: the shared SBP
+/// hyper-parameters plus the cancellation token. Backend-specific knobs
+/// (rank counts, cost models, ownership schemes, sampling fractions)
+/// live on the backend values themselves.
+#[derive(Clone, Debug, Default)]
+pub struct RunConfig {
+    /// Hyper-parameters of the underlying SBP search, shared by every
+    /// backend (the distributed ones run the same golden loop).
+    pub sbp: SbpConfig,
+    /// Cooperative cancellation handle; `Default` never cancels.
+    pub cancel: CancelToken,
+}
+
+impl RunConfig {
+    /// Wraps existing SBP hyper-parameters with a fresh (inert) token.
+    pub fn from_sbp(sbp: SbpConfig) -> Self {
+        RunConfig {
+            sbp,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Default hyper-parameters with the given master seed.
+    pub fn seeded(seed: u64) -> Self {
+        RunConfig::from_sbp(SbpConfig {
+            seed,
+            ..SbpConfig::default()
+        })
+    }
+}
+
+// -------------------------------------------------------------- result
+
+/// The unified result shape every [`Solver`] returns.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Inferred block assignment (dense labels `0..num_blocks`).
+    pub assignment: Vec<u32>,
+    /// Inferred number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the returned partition.
+    pub description_length: f64,
+    /// Per-iteration trajectory of the golden-ratio search (for
+    /// DC-SBP, the root fine-tuning trajectory).
+    pub iterations: Vec<IterationStat>,
+    /// True when the run stopped early on its [`CancelToken`]; the
+    /// partition is then the best bracket entry found so far.
+    pub cancelled: bool,
+    /// Virtual runtime: thread-CPU seconds for single-node backends,
+    /// the BSP makespan for distributed ones (see `sbp-mpi`).
+    pub virtual_seconds: f64,
+    /// Communication/runtime report — `Some` for distributed backends.
+    pub cluster: Option<ClusterReport>,
+    /// Vertices actually sampled — `Some` for `Sampled` pipelines.
+    pub sampled_vertices: Option<usize>,
+}
+
+impl RunOutcome {
+    /// An empty outcome for the zero-vertex graph.
+    pub fn empty() -> Self {
+        RunOutcome {
+            assignment: Vec::new(),
+            num_blocks: 0,
+            description_length: 0.0,
+            iterations: Vec::new(),
+            cancelled: false,
+            virtual_seconds: 0.0,
+            cluster: None,
+            sampled_vertices: None,
+        }
+    }
+}
+
+// --------------------------------------------------------------- trait
+
+/// A partitioning backend: one execution strategy of the shared SBP
+/// inference engine.
+///
+/// Object-safe by design — the `edist` facade stores `Box<dyn Solver>`
+/// and decorators like `sbp_sample::Sampled` wrap any inner solver.
+/// Implementations must be deterministic given `cfg.sbp.seed` (modulo
+/// cancellation timing) and must honour `cfg.cancel` at iteration
+/// granularity or finer.
+pub trait Solver {
+    /// Human-readable backend name (e.g. `"edist(ranks=4)"`).
+    fn name(&self) -> String;
+
+    /// Runs inference on `graph`, reporting progress to `progress`.
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome;
+}
+
+impl<S: Solver + ?Sized> Solver for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
+        (**self).solve(graph, cfg, progress)
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
+        (**self).solve(graph, cfg, progress)
+    }
+}
+
+// ------------------------------------------------- single-node backends
+
+fn solve_with_strategy(
+    graph: &Graph,
+    cfg: &RunConfig,
+    strategy: McmcStrategy,
+    progress: &mut dyn ProgressSink,
+) -> RunOutcome {
+    let mut cfg = cfg.clone();
+    cfg.sbp.strategy = strategy;
+    solve_sbp(graph, None, &cfg, progress)
+}
+
+/// Sequential SBP: the paper's single-node baseline (Metropolis–Hastings
+/// sweeps, Alg. 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sequential;
+
+impl Solver for Sequential {
+    fn name(&self) -> String {
+        "sequential".into()
+    }
+
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
+        solve_with_strategy(graph, cfg, McmcStrategy::MetropolisHastings, progress)
+    }
+}
+
+/// Hybrid SBP: sequential high-degree head + chunked asynchronous-Gibbs
+/// tail (the paper's intra-rank shared-memory parallelization).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hybrid(pub HybridConfig);
+
+impl Solver for Hybrid {
+    fn name(&self) -> String {
+        "hybrid".into()
+    }
+
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
+        solve_with_strategy(graph, cfg, McmcStrategy::Hybrid(self.0), progress)
+    }
+}
+
+/// Batch SBP: whole sweeps evaluated against frozen state
+/// (python-reference parallelism). The only strategy whose trajectory is
+/// exactly invariant to EDiSt's rank count — see the backend-equivalence
+/// tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Batch;
+
+impl Solver for Batch {
+    fn name(&self) -> String {
+        "batch".into()
+    }
+
+    fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
+        solve_with_strategy(graph, cfg, McmcStrategy::Batch, progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_graph::fixtures::two_cliques;
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_solve() {
+        let g = two_cliques(6);
+        let cfg = RunConfig::seeded(3);
+        let backends: Vec<Box<dyn Solver>> = vec![
+            Box::new(Sequential),
+            Box::new(Hybrid(HybridConfig {
+                parallel: false,
+                ..HybridConfig::default()
+            })),
+            Box::new(Batch),
+        ];
+        for solver in &backends {
+            let out = solver.solve(&g, &cfg, &mut NoProgress);
+            assert_eq!(out.assignment.len(), 12, "{}", solver.name());
+            assert_eq!(out.num_blocks, 2, "{}", solver.name());
+            assert!(!out.cancelled);
+            assert!(out.cluster.is_none());
+            assert!(!out.iterations.is_empty());
+        }
+    }
+
+    #[test]
+    fn progress_events_bracket_the_run() {
+        let g = two_cliques(5);
+        let mut events: Vec<String> = Vec::new();
+        let mut sink = ProgressFn(|e: &ProgressEvent| {
+            events.push(match e {
+                ProgressEvent::Started { .. } => "started".into(),
+                ProgressEvent::Merged { .. } => "merged".into(),
+                ProgressEvent::Iteration { .. } => "iteration".into(),
+                ProgressEvent::Finished { .. } => "finished".into(),
+                other => format!("{other:?}"),
+            });
+        });
+        let out = Sequential.solve(&g, &RunConfig::seeded(1), &mut sink);
+        assert_eq!(events.first().map(String::as_str), Some("started"));
+        assert_eq!(events.last().map(String::as_str), Some("finished"));
+        let iterations = events.iter().filter(|e| *e == "iteration").count();
+        assert_eq!(iterations, out.iterations.len());
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_start_partition() {
+        let g = two_cliques(6);
+        let cfg = RunConfig::seeded(2);
+        cfg.cancel.cancel();
+        let out = Sequential.solve(&g, &cfg, &mut NoProgress);
+        assert!(out.cancelled);
+        // Nothing ran: the seeded identity bracket entry comes back.
+        assert_eq!(out.num_blocks, 12);
+        assert!(out.iterations.is_empty());
+    }
+}

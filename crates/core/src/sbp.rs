@@ -2,23 +2,30 @@
 //!
 //! Alternates the block-merge phase (Alg. 1) and the MCMC phase (Alg. 2)
 //! under golden-ratio control until the optimal block count is bracketed —
-//! Fig. 1 of the paper. `sbp_from` starts from an arbitrary partition,
-//! which is how DC-SBP's root-rank fine-tuning phase (Alg. 3 line 23)
-//! resumes from the combined partial results.
+//! Fig. 1 of the paper. [`solve_sbp`] is the engine: it accepts an
+//! optional starting partition (how DC-SBP's root-rank fine-tuning phase,
+//! Alg. 3 line 23, resumes from the combined partial results), reports
+//! [`ProgressEvent`]s, honours a [`crate::run::CancelToken`] at iteration
+//! boundaries and between MCMC sweeps, and returns the unified
+//! [`RunOutcome`]. The legacy [`sbp`]/[`sbp_from`] free functions remain
+//! as deprecated shims over it.
 
 use crate::blockmodel::Blockmodel;
 use crate::golden::{BracketEntry, GoldenBracket, NextStep};
 use crate::hybrid::{batch_sweep, hybrid_sweep, HybridConfig};
-use crate::mcmc::{mcmc_phase, mh_sweep, McmcStats};
+use crate::mcmc::{keyed_mh_sweep, mcmc_phase, McmcStats};
 use crate::merge::{apply_merges, propose_merges};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::run::{ProgressEvent, ProgressSink, RunConfig, RunOutcome};
 use sbp_graph::{Graph, Vertex};
 
 /// Which MCMC sweep implementation to use inside each phase.
 #[derive(Clone, Debug, PartialEq)]
 pub enum McmcStrategy {
-    /// Sequential Metropolis–Hastings (paper Alg. 2).
+    /// Sequential Metropolis–Hastings (paper Alg. 2). Proposal RNG
+    /// streams are derived per `(seed, sweep, vertex)` — the same scheme
+    /// as [`crate::hybrid::hybrid_sweep`] — so a sweep over any vertex
+    /// subset draws the identical randomness for a given vertex
+    /// regardless of which rank evaluates it.
     MetropolisHastings,
     /// Hybrid SBP: sequential high-degree head + chunked asynchronous
     /// Gibbs tail (the paper's intra-rank parallelization).
@@ -86,7 +93,7 @@ pub struct IterationStat {
     pub moves: usize,
 }
 
-/// Final inference result.
+/// Final inference result of the legacy free functions.
 #[derive(Clone, Debug)]
 pub struct SbpResult {
     /// Inferred block assignment (dense labels).
@@ -99,84 +106,179 @@ pub struct SbpResult {
     pub iterations: Vec<IterationStat>,
 }
 
-/// Runs full SBP inference from the identity partition (`C = V`).
-pub fn sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
+/// The per-iteration seed for the merge phase's per-block proposal
+/// streams. Shared with the distributed drivers so EDiSt's merge phase
+/// is bit-identical to the single-node one at every rank count.
+pub fn merge_phase_seed(seed: u64, iter_idx: usize) -> u64 {
+    seed.wrapping_add(0xA5A5_0000).wrapping_add(iter_idx as u64)
+}
+
+/// The per-iteration seed for the MCMC phase's `(sweep, vertex)`-keyed
+/// proposal streams. Shared with the distributed drivers — it must not
+/// depend on the rank id, or rank counts would explore different
+/// trajectories.
+pub fn mcmc_phase_seed(seed: u64, iter_idx: usize) -> u64 {
+    seed.wrapping_add(0x5A5A_0000)
+        .wrapping_add((iter_idx as u64) << 32)
+}
+
+/// Runs SBP inference: the golden-ratio search over merge+MCMC
+/// iterations, from `start` (an `(assignment, num_blocks)` pair) or the
+/// identity partition (`C = V`) when `start` is `None`.
+///
+/// Progress events are reported inline through `progress`;
+/// `cfg.cancel` is polled at iteration boundaries and between MCMC
+/// sweeps, and a cancelled run returns the best-so-far bracket entry
+/// with [`RunOutcome::cancelled`] set.
+pub fn solve_sbp(
+    graph: &Graph,
+    start: Option<(Vec<u32>, usize)>,
+    cfg: &RunConfig,
+    progress: &mut dyn ProgressSink,
+) -> RunOutcome {
+    let t0 = sbp_mpi::thread_cpu_time();
     let n = graph.num_vertices();
-    sbp_from(graph, (0..n as u32).collect(), n, cfg)
+    if n == 0 {
+        return RunOutcome::empty();
+    }
+    let scfg = &cfg.sbp;
+    let (assignment, num_blocks) = start.unwrap_or_else(|| ((0..n as u32).collect(), n));
+    let start_bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
+    progress.on_event(&ProgressEvent::Started {
+        num_vertices: n,
+        num_blocks: start_bm.num_blocks(),
+    });
+
+    let mut bracket = GoldenBracket::new(scfg.block_reduction_rate);
+    bracket.seed(BracketEntry {
+        assignment: start_bm.assignment().to_vec(),
+        num_blocks: start_bm.num_blocks(),
+        dl: start_bm.description_length(),
+    });
+    let vertices: Vec<Vertex> = (0..n as u32).collect();
+    let mut iterations = Vec::new();
+    let mut cancelled = false;
+
+    for iter_idx in 0..scfg.max_iterations {
+        if cfg.cancel.is_cancelled() {
+            cancelled = true;
+            progress.on_event(&ProgressEvent::Cancelled {
+                iteration: iter_idx,
+            });
+            break;
+        }
+        match bracket.next() {
+            NextStep::Done(best) => {
+                progress.on_event(&ProgressEvent::Finished {
+                    num_blocks: best.num_blocks,
+                    description_length: best.dl,
+                });
+                return outcome_from(best, iterations, false, t0);
+            }
+            NextStep::Continue {
+                start,
+                blocks_to_merge,
+            } => {
+                let from_blocks = start.num_blocks;
+                let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
+                let mut bm = merge_phase(graph, &bm, blocks_to_merge, scfg, iter_idx);
+                progress.on_event(&ProgressEvent::Merged {
+                    iteration: iter_idx,
+                    from_blocks,
+                    num_blocks: bm.num_blocks(),
+                });
+                let threshold = if bracket.established() {
+                    scfg.threshold_post
+                } else {
+                    scfg.threshold_pre
+                };
+                let stats = run_mcmc(graph, &mut bm, &vertices, cfg, threshold, iter_idx);
+                let entry = BracketEntry {
+                    assignment: bm.assignment().to_vec(),
+                    num_blocks: bm.num_blocks(),
+                    dl: bm.description_length(),
+                };
+                let stat = IterationStat {
+                    num_blocks: entry.num_blocks,
+                    dl: entry.dl,
+                    sweeps: stats.sweeps,
+                    moves: stats.moves,
+                };
+                progress.on_event(&ProgressEvent::Iteration {
+                    iteration: iter_idx,
+                    stat: stat.clone(),
+                });
+                iterations.push(stat);
+                bracket.record(entry);
+            }
+        }
+    }
+    // Cancelled, or the safety-net iteration cap was hit: return the best
+    // snapshot recorded so far.
+    let best = bracket.best().expect("bracket was seeded").clone();
+    if !cancelled {
+        progress.on_event(&ProgressEvent::Finished {
+            num_blocks: best.num_blocks,
+            description_length: best.dl,
+        });
+    }
+    outcome_from(best, iterations, cancelled, t0)
+}
+
+fn outcome_from(
+    best: BracketEntry,
+    iterations: Vec<IterationStat>,
+    cancelled: bool,
+    t0: f64,
+) -> RunOutcome {
+    RunOutcome {
+        assignment: best.assignment,
+        num_blocks: best.num_blocks,
+        description_length: best.dl,
+        iterations,
+        cancelled,
+        virtual_seconds: sbp_mpi::thread_cpu_time() - t0,
+        cluster: None,
+        sampled_vertices: None,
+    }
+}
+
+/// Runs full SBP inference from the identity partition (`C = V`).
+#[deprecated(note = "use `edist::Partitioner` or a `run::Solver` backend; \
+                     `solve_sbp` is the progress/cancellation-aware engine")]
+pub fn sbp(graph: &Graph, cfg: &SbpConfig) -> SbpResult {
+    let out = solve_sbp(
+        graph,
+        None,
+        &RunConfig::from_sbp(cfg.clone()),
+        &mut crate::run::NoProgress,
+    );
+    sbp_result_from(out)
 }
 
 /// Runs SBP from an arbitrary starting partition (DC-SBP fine-tuning).
+#[deprecated(note = "use `solve_sbp(graph, Some((assignment, num_blocks)), …)`")]
 pub fn sbp_from(
     graph: &Graph,
     assignment: Vec<u32>,
     num_blocks: usize,
     cfg: &SbpConfig,
 ) -> SbpResult {
-    if graph.num_vertices() == 0 {
-        return SbpResult {
-            assignment: Vec::new(),
-            num_blocks: 0,
-            description_length: 0.0,
-            iterations: Vec::new(),
-        };
-    }
-    let start = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
-    let mut bracket = GoldenBracket::new(cfg.block_reduction_rate);
-    bracket.seed(BracketEntry {
-        assignment: start.assignment().to_vec(),
-        num_blocks: start.num_blocks(),
-        dl: start.description_length(),
-    });
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let vertices: Vec<Vertex> = (0..graph.num_vertices() as u32).collect();
-    let mut iterations = Vec::new();
+    let out = solve_sbp(
+        graph,
+        Some((assignment, num_blocks)),
+        &RunConfig::from_sbp(cfg.clone()),
+        &mut crate::run::NoProgress,
+    );
+    sbp_result_from(out)
+}
 
-    for iter_idx in 0..cfg.max_iterations {
-        match bracket.next() {
-            NextStep::Done(best) => {
-                return SbpResult {
-                    assignment: best.assignment,
-                    num_blocks: best.num_blocks,
-                    description_length: best.dl,
-                    iterations,
-                };
-            }
-            NextStep::Continue {
-                start,
-                blocks_to_merge,
-            } => {
-                let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
-                let mut bm = merge_phase(graph, &bm, blocks_to_merge, cfg, iter_idx);
-                let threshold = if bracket.established() {
-                    cfg.threshold_post
-                } else {
-                    cfg.threshold_pre
-                };
-                let stats = run_mcmc(
-                    graph, &mut bm, &vertices, cfg, threshold, iter_idx, &mut rng,
-                );
-                let entry = BracketEntry {
-                    assignment: bm.assignment().to_vec(),
-                    num_blocks: bm.num_blocks(),
-                    dl: bm.description_length(),
-                };
-                iterations.push(IterationStat {
-                    num_blocks: entry.num_blocks,
-                    dl: entry.dl,
-                    sweeps: stats.sweeps,
-                    moves: stats.moves,
-                });
-                bracket.record(entry);
-            }
-        }
-    }
-    // Safety net: return the best snapshot even if the cap was hit.
-    let best = bracket.best().expect("bracket was seeded").clone();
+fn sbp_result_from(out: RunOutcome) -> SbpResult {
     SbpResult {
-        assignment: best.assignment,
-        num_blocks: best.num_blocks,
-        description_length: best.dl,
-        iterations,
+        assignment: out.assignment,
+        num_blocks: out.num_blocks,
+        description_length: out.description_length,
+        iterations: out.iterations,
     }
 }
 
@@ -190,10 +292,7 @@ pub fn merge_phase(
     iter_idx: usize,
 ) -> Blockmodel {
     let blocks: Vec<u32> = (0..bm.num_blocks() as u32).collect();
-    let seed = cfg
-        .seed
-        .wrapping_add(0xA5A5_0000)
-        .wrapping_add(iter_idx as u64);
+    let seed = merge_phase_seed(cfg.seed, iter_idx);
     let cands = propose_merges(bm, &blocks, cfg.merge_proposals_per_block, seed);
     let (assignment, num_blocks) = apply_merges(bm, cands, blocks_to_merge);
     Blockmodel::from_assignment(graph, assignment, num_blocks)
@@ -203,24 +302,23 @@ fn run_mcmc(
     graph: &Graph,
     bm: &mut Blockmodel,
     vertices: &[Vertex],
-    cfg: &SbpConfig,
+    cfg: &RunConfig,
     threshold: f64,
     iter_idx: usize,
-    rng: &mut SmallRng,
 ) -> McmcStats {
-    let beta = cfg.beta;
-    let sweep_seed = cfg
-        .seed
-        .wrapping_add(0x5A5A_0000)
-        .wrapping_add((iter_idx as u64) << 32);
-    match &cfg.strategy {
+    let beta = cfg.sbp.beta;
+    let sweep_seed = mcmc_phase_seed(cfg.sbp.seed, iter_idx);
+    let max_sweeps = cfg.sbp.max_sweeps;
+    let cancel = &cfg.cancel;
+    match &cfg.sbp.strategy {
         McmcStrategy::MetropolisHastings => mcmc_phase(
             graph,
             bm,
             vertices,
-            cfg.max_sweeps,
+            max_sweeps,
             threshold,
-            |g, bm, vs, _| mh_sweep(g, bm, vs, beta, rng),
+            cancel,
+            move |g, bm, vs, sweep| keyed_mh_sweep(g, bm, vs, beta, sweep_seed, sweep),
         ),
         McmcStrategy::Hybrid(hcfg) => {
             let hcfg = *hcfg;
@@ -228,8 +326,9 @@ fn run_mcmc(
                 graph,
                 bm,
                 vertices,
-                cfg.max_sweeps,
+                max_sweeps,
                 threshold,
+                cancel,
                 move |g, bm, vs, sweep| hybrid_sweep(g, bm, vs, beta, &hcfg, sweep_seed, sweep),
             )
         }
@@ -237,8 +336,9 @@ fn run_mcmc(
             graph,
             bm,
             vertices,
-            cfg.max_sweeps,
+            max_sweeps,
             threshold,
+            cancel,
             move |g, bm, vs, sweep| batch_sweep(g, bm, vs, beta, sweep_seed, sweep),
         ),
     }
@@ -247,6 +347,7 @@ fn run_mcmc(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::NoProgress;
 
     fn planted_two_cliques(k: usize) -> (Graph, Vec<u32>) {
         // Two k-cliques joined by a single edge.
@@ -264,6 +365,15 @@ mod tests {
         (Graph::from_edges(2 * k, edges), truth)
     }
 
+    fn solve(graph: &Graph, cfg: &SbpConfig) -> RunOutcome {
+        solve_sbp(
+            graph,
+            None,
+            &RunConfig::from_sbp(cfg.clone()),
+            &mut NoProgress,
+        )
+    }
+
     #[test]
     fn recovers_two_cliques() {
         let (g, truth) = planted_two_cliques(8);
@@ -271,7 +381,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let res = sbp(&g, &cfg);
+        let res = solve(&g, &cfg);
         assert_eq!(
             res.num_blocks, 2,
             "expected 2 blocks, got {}",
@@ -288,7 +398,7 @@ mod tests {
     #[test]
     fn empty_graph_returns_empty_result() {
         let g = Graph::from_edges(0, Vec::new());
-        let res = sbp(&g, &SbpConfig::default());
+        let res = solve(&g, &SbpConfig::default());
         assert_eq!(res.num_blocks, 0);
         assert!(res.assignment.is_empty());
     }
@@ -296,7 +406,7 @@ mod tests {
     #[test]
     fn single_vertex_graph() {
         let g = Graph::from_edges(1, Vec::new());
-        let res = sbp(&g, &SbpConfig::default());
+        let res = solve(&g, &SbpConfig::default());
         assert_eq!(res.num_blocks, 1);
         assert_eq!(res.assignment, vec![0]);
     }
@@ -308,8 +418,8 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let a = sbp(&g, &cfg);
-        let b = sbp(&g, &cfg);
+        let a = solve(&g, &cfg);
+        let b = solve(&g, &cfg);
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.description_length, b.description_length);
     }
@@ -325,7 +435,7 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let res = sbp(&g, &cfg);
+        let res = solve(&g, &cfg);
         assert_eq!(res.num_blocks, 2);
     }
 
@@ -337,31 +447,23 @@ mod tests {
             seed: 4,
             ..Default::default()
         };
-        let res = sbp(&g, &cfg);
+        let res = solve(&g, &cfg);
         assert_eq!(res.num_blocks, 2);
     }
 
     #[test]
-    fn sbp_from_finetunes_a_partition() {
+    fn solve_from_start_finetunes_a_partition() {
         let (g, truth) = planted_two_cliques(8);
         // Start from a 4-block over-segmentation of the truth.
         let start: Vec<u32> = (0..16u32).map(|v| truth[v as usize] * 2 + v % 2).collect();
-        let res = sbp_from(
-            &g,
-            start,
-            4,
-            &SbpConfig {
-                seed: 2,
-                ..Default::default()
-            },
-        );
+        let res = solve_sbp(&g, Some((start, 4)), &RunConfig::seeded(2), &mut NoProgress);
         assert_eq!(res.num_blocks, 2);
     }
 
     #[test]
     fn result_dl_matches_rebuilt_blockmodel() {
         let (g, _) = planted_two_cliques(6);
-        let res = sbp(
+        let res = solve(
             &g,
             &SbpConfig {
                 seed: 3,
@@ -375,8 +477,60 @@ mod tests {
     #[test]
     fn island_only_graph_terminates() {
         let g = Graph::from_edges(5, Vec::new());
-        let res = sbp(&g, &SbpConfig::default());
+        let res = solve(&g, &SbpConfig::default());
         assert!(res.num_blocks >= 1);
         assert_eq!(res.assignment.len(), 5);
+    }
+
+    #[test]
+    fn virtual_seconds_are_recorded() {
+        let (g, _) = planted_two_cliques(6);
+        let res = solve(&g, &SbpConfig::default());
+        assert!(res.virtual_seconds >= 0.0);
+    }
+
+    #[test]
+    fn cancel_mid_search_returns_best_so_far() {
+        let (g, _) = planted_two_cliques(10);
+        let cfg = RunConfig::seeded(5);
+        let token = cfg.cancel.clone();
+        let mut sink = crate::run::ProgressFn(|e: &ProgressEvent| {
+            if matches!(e, ProgressEvent::Iteration { .. }) {
+                token.cancel();
+            }
+        });
+        let res = solve_sbp(&g, None, &cfg, &mut sink);
+        assert!(res.cancelled);
+        assert_eq!(res.iterations.len(), 1, "cancelled after one iteration");
+        // The returned partition is a coherent bracket entry.
+        assert_eq!(res.assignment.len(), 20);
+        let bm = Blockmodel::from_assignment(&g, res.assignment.clone(), res.num_blocks);
+        assert!((bm.description_length() - res.description_length).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_solve_sbp() {
+        let (g, _) = planted_two_cliques(6);
+        let cfg = SbpConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let legacy = sbp(&g, &cfg);
+        let new = solve(&g, &cfg);
+        assert_eq!(legacy.assignment, new.assignment);
+        assert_eq!(
+            legacy.description_length.to_bits(),
+            new.description_length.to_bits()
+        );
+        let start: Vec<u32> = (0..12u32).map(|v| v % 3).collect();
+        let legacy_from = sbp_from(&g, start.clone(), 3, &cfg);
+        let new_from = solve_sbp(
+            &g,
+            Some((start, 3)),
+            &RunConfig::from_sbp(cfg),
+            &mut NoProgress,
+        );
+        assert_eq!(legacy_from.assignment, new_from.assignment);
     }
 }

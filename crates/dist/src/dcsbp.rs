@@ -6,23 +6,36 @@
 //! what islands low-degree vertices on sparse graphs — the failure mode of
 //! Tables VII and Fig. 2), runs full single-node SBP on its piece, and
 //! sends the partial partition to the root. The root offsets the label
-//! spaces, fine-tunes the combined partition with `sbp_from` (Alg. 3 line
-//! 23), and broadcasts the result.
+//! spaces, fine-tunes the combined partition with the shared engine
+//! ([`sbp_core::solve_sbp`], Alg. 3 line 23), and broadcasts the result.
+//!
+//! Cancellation is rank-local during the per-rank solves (no collectives
+//! run inside them, so ranks may stop their local searches at different
+//! depths without desynchronizing) and honoured again by the root's
+//! fine-tuning pass; the root's observed flag is broadcast with the
+//! result so every rank reports the same outcome.
 
+use crate::solver::EventRelay;
 use crate::{mix_seed, ClusterReport};
-use sbp_core::{naive_sbp, sbp, sbp_from, SbpConfig, SbpResult};
+use sbp_core::run::{
+    CancelToken, NoProgress, ProgressEvent, ProgressSink, RunConfig, RunOutcome, Solver,
+};
+use sbp_core::{naive_sbp, solve_sbp, IterationStat, SbpConfig};
 use sbp_graph::{induced_subgraph, round_robin_parts, Graph};
-use sbp_mpi::{Communicator, CostModel, ThreadCluster};
+use sbp_mpi::{Communicator, CostModel};
 use std::sync::Arc;
 
 /// Which single-node engine each rank runs on its subgraph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Engine {
-    /// The optimized sparse engine (`sbp_core::sbp`).
+    /// The optimized sparse engine (`sbp_core::solve_sbp`).
     #[default]
     Optimized,
     /// The python-reference-equivalent dense engine (`sbp_core::naive_sbp`)
-    /// — Table VI's subject.
+    /// — Table VI's subject. Unlike the optimized engine it has no
+    /// internal cancellation points: the token is only observed between
+    /// phases, so a cancelled run still finishes any in-flight per-rank
+    /// naive solve.
     Naive,
 }
 
@@ -53,21 +66,73 @@ pub struct DcsbpResult {
 /// Runs DC-SBP on this rank; collective calls must be matched by every rank
 /// of `comm`.
 pub fn dcsbp<C: Communicator>(comm: &C, graph: &Graph, cfg: &DcsbpConfig) -> DcsbpResult {
+    let out = dcsbp_run(
+        comm,
+        graph,
+        cfg,
+        &CancelToken::default(),
+        &EventRelay::disabled(),
+    );
+    DcsbpResult {
+        assignment: out.assignment,
+        num_blocks: out.num_blocks,
+        description_length: out.description_length,
+    }
+}
+
+/// Forwards the root fine-tuning pass's iteration-level events to the
+/// cluster event relay.
+struct RelaySink<'a, 'b> {
+    relay: &'a EventRelay<'b>,
+}
+
+impl ProgressSink for RelaySink<'_, '_> {
+    fn on_event(&mut self, event: &ProgressEvent) {
+        // The driver emits its own terminal events; forward only the
+        // per-iteration trajectory of the nested solve.
+        if matches!(
+            event,
+            ProgressEvent::Merged { .. } | ProgressEvent::Iteration { .. }
+        ) {
+            self.relay.emit(event.clone());
+        }
+    }
+}
+
+/// The full DC-SBP driver with trajectory recording, rank-0 progress
+/// relay, and cancellation.
+pub(crate) fn dcsbp_run<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    cfg: &DcsbpConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> RunOutcome {
     let n_ranks = comm.size();
     let rank = comm.rank();
     let parts = round_robin_parts(graph.num_vertices(), n_ranks);
     let sub = induced_subgraph(graph, &parts[rank]);
 
+    relay.emit(ProgressEvent::PhaseStarted { phase: "local-sbp" });
     let mut sub_cfg = cfg.sbp.clone();
     sub_cfg.seed = mix_seed(cfg.sbp.seed, 0xDC00 + rank as u64);
-    let local: SbpResult = match cfg.engine {
-        Engine::Optimized => sbp(&sub.graph, &sub_cfg),
-        Engine::Naive => naive_sbp(&sub.graph, &sub_cfg),
+    let local_assignment: Vec<u32> = match cfg.engine {
+        Engine::Optimized => {
+            let run_cfg = RunConfig {
+                sbp: sub_cfg,
+                cancel: cancel.clone(),
+            };
+            solve_sbp(&sub.graph, None, &run_cfg, &mut NoProgress).assignment
+        }
+        // The naive engine has no internal cancellation points; honour a
+        // pre-cancelled token by skipping the local solve outright (one
+        // block per rank — the root's combine still sees valid labels).
+        Engine::Naive if cancel.is_cancelled() => vec![0; sub.graph.num_vertices()],
+        Engine::Naive => naive_sbp(&sub.graph, &sub_cfg).assignment,
     };
 
     // (global vertex, local label) pairs travel to the root.
-    let payload: Vec<(u32, u32)> = local
-        .assignment
+    let payload: Vec<(u32, u32)> = local_assignment
         .iter()
         .enumerate()
         .map(|(v, &b)| (sub.to_global(v as u32), b))
@@ -75,6 +140,7 @@ pub fn dcsbp<C: Communicator>(comm: &C, graph: &Graph, cfg: &DcsbpConfig) -> Dcs
     let gathered = comm.gatherv(0, payload);
 
     let root_result = gathered.map(|parts| {
+        relay.emit(ProgressEvent::PhaseStarted { phase: "combine" });
         let mut combined = vec![0u32; graph.num_vertices()];
         let mut offset = 0u32;
         for part in parts {
@@ -90,58 +156,100 @@ pub fn dcsbp<C: Communicator>(comm: &C, graph: &Graph, cfg: &DcsbpConfig) -> Dcs
                 sbp_core::Blockmodel::from_assignment(graph, combined, num_blocks).compacted(graph);
             let dl = bm.description_length();
             let nb = bm.num_blocks();
-            (bm.into_assignment(), nb, dl)
+            (
+                bm.into_assignment(),
+                nb,
+                dl,
+                Vec::new(),
+                cancel.is_cancelled(),
+            )
         } else {
-            let r = sbp_from(graph, combined, num_blocks, &cfg.sbp);
-            (r.assignment, r.num_blocks, r.description_length)
+            relay.emit(ProgressEvent::PhaseStarted { phase: "finetune" });
+            let run_cfg = RunConfig {
+                sbp: cfg.sbp.clone(),
+                cancel: cancel.clone(),
+            };
+            let mut sink = RelaySink { relay };
+            let r = solve_sbp(graph, Some((combined, num_blocks)), &run_cfg, &mut sink);
+            (
+                r.assignment,
+                r.num_blocks,
+                r.description_length,
+                r.iterations,
+                r.cancelled,
+            )
         }
     });
 
-    let (assignment, num_blocks, description_length) = comm.broadcast(0, root_result);
-    DcsbpResult {
+    let (assignment, num_blocks, description_length, iterations, cancelled): (
+        Vec<u32>,
+        usize,
+        f64,
+        Vec<IterationStat>,
+        bool,
+    ) = comm.broadcast(0, root_result);
+    if cancelled {
+        relay.emit(ProgressEvent::Cancelled {
+            iteration: iterations.len(),
+        });
+    } else {
+        relay.emit(ProgressEvent::Finished {
+            num_blocks,
+            description_length,
+        });
+    }
+    RunOutcome {
         assignment,
         num_blocks,
         description_length,
+        iterations,
+        cancelled,
+        virtual_seconds: comm.virtual_time(),
+        cluster: None,
+        sampled_vertices: None,
     }
 }
 
 /// Runs DC-SBP on `n_ranks` simulated ranks; returns the (rank-identical)
 /// result and the cluster report.
+#[deprecated(
+    note = "use `edist::Partitioner` with `Backend::DcSbp { ranks }`, or the \
+                     `sbp_dist::DcSbp` solver"
+)]
 pub fn run_dcsbp_cluster(
     graph: &Arc<Graph>,
     n_ranks: usize,
     cost: CostModel,
     cfg: &DcsbpConfig,
 ) -> (DcsbpResult, ClusterReport) {
-    let g = Arc::clone(graph);
-    let out = ThreadCluster::run(n_ranks.max(1), cost, move |comm| dcsbp(comm, &g, cfg));
-    let report = ClusterReport::from_outcome(&out);
-    let result = out
-        .ranks
-        .into_iter()
-        .next()
-        .expect("at least one rank")
-        .result;
-    (result, report)
+    let solver = crate::solver::DcSbp {
+        ranks: n_ranks.max(1),
+        cost,
+        engine: cfg.engine,
+        skip_finetune: cfg.skip_finetune,
+    };
+    let out = solver.solve(
+        graph,
+        &RunConfig::from_sbp(cfg.sbp.clone()),
+        &mut NoProgress,
+    );
+    let report = out.cluster.expect("distributed backend reports cluster");
+    (
+        DcsbpResult {
+            assignment: out.assignment,
+            num_blocks: out.num_blocks,
+            description_length: out.description_length,
+        },
+        report,
+    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-
-    fn two_cliques(k: u32) -> Graph {
-        let mut edges = Vec::new();
-        for i in 0..k {
-            for j in 0..k {
-                if i != j {
-                    edges.push((i, j, 1));
-                    edges.push((k + i, k + j, 1));
-                }
-            }
-        }
-        edges.push((0, k, 1));
-        Graph::from_edges(2 * k as usize, edges)
-    }
+    use sbp_graph::fixtures::two_cliques;
+    use sbp_mpi::ThreadCluster;
 
     #[test]
     fn single_rank_recovers_two_cliques() {

@@ -17,23 +17,34 @@
 //!    therefore the blockmodel, a pure function of the assignment — is
 //!    identical on every rank.
 //!
-//! Convergence decisions use a description length broadcast from rank 0:
-//! all replicas hold the same state, but hash-map iteration order can
+//! **Rank-count-invariant randomness.** Every RNG stream is derived from
+//! the master seed and a *vertex or block key* (via
+//! [`sbp_core::sbp::merge_phase_seed`] / [`sbp_core::sbp::mcmc_phase_seed`]
+//! and the `(seed, sweep, vertex)` keying inside the sweeps) — never from
+//! the rank id. A proposal therefore draws the same randomness no matter
+//! which rank evaluates it, so a single-rank EDiSt run is bit-identical
+//! to sequential SBP, and under the frozen-state `Batch` strategy the
+//! whole trajectory is bit-identical across rank counts (see the
+//! backend-equivalence tests in the facade crate).
+//!
+//! Convergence and cancellation decisions use values broadcast from rank
+//! 0: all replicas hold the same state, but hash-map iteration order can
 //! differ between ranks, and a last-bit difference in the floating-point
-//! sum must never make ranks disagree on control flow (that would
-//! mismatch the collective schedule).
+//! sum — or a cancellation racing a collective — must never make ranks
+//! disagree on control flow (that would mismatch the collective
+//! schedule).
 
 use crate::ownership::{owned_blocks, OwnershipStrategy};
-use crate::{mix_seed, ClusterReport};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::solver::EventRelay;
 use sbp_core::golden::{BracketEntry, GoldenBracket, NextStep};
 use sbp_core::hybrid::{batch_sweep, hybrid_sweep};
-use sbp_core::mcmc::{mh_sweep, AcceptedMove, ConvergenceCheck, SweepOutcome};
+use sbp_core::mcmc::{keyed_mh_sweep, AcceptedMove, ConvergenceCheck, SweepOutcome};
 use sbp_core::merge::{apply_merges, propose_merges, MergeCandidate};
-use sbp_core::{Blockmodel, McmcStrategy, SbpConfig};
+use sbp_core::run::{CancelToken, NoProgress, ProgressEvent, RunConfig, RunOutcome, Solver};
+use sbp_core::sbp::{mcmc_phase_seed, merge_phase_seed};
+use sbp_core::{Blockmodel, IterationStat, McmcStrategy, SbpConfig};
 use sbp_graph::{Graph, Vertex};
-use sbp_mpi::{Communicator, CostModel, ThreadCluster};
+use sbp_mpi::{ClusterReport, Communicator, CostModel};
 use std::sync::Arc;
 
 /// EDiSt configuration.
@@ -69,55 +80,91 @@ pub struct EdistResult {
     pub description_length: f64,
 }
 
-fn result_from(entry: BracketEntry) -> EdistResult {
-    EdistResult {
-        assignment: entry.assignment,
-        num_blocks: entry.num_blocks,
-        description_length: entry.dl,
-    }
-}
-
 /// Broadcasts rank 0's description length so every replica records the
 /// bit-identical value (see module docs).
 fn shared_dl<C: Communicator>(comm: &C, bm: &Blockmodel) -> f64 {
     comm.broadcast(0, (comm.rank() == 0).then(|| bm.description_length()))
 }
 
+/// Broadcasts rank 0's view of the cancellation token so every rank
+/// takes the same branch at the same collective.
+fn shared_cancelled<C: Communicator>(comm: &C, cancel: &CancelToken) -> bool {
+    comm.broadcast(0, (comm.rank() == 0).then(|| cancel.is_cancelled()))
+}
+
 /// Runs EDiSt on this rank; collective calls must be matched by every rank
 /// of `comm`. Returns the same result on every rank.
 pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> EdistResult {
+    let out = edist_run(
+        comm,
+        graph,
+        cfg,
+        &CancelToken::default(),
+        &EventRelay::disabled(),
+    );
+    EdistResult {
+        assignment: out.assignment,
+        num_blocks: out.num_blocks,
+        description_length: out.description_length,
+    }
+}
+
+/// The full EDiSt driver: golden-ratio search with distributed merge and
+/// MCMC phases, per-iteration trajectory recording, rank-0 progress
+/// relay, and broadcast-coordinated cancellation.
+pub(crate) fn edist_run<C: Communicator>(
+    comm: &C,
+    graph: &Graph,
+    cfg: &EdistConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> RunOutcome {
     if graph.num_vertices() == 0 {
-        return EdistResult {
-            assignment: Vec::new(),
-            num_blocks: 0,
-            description_length: 0.0,
-        };
+        return RunOutcome::empty();
     }
     let (rank, size) = (comm.rank(), comm.size());
     let ownership = cfg.ownership.partition(graph, size);
     let my_vertices: &[Vertex] = &ownership[rank];
-    let mut rng = SmallRng::seed_from_u64(mix_seed(cfg.sbp.seed, 0xED15_7000 + rank as u64));
 
-    let start = Blockmodel::identity(graph);
+    // Identical starting point to the single-node engine: the compacted
+    // identity partition.
+    let n = graph.num_vertices();
+    let start = Blockmodel::from_assignment(graph, (0..n as u32).collect(), n).compacted(graph);
     let mut bracket = GoldenBracket::new(cfg.sbp.block_reduction_rate);
     bracket.seed(BracketEntry {
         assignment: start.assignment().to_vec(),
         num_blocks: start.num_blocks(),
         dl: shared_dl(comm, &start),
     });
+    let mut iterations = Vec::new();
+    let mut cancelled = false;
 
     for iter_idx in 0..cfg.sbp.max_iterations {
+        if shared_cancelled(comm, cancel) {
+            cancelled = true;
+            relay.emit(ProgressEvent::Cancelled {
+                iteration: iter_idx,
+            });
+            break;
+        }
         match bracket.next() {
-            NextStep::Done(best) => return result_from(best),
+            NextStep::Done(best) => {
+                relay.emit(ProgressEvent::Finished {
+                    num_blocks: best.num_blocks,
+                    description_length: best.dl,
+                });
+                return outcome_from(comm, best, iterations, false);
+            }
             NextStep::Continue {
                 start,
                 blocks_to_merge,
             } => {
+                let from_blocks = start.num_blocks;
                 let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
 
                 // ---- distributed merge phase (Alg. 4) ----
                 let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
-                let merge_seed = mix_seed(cfg.sbp.seed, 0xA5A5_0000 ^ iter_idx as u64);
+                let merge_seed = merge_phase_seed(cfg.sbp.seed, iter_idx);
                 let mine = propose_merges(
                     &bm,
                     &my_blocks,
@@ -128,6 +175,11 @@ pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> Edi
                     comm.allgatherv(mine).into_iter().flatten().collect();
                 let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
                 let mut bm = Blockmodel::from_assignment(graph, assignment, num_blocks);
+                relay.emit(ProgressEvent::Merged {
+                    iteration: iter_idx,
+                    from_blocks,
+                    num_blocks: bm.num_blocks(),
+                });
 
                 // ---- distributed MCMC phase (Alg. 5) ----
                 let threshold = if bracket.established() {
@@ -135,7 +187,7 @@ pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> Edi
                 } else {
                     cfg.sbp.threshold_pre
                 };
-                let dl = mcmc_phase_distributed(
+                let phase = mcmc_phase_distributed(
                     comm,
                     graph,
                     &mut bm,
@@ -144,24 +196,75 @@ pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> Edi
                     threshold,
                     iter_idx,
                     rank,
-                    &mut rng,
+                    cancel,
                 );
 
-                bracket.record(BracketEntry {
+                let entry = BracketEntry {
                     assignment: bm.assignment().to_vec(),
                     num_blocks: bm.num_blocks(),
-                    dl,
+                    dl: phase.dl,
+                };
+                let stat = IterationStat {
+                    num_blocks: entry.num_blocks,
+                    dl: entry.dl,
+                    sweeps: phase.sweeps,
+                    moves: phase.moves,
+                };
+                relay.emit(ProgressEvent::Iteration {
+                    iteration: iter_idx,
+                    stat: stat.clone(),
                 });
+                iterations.push(stat);
+                bracket.record(entry);
+                if phase.cancelled {
+                    cancelled = true;
+                    relay.emit(ProgressEvent::Cancelled {
+                        iteration: iter_idx,
+                    });
+                    break;
+                }
             }
         }
     }
     let best = bracket.best().expect("bracket was seeded").clone();
-    result_from(best)
+    if !cancelled {
+        relay.emit(ProgressEvent::Finished {
+            num_blocks: best.num_blocks,
+            description_length: best.dl,
+        });
+    }
+    outcome_from(comm, best, iterations, cancelled)
+}
+
+fn outcome_from<C: Communicator>(
+    comm: &C,
+    best: BracketEntry,
+    iterations: Vec<IterationStat>,
+    cancelled: bool,
+) -> RunOutcome {
+    RunOutcome {
+        assignment: best.assignment,
+        num_blocks: best.num_blocks,
+        description_length: best.dl,
+        iterations,
+        cancelled,
+        virtual_seconds: comm.virtual_time(),
+        cluster: None,
+        sampled_vertices: None,
+    }
+}
+
+/// What one distributed MCMC phase produced.
+struct DistributedPhase {
+    dl: f64,
+    sweeps: usize,
+    moves: usize,
+    cancelled: bool,
 }
 
 /// One distributed MCMC phase: sweep owned vertices, exchange moves every
-/// `sync_period` sweeps, stop on the shared convergence rule. Returns the
-/// final (broadcast) description length.
+/// `sync_period` sweeps, stop on the shared convergence rule (or a
+/// broadcast cancellation decision).
 #[allow(clippy::too_many_arguments)]
 fn mcmc_phase_distributed<C: Communicator>(
     comm: &C,
@@ -172,23 +275,26 @@ fn mcmc_phase_distributed<C: Communicator>(
     threshold: f64,
     iter_idx: usize,
     rank: usize,
-    rng: &mut SmallRng,
-) -> f64 {
+    cancel: &CancelToken,
+) -> DistributedPhase {
     let beta = cfg.sbp.beta;
     let sync_period = cfg.sync_period.max(1);
-    let sweep_seed = mix_seed(
-        cfg.sbp.seed,
-        0x5A5A_0000 ^ ((iter_idx as u64) << 20) ^ rank as u64,
-    );
+    // Vertex-keyed streams: the seed depends on the iteration only, never
+    // on the rank, so rank counts explore the same randomness.
+    let sweep_seed = mcmc_phase_seed(cfg.sbp.seed, iter_idx);
     let initial_dl = shared_dl(comm, bm);
     let mut check = ConvergenceCheck::new(initial_dl, threshold);
     let mut pending: Vec<AcceptedMove> = Vec::new();
     let mut dl = initial_dl;
+    let mut moves = 0usize;
+    let mut cancelled = false;
 
     let mut sweeps = 0usize;
     while sweeps < cfg.sbp.max_sweeps {
         let outcome: SweepOutcome = match &cfg.sbp.strategy {
-            McmcStrategy::MetropolisHastings => mh_sweep(graph, bm, my_vertices, beta, rng),
+            McmcStrategy::MetropolisHastings => {
+                keyed_mh_sweep(graph, bm, my_vertices, beta, sweep_seed, sweeps)
+            }
             McmcStrategy::Hybrid(hcfg) => {
                 hybrid_sweep(graph, bm, my_vertices, beta, hcfg, sweep_seed, sweeps)
             }
@@ -199,60 +305,79 @@ fn mcmc_phase_distributed<C: Communicator>(
 
         if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
             let gathered = comm.allgatherv(std::mem::take(&mut pending));
-            for (from_rank, moves) in gathered.into_iter().enumerate() {
+            for (from_rank, peer_moves) in gathered.into_iter().enumerate() {
+                moves += peer_moves.len();
                 if from_rank == rank {
                     continue; // already applied during the sweep
                 }
-                for m in moves {
+                for m in peer_moves {
                     bm.move_vertex(graph, m.v, m.to);
                 }
             }
-            dl = shared_dl(comm, bm);
+            // One broadcast carries both the convergence value and the
+            // cancellation decision, so all ranks agree on both.
+            let (new_dl, cancel_now) = comm.broadcast(
+                0,
+                (comm.rank() == 0).then(|| (bm.description_length(), cancel.is_cancelled())),
+            );
+            dl = new_dl;
+            if cancel_now {
+                cancelled = true;
+                break;
+            }
             if check.record(dl) {
                 break;
             }
         }
     }
-    dl
+    DistributedPhase {
+        dl,
+        sweeps,
+        moves,
+        cancelled,
+    }
 }
 
 /// Runs EDiSt on `n_ranks` simulated ranks; returns the (rank-identical)
 /// result and the cluster report.
+#[deprecated(
+    note = "use `edist::Partitioner` with `Backend::Edist { ranks }`, or the \
+                     `sbp_dist::Edist` solver"
+)]
 pub fn run_edist_cluster(
     graph: &Arc<Graph>,
     n_ranks: usize,
     cost: CostModel,
     cfg: &EdistConfig,
 ) -> (EdistResult, ClusterReport) {
-    let g = Arc::clone(graph);
-    let out = ThreadCluster::run(n_ranks.max(1), cost, move |comm| edist(comm, &g, cfg));
-    let report = ClusterReport::from_outcome(&out);
-    let result = out
-        .ranks
-        .into_iter()
-        .next()
-        .expect("at least one rank")
-        .result;
-    (result, report)
+    let solver = crate::solver::Edist {
+        ranks: n_ranks.max(1),
+        cost,
+        ownership: cfg.ownership,
+        sync_period: cfg.sync_period,
+    };
+    let out = solver.solve(
+        graph,
+        &RunConfig::from_sbp(cfg.sbp.clone()),
+        &mut NoProgress,
+    );
+    let report = out.cluster.expect("distributed backend reports cluster");
+    (
+        EdistResult {
+            assignment: out.assignment,
+            num_blocks: out.num_blocks,
+            description_length: out.description_length,
+        },
+        report,
+    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-
-    fn two_cliques(k: u32) -> Graph {
-        let mut edges = Vec::new();
-        for i in 0..k {
-            for j in 0..k {
-                if i != j {
-                    edges.push((i, j, 1));
-                    edges.push((k + i, k + j, 1));
-                }
-            }
-        }
-        edges.push((0, k, 1));
-        Graph::from_edges(2 * k as usize, edges)
-    }
+    use sbp_graph::fixtures::two_cliques;
+    use sbp_mpi::ThreadCluster;
 
     #[test]
     fn single_rank_recovers_two_cliques() {

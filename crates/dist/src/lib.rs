@@ -4,55 +4,39 @@
 //! the [`sbp_mpi::Communicator`] trait so they run identically on the
 //! in-process thread cluster or (in principle) real MPI bindings:
 //!
-//! * [`dcsbp`] — divide-and-conquer SBP (paper Alg. 3): round-robin vertex
+//! * [`mod@dcsbp`] — divide-and-conquer SBP (paper Alg. 3): round-robin vertex
 //!   distribution, independent per-rank inference on *induced* subgraphs
 //!   (the step that creates island vertices on sparse graphs), gather to
 //!   the root, label-offset combination, and root-side fine-tuning.
-//! * [`edist`] — EDiSt (paper Algs. 4–5): the graph and blockmodel are
+//! * [`mod@edist`] — EDiSt (paper Algs. 4–5): the graph and blockmodel are
 //!   replicated on every rank while the *work* (merge proposals, MCMC
 //!   vertex sweeps) is partitioned by ownership; allgathered candidate
 //!   lists and move lists keep every rank's blockmodel bit-identical, so
 //!   the distributed algorithm is **exact** — it explores the same state
 //!   space as sequential SBP regardless of rank count.
 //!
-//! [`run_dcsbp_cluster`] / [`run_edist_cluster`] wrap the algorithms in a
-//! [`sbp_mpi::ThreadCluster`] and report the BSP makespan plus
-//! communication statistics as a [`ClusterReport`].
+//! The preferred entrypoints are the [`Solver`](sbp_core::Solver)
+//! backends [`DcSbp`] and [`Edist`] (usually reached through the `edist`
+//! facade's `Partitioner` builder): they stream rank 0's progress events
+//! to the caller, honour a broadcast-coordinated cancellation token, and
+//! return the unified [`sbp_core::RunOutcome`] with a [`ClusterReport`]
+//! attached. The legacy [`run_dcsbp_cluster`] / [`run_edist_cluster`]
+//! free functions remain as deprecated shims over them.
 
 pub mod dcsbp;
 pub mod edist;
 pub mod ownership;
+pub mod solver;
 
-pub use dcsbp::{dcsbp, run_dcsbp_cluster, DcsbpConfig, DcsbpResult, Engine};
-pub use edist::{edist, run_edist_cluster, EdistConfig, EdistResult};
+#[allow(deprecated)]
+pub use dcsbp::run_dcsbp_cluster;
+pub use dcsbp::{dcsbp, DcsbpConfig, DcsbpResult, Engine};
+#[allow(deprecated)]
+pub use edist::run_edist_cluster;
+pub use edist::{edist, EdistConfig, EdistResult};
 pub use ownership::{balanced_ownership, modulo_ownership, owned_blocks, OwnershipStrategy};
-
-use sbp_mpi::ClusterOutcome;
-
-/// Aggregate communication/runtime report of a simulated cluster run.
-#[derive(Clone, Copy, Debug)]
-pub struct ClusterReport {
-    /// BSP makespan: the maximum final virtual clock across ranks (s).
-    pub makespan: f64,
-    /// Collectives each rank participated in.
-    pub collectives: u64,
-    /// Total payload bytes moved across the simulated interconnect.
-    pub total_bytes: u64,
-    /// Number of ranks.
-    pub ranks: usize,
-}
-
-impl ClusterReport {
-    /// Summarizes a [`ClusterOutcome`].
-    pub fn from_outcome<R>(out: &ClusterOutcome<R>) -> Self {
-        ClusterReport {
-            makespan: out.makespan(),
-            collectives: out.ranks.first().map_or(0, |r| r.stats.collectives),
-            total_bytes: out.total_bytes(),
-            ranks: out.ranks.len(),
-        }
-    }
-}
+pub use sbp_mpi::ClusterReport;
+pub use solver::{DcSbp, Edist};
 
 /// SplitMix64-style mixing used to derive per-rank / per-phase RNG streams
 /// from the master seed, so simulated rank counts never share a stream.

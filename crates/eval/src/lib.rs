@@ -10,7 +10,7 @@
 //!   (not reported in the paper but standard in the community-detection
 //!   literature);
 //! * [`pairwise`] — pairwise precision/recall/F1, the Graph Challenge's
-//!   primary metrics (the paper's [9]).
+//!   primary metrics (the paper's \[9\]).
 //!
 //! All metrics accept partitions as `&[u32]` label vectors; labels need not
 //! be contiguous.

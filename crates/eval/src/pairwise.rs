@@ -1,5 +1,5 @@
 //! Pairwise precision / recall / F1 — the Graph Challenge's primary
-//! accuracy metrics (Kao et al. HPEC'17, the paper's [9]).
+//! accuracy metrics (Kao et al. HPEC'17, the paper's \[9\]).
 //!
 //! Every unordered vertex pair is classified by whether the two vertices
 //! share a block in the candidate partition and in the truth:

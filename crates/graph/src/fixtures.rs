@@ -1,0 +1,41 @@
+//! Shared test fixtures.
+//!
+//! These graphs appear in test suites across the workspace (core, dist,
+//! sample, and the facade's equivalence suite); defining them once here
+//! keeps every suite testing the *same* structure — in particular the
+//! backend-equivalence tests depend on [`two_cliques`] staying small
+//! enough (`2k ≤ 64`) that the blockmodel never leaves dense storage.
+
+use crate::Graph;
+
+/// Two directed `k`-cliques joined by a single bridge arc `0 → k`:
+/// `2k` vertices whose planted partition is
+/// `[0; k] ++ [1; k]`. The canonical well-separated fixture — every
+/// sane seed recovers exactly two blocks.
+pub fn two_cliques(k: u32) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                edges.push((i, j, 1));
+                edges.push((k + i, k + j, 1));
+            }
+        }
+    }
+    edges.push((0, k, 1));
+    Graph::from_edges(2 * k as usize, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_shape() {
+        let g = two_cliques(4);
+        assert_eq!(g.num_vertices(), 8);
+        // 2 · k·(k−1) intra-clique arcs + 1 bridge.
+        assert_eq!(g.num_arcs(), 2 * 12 + 1);
+        assert_eq!(g.degree(0), g.degree(1) + 1, "bridge endpoint is heavier");
+    }
+}

@@ -22,6 +22,7 @@
 //! must not overflow during delta computations.
 
 pub mod builder;
+pub mod fixtures;
 pub mod graph;
 pub mod io;
 pub mod islands;

@@ -23,9 +23,11 @@
 pub mod comm;
 pub mod cost;
 pub mod cputime;
+pub mod report;
 pub mod thread;
 
 pub use comm::{CommStats, Communicator, SelfComm};
 pub use cost::CostModel;
 pub use cputime::thread_cpu_time;
+pub use report::ClusterReport;
 pub use thread::{ClusterOutcome, RankOutcome, ThreadCluster};

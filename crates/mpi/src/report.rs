@@ -1,0 +1,83 @@
+//! Aggregate communication/runtime reporting for cluster runs.
+//!
+//! [`ClusterReport`] condenses a [`ClusterOutcome`]
+//! into the numbers the benchmark harness and the unified `Partitioner`
+//! API surface: BSP makespan, collective counts, and wire-byte totals,
+//! including the per-rank maximum for load-imbalance visibility.
+
+use crate::thread::ClusterOutcome;
+
+/// Aggregate communication/runtime report of a simulated cluster run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClusterReport {
+    /// BSP makespan: the maximum final virtual clock across ranks (s).
+    pub makespan: f64,
+    /// Collective participations summed across **all** ranks (one
+    /// allgather on an `n`-rank cluster counts `n`).
+    pub collectives: u64,
+    /// Total payload bytes moved across the simulated interconnect
+    /// (sum of every rank's sent bytes).
+    pub total_bytes: u64,
+    /// Bytes sent by the busiest single rank — compare against
+    /// `total_bytes / ranks` to spot communication imbalance.
+    pub max_rank_bytes: u64,
+    /// Number of ranks.
+    pub ranks: usize,
+}
+
+impl ClusterReport {
+    /// Summarizes a [`ClusterOutcome`], aggregating statistics over every
+    /// rank (not just rank 0).
+    pub fn from_outcome<R>(out: &ClusterOutcome<R>) -> Self {
+        ClusterReport {
+            makespan: out.makespan(),
+            collectives: out.ranks.iter().map(|r| r.stats.collectives).sum(),
+            total_bytes: out.total_bytes(),
+            max_rank_bytes: out
+                .ranks
+                .iter()
+                .map(|r| r.stats.bytes_sent)
+                .max()
+                .unwrap_or(0),
+            ranks: out.ranks.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::thread::ThreadCluster;
+    use crate::Communicator;
+
+    #[test]
+    fn report_aggregates_across_all_ranks() {
+        // Rank 1 sends a bigger payload than the others; the report must
+        // see every rank's traffic, not just rank 0's.
+        let out = ThreadCluster::run(3, CostModel::zero(), |comm| {
+            let payload = if comm.rank() == 1 {
+                vec![0u64; 100]
+            } else {
+                vec![0u64; 1]
+            };
+            comm.allgatherv(payload);
+        });
+        let rep = ClusterReport::from_outcome(&out);
+        assert_eq!(rep.ranks, 3);
+        // One allgather, three participants.
+        assert_eq!(rep.collectives, 3);
+        assert_eq!(rep.total_bytes, 800 + 8 + 8);
+        assert_eq!(rep.max_rank_bytes, 800);
+        assert!(rep.max_rank_bytes <= rep.total_bytes);
+    }
+
+    #[test]
+    fn empty_outcome_is_all_zero() {
+        let out: ClusterOutcome<()> = ClusterOutcome { ranks: Vec::new() };
+        let rep = ClusterReport::from_outcome(&out);
+        assert_eq!(rep.collectives, 0);
+        assert_eq!(rep.max_rank_bytes, 0);
+        assert_eq!(rep.ranks, 0);
+    }
+}

@@ -16,12 +16,19 @@
 //!    vertices by weighted-majority label propagation in BFS order;
 //! 4. optionally fine-tune with a few full-graph MCMC sweeps.
 //!
-//! [`pipeline::sample_partition_extend`] glues the stages together.
+//! The [`Sampled`] solver decorator glues the stages together and
+//! composes with any backend (sequential, hybrid, batch, DC-SBP,
+//! EDiSt); the legacy [`pipeline::sample_partition_extend`] free
+//! function remains as a deprecated shim over it.
 
 pub mod extend;
 pub mod pipeline;
+pub mod solver;
 pub mod strategies;
 
 pub use extend::extend_partition;
-pub use pipeline::{sample_partition_extend, SamplePipelineConfig, SamplePipelineResult};
+#[allow(deprecated)]
+pub use pipeline::sample_partition_extend;
+pub use pipeline::{SamplePipelineConfig, SamplePipelineResult};
+pub use solver::Sampled;
 pub use strategies::{sample_vertices, SamplingStrategy};

@@ -1,13 +1,16 @@
 //! The end-to-end sampling pipeline: sample → SBP on the sample → extend →
 //! optional fine-tuning sweeps on the full graph.
+//!
+//! [`sample_partition_extend`] is the legacy single-call form, now a
+//! deprecated shim over the composable [`crate::Sampled`] solver
+//! decorator (which additionally supports distributed inner backends,
+//! progress events, and cancellation).
 
-use crate::extend::extend_partition;
-use crate::strategies::{sample_vertices, SamplingStrategy};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use sbp_core::mcmc::mh_sweep;
-use sbp_core::{sbp, Blockmodel, SbpConfig};
-use sbp_graph::{induced_subgraph, Graph, Vertex};
+use crate::solver::Sampled;
+use crate::strategies::SamplingStrategy;
+use sbp_core::run::{Batch, Hybrid, NoProgress, RunConfig, Sequential, Solver};
+use sbp_core::{McmcStrategy, SbpConfig};
+use sbp_graph::Graph;
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -48,54 +51,44 @@ pub struct SamplePipelineResult {
     pub sampled_vertices: usize,
 }
 
+/// The single-node backend matching an [`McmcStrategy`], so the shim
+/// reproduces the exact trajectory the legacy pipeline produced.
+fn strategy_backend(strategy: &McmcStrategy) -> Box<dyn Solver> {
+    match strategy {
+        McmcStrategy::MetropolisHastings => Box::new(Sequential),
+        McmcStrategy::Hybrid(hcfg) => Box::new(Hybrid(*hcfg)),
+        McmcStrategy::Batch => Box::new(Batch),
+    }
+}
+
 /// Runs the sample → infer → extend → fine-tune pipeline.
 ///
 /// # Panics
 /// Panics when `fraction` is outside `(0, 1]`.
+#[deprecated(note = "use `edist::Partitioner::sample(…)` or wrap any backend in \
+                     `sbp_sample::Sampled`")]
 pub fn sample_partition_extend(graph: &Graph, cfg: &SamplePipelineConfig) -> SamplePipelineResult {
-    assert!(
-        cfg.fraction > 0.0 && cfg.fraction <= 1.0,
-        "sampling fraction must be in (0, 1]"
+    let solver = Sampled {
+        inner: strategy_backend(&cfg.sbp.strategy),
+        strategy: cfg.strategy,
+        fraction: cfg.fraction,
+        finetune_sweeps: cfg.finetune_sweeps,
+    };
+    let out = solver.solve(
+        graph,
+        &RunConfig::from_sbp(cfg.sbp.clone()),
+        &mut NoProgress,
     );
-    let n = graph.num_vertices();
-    if n == 0 {
-        return SamplePipelineResult {
-            assignment: Vec::new(),
-            num_blocks: 0,
-            description_length: 0.0,
-            sampled_vertices: 0,
-        };
-    }
-    let target = ((n as f64) * cfg.fraction).round().max(1.0) as usize;
-    let sampled = sample_vertices(graph, cfg.strategy, target, cfg.sbp.seed ^ 0x005A_11CE);
-    let sub = induced_subgraph(graph, &sampled);
-
-    // Infer on the sample.
-    let sample_result = sbp(&sub.graph, &cfg.sbp);
-
-    // Map the sample's labels back to global vertex ids and extend.
-    let global_labels: Vec<u32> = sample_result.assignment.clone();
-    let assignment = extend_partition(graph, &sampled, &global_labels);
-
-    // Rebuild the blockmodel on the full graph and optionally fine-tune.
-    let num_blocks = sample_result.num_blocks.max(1);
-    let mut bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
-    if cfg.finetune_sweeps > 0 {
-        let vertices: Vec<Vertex> = (0..n as Vertex).collect();
-        let mut rng = SmallRng::seed_from_u64(cfg.sbp.seed ^ 0xF1E7);
-        for _ in 0..cfg.finetune_sweeps {
-            mh_sweep(graph, &mut bm, &vertices, cfg.sbp.beta, &mut rng);
-        }
-    }
     SamplePipelineResult {
-        assignment: bm.assignment().to_vec(),
-        num_blocks: bm.num_blocks(),
-        description_length: bm.description_length(),
-        sampled_vertices: sampled.len(),
+        assignment: out.assignment,
+        num_blocks: out.num_blocks,
+        description_length: out.description_length,
+        sampled_vertices: out.sampled_vertices.unwrap_or(0),
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sbp_eval::nmi;

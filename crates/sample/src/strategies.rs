@@ -28,7 +28,7 @@ pub enum SamplingStrategy {
         /// Probability of burning each incident edge (0 < p < 1).
         burn_probability_pct: u8,
     },
-    /// Expansion snowball (Maiya & Berger-Wolf WWW'10, the paper's [24]):
+    /// Expansion snowball (Maiya & Berger-Wolf WWW'10, the paper's \[24\]):
     /// greedily grow the sample by the frontier vertex contributing the
     /// most new neighbors — maximizes expansion, preserving community
     /// boundaries.

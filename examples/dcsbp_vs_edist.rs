@@ -1,15 +1,16 @@
 //! The paper's core claim, reproduced in miniature: DC-SBP loses accuracy
 //! as ranks increase (and collapses on sparse graphs), EDiSt does not.
+//! Both algorithms run through the same `Partitioner` builder — only the
+//! backend varies.
 //!
 //! ```text
 //! cargo run --release --example dcsbp_vs_edist
 //! ```
 
 use edist::prelude::*;
-use std::sync::Arc;
 
 fn run_comparison(name: &str, planted: &PlantedGraph) {
-    let graph = Arc::new(planted.graph.clone());
+    let graph = &planted.graph;
     println!(
         "\n--- {name}: V={} E={} C_true={} ---",
         graph.num_vertices(),
@@ -21,19 +22,23 @@ fn run_comparison(name: &str, planted: &PlantedGraph) {
         "ranks", "islands", "DC-SBP NMI", "DC time(s)", "EDiSt NMI", "ED time(s)"
     );
     for ranks in [1usize, 4, 16] {
-        let islands = island_fraction_round_robin(&graph, ranks).fraction();
-        let (dc, dc_rep) =
-            run_dcsbp_cluster(&graph, ranks, CostModel::hdr100(), &DcsbpConfig::default());
-        let (ed, ed_rep) =
-            run_edist_cluster(&graph, ranks, CostModel::hdr100(), &EdistConfig::default());
+        let islands = island_fraction_round_robin(graph, ranks).fraction();
+        let dc = Partitioner::on(graph)
+            .backend(Backend::DcSbp { ranks })
+            .run()
+            .expect("valid configuration");
+        let ed = Partitioner::on(graph)
+            .backend(Backend::Edist { ranks })
+            .run()
+            .expect("valid configuration");
         println!(
             "{:>6} {:>9.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             ranks,
             islands,
             nmi(&dc.assignment, &planted.ground_truth),
-            dc_rep.makespan,
+            dc.virtual_seconds,
             nmi(&ed.assignment, &planted.ground_truth),
-            ed_rep.makespan,
+            ed.virtual_seconds,
         );
     }
 }

@@ -1,4 +1,5 @@
-//! Quickstart: the full pipeline on a small planted graph, with the
+//! Quickstart: the full pipeline on a small planted graph through the
+//! unified `Partitioner` API, with live progress events and the
 //! per-stage snapshots of Fig. 1 printed along the way.
 //!
 //! ```text
@@ -6,7 +7,6 @@
 //! ```
 
 use edist::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     // 1. Generate a graph with known communities (the DC-SBM generator the
@@ -19,7 +19,7 @@ fn main() {
         ..SbmParams::example()
     };
     let planted = generate(&params);
-    let graph = Arc::new(planted.graph.clone());
+    let graph = &planted.graph;
     println!(
         "generated graph: V={} E={} planted communities={}",
         graph.num_vertices(),
@@ -28,49 +28,75 @@ fn main() {
     );
 
     // 2. Sequential SBP (paper Fig. 1): watch the golden-ratio search
-    //    agglomerate from C=V down to the optimum.
-    let cfg = SbpConfig {
-        seed: 42,
-        ..SbpConfig::default()
-    };
-    let result = sbp(&graph, &cfg);
+    //    agglomerate from C=V down to the optimum — live, through the
+    //    progress callback.
     println!("\nsequential SBP trajectory (block merge → MCMC per row):");
     println!(
         "{:>10} {:>14} {:>8} {:>8}",
         "blocks", "DL", "sweeps", "moves"
     );
-    for it in &result.iterations {
-        println!(
-            "{:>10} {:>14.2} {:>8} {:>8}",
-            it.num_blocks, it.dl, it.sweeps, it.moves
-        );
-    }
+    let sequential = Partitioner::on(graph)
+        .backend(Backend::Sequential)
+        .seed(42)
+        .progress(|event| {
+            if let ProgressEvent::Iteration { stat, .. } = event {
+                println!(
+                    "{:>10} {:>14.2} {:>8} {:>8}",
+                    stat.num_blocks, stat.dl, stat.sweeps, stat.moves
+                );
+            }
+        })
+        .run()
+        .expect("valid configuration");
     println!(
-        "sequential result: {} blocks, DL={:.2}, NMI={:.3}",
-        result.num_blocks,
-        result.description_length,
-        nmi(&result.assignment, &planted.ground_truth)
+        "sequential result: {} blocks, DL={:.2}, NMI={:.3} ({:.2}s wall)",
+        sequential.num_blocks,
+        sequential.description_length,
+        nmi(&sequential.assignment, &planted.ground_truth),
+        sequential.wall_seconds
     );
 
     // 3. The same inference, distributed over 4 simulated MPI ranks with
-    //    EDiSt. Results on every rank are bitwise identical.
-    let (dist_result, report) =
-        run_edist_cluster(&graph, 4, CostModel::hdr100(), &EdistConfig::default());
+    //    EDiSt — only the `.backend(…)` call changes. Results on every
+    //    rank are bitwise identical.
+    let distributed = Partitioner::on(graph)
+        .backend(Backend::Edist { ranks: 4 })
+        .seed(42)
+        .run()
+        .expect("valid configuration");
+    let report = distributed.cluster.expect("distributed backends report");
     println!(
         "\nEDiSt on 4 ranks: {} blocks, DL={:.2}, NMI={:.3}",
-        dist_result.num_blocks,
-        dist_result.description_length,
-        nmi(&dist_result.assignment, &planted.ground_truth)
+        distributed.num_blocks,
+        distributed.description_length,
+        nmi(&distributed.assignment, &planted.ground_truth)
     );
     println!(
-        "simulated runtime {:.3}s over {} collectives ({} bytes on the wire)",
-        report.makespan, report.collectives, report.total_bytes
+        "simulated runtime {:.3}s over {} collectives ({} bytes on the wire, busiest rank {})",
+        report.makespan, report.collectives, report.total_bytes, report.max_rank_bytes
     );
 
-    // 4. Agreement between the two runs (they are independent MCMC chains,
-    //    so expect high-but-not-perfect agreement).
+    // 4. Agreement between the two runs. A single-rank EDiSt run would be
+    //    bit-identical to sequential SBP (they share every RNG stream);
+    //    at 4 ranks the MH chains interleave differently, so expect
+    //    high-but-not-perfect agreement.
     println!(
         "sequential vs distributed agreement (NMI): {:.3}",
-        nmi(&result.assignment, &dist_result.assignment)
+        nmi(&sequential.assignment, &distributed.assignment)
+    );
+
+    // 5. Sampling-based data reduction composes with any backend.
+    let sampled = Partitioner::on(graph)
+        .backend(Backend::Sequential)
+        .sample(SamplingStrategy::ExpansionSnowball, 0.5)
+        .seed(42)
+        .run()
+        .expect("valid configuration");
+    println!(
+        "\nsampled pipeline ({} of {} vertices): {} blocks, NMI={:.3}",
+        sampled.sampled_vertices.unwrap_or(0),
+        graph.num_vertices(),
+        sampled.num_blocks,
+        nmi(&sampled.assignment, &planted.ground_truth)
     );
 }

@@ -1,7 +1,7 @@
 //! End-to-end pipeline on a "real-world" graph: load (or synthesize) a
-//! graph with no ground truth, run both distributed algorithms, and score
-//! them with the normalized description length — exactly the paper's
-//! Fig. 6 methodology.
+//! graph with no ground truth, run both distributed backends through the
+//! `Partitioner`, and score them with the normalized description length —
+//! exactly the paper's Fig. 6 methodology.
 //!
 //! If you have a SuiteSparse Matrix Market file (e.g. the paper's Amazon
 //! graph), pass its path; otherwise the Amazon stand-in is generated:
@@ -13,7 +13,6 @@
 use edist::graph::io::load_graph;
 use edist::prelude::*;
 use std::path::Path;
-use std::sync::Arc;
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -23,12 +22,12 @@ fn main() {
                 eprintln!("failed to load {path}: {e}");
                 std::process::exit(1);
             });
-            (Arc::new(g), path)
+            (g, path)
         }
         None => {
             let planted = realworld(RealWorldStandIn::Amazon, 0.01, 3);
             (
-                Arc::new(planted.graph.clone()),
+                planted.graph.clone(),
                 "Amazon stand-in (synthetic)".to_string(),
             )
         }
@@ -40,17 +39,21 @@ fn main() {
         "ranks", "DC DLn", "DC time(s)", "ED DLn", "ED time(s)"
     );
     for ranks in [1usize, 4, 8] {
-        let (dc, dc_rep) =
-            run_dcsbp_cluster(&graph, ranks, CostModel::hdr100(), &DcsbpConfig::default());
-        let (ed, ed_rep) =
-            run_edist_cluster(&graph, ranks, CostModel::hdr100(), &EdistConfig::default());
+        let dc = Partitioner::on(&graph)
+            .backend(Backend::DcSbp { ranks })
+            .run()
+            .expect("valid configuration");
+        let ed = Partitioner::on(&graph)
+            .backend(Backend::Edist { ranks })
+            .run()
+            .expect("valid configuration");
         println!(
             "{:>6} {:>10.3} {:>12.3} {:>10.3} {:>12.3}",
             ranks,
-            normalized_dl(dc.description_length, v, e),
-            dc_rep.makespan,
-            normalized_dl(ed.description_length, v, e),
-            ed_rep.makespan,
+            dc.dl_norm(&graph),
+            dc.virtual_seconds,
+            ed.dl_norm(&graph),
+            ed.virtual_seconds,
         );
     }
     println!("\nDL_norm < 1 means the partition compresses the graph better than");

@@ -1,13 +1,13 @@
 //! Sampling-based data reduction (paper §V-F): infer on a sampled
 //! subgraph, extend labels to the full graph, compare quality and work
-//! against full inference — across all five sampling strategies.
+//! against full inference — across all five sampling strategies, each
+//! expressed as a one-line `.sample(…)` call on the `Partitioner`.
 //!
 //! ```text
 //! cargo run --release --example sampling_pipeline
 //! ```
 
 use edist::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let planted = param_study(
@@ -29,19 +29,14 @@ fn main() {
     );
 
     // Full-graph baseline.
-    let t0 = Instant::now();
-    let full = sbp(
-        graph,
-        &SbpConfig {
-            seed: 1,
-            ..Default::default()
-        },
-    );
-    let full_time = t0.elapsed().as_secs_f64();
+    let full = Partitioner::on(graph)
+        .seed(1)
+        .run()
+        .expect("valid configuration");
     println!(
         "\nfull SBP:        NMI={:.3}  time={:.2}s",
         nmi(&full.assignment, &planted.ground_truth),
-        full_time
+        full.wall_seconds
     );
 
     println!("\nsampled pipelines (50% of vertices):");
@@ -61,24 +56,17 @@ fn main() {
         ),
         ("expansion-snowball", SamplingStrategy::ExpansionSnowball),
     ] {
-        let cfg = SamplePipelineConfig {
-            strategy,
-            fraction: 0.5,
-            sbp: SbpConfig {
-                seed: 1,
-                ..Default::default()
-            },
-            finetune_sweeps: 3,
-        };
-        let t1 = Instant::now();
-        let res = sample_partition_extend(graph, &cfg);
-        let dt = t1.elapsed().as_secs_f64();
+        let run = Partitioner::on(graph)
+            .sample(strategy, 0.5)
+            .seed(1)
+            .run()
+            .expect("valid configuration");
         println!(
             "{:<22} {:>8.3} {:>10.2} {:>8.1}x",
             name,
-            nmi(&res.assignment, &planted.ground_truth),
-            dt,
-            full_time / dt
+            nmi(&run.assignment, &planted.ground_truth),
+            run.wall_seconds,
+            full.wall_seconds / run.wall_seconds
         );
     }
     println!(

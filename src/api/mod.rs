@@ -1,0 +1,439 @@
+//! The unified partitioning API: one builder, five interchangeable
+//! backends, one result shape.
+//!
+//! ```
+//! use edist::prelude::*;
+//!
+//! let planted = generate(&SbmParams::example());
+//! let run = Partitioner::on(&planted.graph)
+//!     .backend(Backend::Edist { ranks: 4 })
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
+//! assert!(nmi(&run.assignment, &planted.ground_truth) > 0.5);
+//! assert!(run.cluster.unwrap().makespan > 0.0);
+//! ```
+//!
+//! [`Partitioner`] validates its inputs, assembles the matching
+//! [`Solver`] (optionally wrapped in the [`Sampled`] data-reduction
+//! decorator), threads a progress callback and a [`CancelToken`]
+//! through, and returns a [`Run`] carrying the partition, the
+//! per-iteration trajectory, wall/virtual timings, and — for the
+//! distributed backends — the [`ClusterReport`].
+
+use sbp_core::run::{
+    Batch, CancelToken, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome,
+    Sequential, Solver,
+};
+use sbp_core::{HybridConfig, IterationStat, SbpConfig};
+use sbp_dist::{DcSbp, Edist, Engine, OwnershipStrategy};
+use sbp_eval::normalized_dl;
+use sbp_graph::Graph;
+use sbp_mpi::{ClusterReport, CostModel};
+use sbp_sample::{Sampled, SamplingStrategy};
+use std::fmt;
+use std::time::Instant;
+
+/// Boxed progress callback stored by the builder.
+type ProgressCallback<'a> = Box<dyn FnMut(&ProgressEvent) + 'a>;
+
+/// Which execution strategy runs the shared SBP inference engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Backend {
+    /// Single-node sequential Metropolis–Hastings (paper Alg. 2).
+    Sequential,
+    /// Single-node Hybrid SBP (sequential head + asynchronous-Gibbs
+    /// tail, the paper's intra-rank parallelization).
+    Hybrid(HybridConfig),
+    /// Single-node frozen-state batch evaluation (python-reference
+    /// parallelism; the strategy under which EDiSt trajectories are
+    /// bit-identical at every rank count).
+    Batch,
+    /// Divide-and-conquer SBP (paper Alg. 3) on simulated MPI ranks.
+    DcSbp {
+        /// Simulated rank count.
+        ranks: usize,
+    },
+    /// Exact distributed SBP (paper Algs. 4–5) on simulated MPI ranks.
+    Edist {
+        /// Simulated rank count.
+        ranks: usize,
+    },
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Sequential => write!(f, "sequential"),
+            Backend::Hybrid(_) => write!(f, "hybrid"),
+            Backend::Batch => write!(f, "batch"),
+            Backend::DcSbp { ranks } => write!(f, "dcsbp(ranks={ranks})"),
+            Backend::Edist { ranks } => write!(f, "edist(ranks={ranks})"),
+        }
+    }
+}
+
+/// Why a [`Partitioner::run`] call was rejected before doing any work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A distributed backend was configured with zero ranks.
+    ZeroRanks,
+    /// The sampling fraction was outside `(0, 1]` (stored ×1000 so the
+    /// error stays `Eq`-comparable).
+    BadSampleFraction(i64),
+    /// `sync_period` must be at least 1.
+    ZeroSyncPeriod,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ZeroRanks => {
+                write!(f, "distributed backends need at least one rank")
+            }
+            PartitionError::BadSampleFraction(milli) => write!(
+                f,
+                "sampling fraction must be in (0, 1], got {}",
+                *milli as f64 / 1000.0
+            ),
+            PartitionError::ZeroSyncPeriod => {
+                write!(f, "sync_period must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The unified result of a [`Partitioner`] run.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// Name of the backend that produced the result (including the
+    /// sampling decorator, when active).
+    pub backend: String,
+    /// Inferred block assignment (dense labels `0..num_blocks`).
+    pub assignment: Vec<u32>,
+    /// Inferred number of blocks.
+    pub num_blocks: usize,
+    /// Description length of the returned partition.
+    pub description_length: f64,
+    /// Per-iteration trajectory of the golden-ratio search.
+    pub iterations: Vec<IterationStat>,
+    /// True when the run stopped early on its [`CancelToken`]; the
+    /// partition is then the best bracket entry found so far.
+    pub cancelled: bool,
+    /// Real elapsed time of the whole run (s).
+    pub wall_seconds: f64,
+    /// Virtual runtime: thread-CPU seconds for single-node backends, the
+    /// simulated BSP makespan for distributed ones.
+    pub virtual_seconds: f64,
+    /// Communication/runtime report — `Some` for distributed backends.
+    pub cluster: Option<ClusterReport>,
+    /// Vertices actually sampled — `Some` when sampling was enabled.
+    pub sampled_vertices: Option<usize>,
+}
+
+impl Run {
+    /// Normalized description length against the null single-community
+    /// model (lower is better; `< 1` beats the null model).
+    pub fn dl_norm(&self, graph: &Graph) -> f64 {
+        normalized_dl(
+            self.description_length,
+            graph.num_vertices(),
+            graph.total_edge_weight(),
+        )
+    }
+}
+
+/// Builder for a partitioning run: pick a [`Backend`], tune the shared
+/// hyper-parameters, optionally add sampling, a progress callback, and a
+/// cancellation token, then [`run`](Partitioner::run).
+pub struct Partitioner<'a> {
+    graph: &'a Graph,
+    backend: Option<Backend>,
+    sbp: SbpConfig,
+    cost: CostModel,
+    ownership: OwnershipStrategy,
+    sync_period: usize,
+    engine: Engine,
+    skip_finetune: bool,
+    sample: Option<(SamplingStrategy, f64)>,
+    finetune_sweeps: usize,
+    cancel: CancelToken,
+    progress: Option<ProgressCallback<'a>>,
+}
+
+impl<'a> Partitioner<'a> {
+    /// Starts a builder for `graph` with default hyper-parameters. With
+    /// no explicit [`backend`](Partitioner::backend) call, the
+    /// single-node backend matching the configured
+    /// [`McmcStrategy`](sbp_core::McmcStrategy) runs — sequential MH by
+    /// default.
+    pub fn on(graph: &'a Graph) -> Self {
+        Partitioner {
+            graph,
+            backend: None,
+            sbp: SbpConfig::default(),
+            cost: CostModel::hdr100(),
+            ownership: OwnershipStrategy::default(),
+            sync_period: 1,
+            engine: Engine::default(),
+            skip_finetune: false,
+            sample: None,
+            finetune_sweeps: 3,
+            cancel: CancelToken::new(),
+            progress: None,
+        }
+    }
+
+    /// Selects the execution backend explicitly. A single-node backend
+    /// chosen here overrides the `strategy` field of the configured
+    /// [`SbpConfig`] (the backend *is* the strategy); the distributed
+    /// backends honour it for their intra-rank sweeps.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Replaces the full SBP hyper-parameter set. When no explicit
+    /// [`backend`](Partitioner::backend) is selected, `sbp.strategy`
+    /// also picks the single-node backend, so
+    /// `Partitioner::on(&g).config(cfg).run()` reproduces the legacy
+    /// `sbp(&g, &cfg)` exactly for every strategy.
+    pub fn config(mut self, sbp: SbpConfig) -> Self {
+        self.sbp = sbp;
+        self
+    }
+
+    /// Sets the master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sbp.seed = seed;
+        self
+    }
+
+    /// Sets the interconnect cost model used by the distributed
+    /// backends' virtual clocks (default: HDR-100 InfiniBand).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets EDiSt's vertex-ownership scheme.
+    pub fn ownership(mut self, ownership: OwnershipStrategy) -> Self {
+        self.ownership = ownership;
+        self
+    }
+
+    /// Sets EDiSt's sweeps-per-move-exchange period (default 1).
+    pub fn sync_period(mut self, period: usize) -> Self {
+        self.sync_period = period;
+        self
+    }
+
+    /// Selects DC-SBP's per-rank engine (optimized vs python-equivalent
+    /// naive).
+    pub fn dcsbp_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Skips DC-SBP's root-side fine-tuning pass (ablation switch).
+    pub fn skip_finetune(mut self, skip: bool) -> Self {
+        self.skip_finetune = skip;
+        self
+    }
+
+    /// Enables sampling-based data reduction: infer on a `fraction`
+    /// sample drawn with `strategy`, then extend to the full graph.
+    pub fn sample(mut self, strategy: SamplingStrategy, fraction: f64) -> Self {
+        self.sample = Some((strategy, fraction));
+        self
+    }
+
+    /// Full-graph fine-tuning sweeps after sample extension (default 3).
+    pub fn finetune_sweeps(mut self, sweeps: usize) -> Self {
+        self.finetune_sweeps = sweeps;
+        self
+    }
+
+    /// Attaches a cancellation token; keep a clone and call
+    /// [`CancelToken::cancel`] to stop the run at its next checkpoint.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Registers a progress callback. Sequential backends invoke it
+    /// inline from the optimization loop; distributed backends relay
+    /// rank 0's events to it live on the calling thread.
+    pub fn progress(mut self, callback: impl FnMut(&ProgressEvent) + 'a) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Builds the configured [`Solver`] without running it — useful for
+    /// harnesses that drive the trait directly.
+    pub fn solver(&self) -> Result<Box<dyn Solver>, PartitionError> {
+        // An unspecified backend follows the configured MCMC strategy,
+        // so `.config(cfg)` alone reproduces the legacy `sbp(&g, &cfg)`.
+        let backend = match (self.backend, &self.sbp.strategy) {
+            (Some(backend), _) => backend,
+            (None, sbp_core::McmcStrategy::MetropolisHastings) => Backend::Sequential,
+            (None, sbp_core::McmcStrategy::Hybrid(hcfg)) => Backend::Hybrid(*hcfg),
+            (None, sbp_core::McmcStrategy::Batch) => Backend::Batch,
+        };
+        let base: Box<dyn Solver> = match backend {
+            Backend::Sequential => Box::new(Sequential),
+            Backend::Hybrid(hcfg) => Box::new(sbp_core::run::Hybrid(hcfg)),
+            Backend::Batch => Box::new(Batch),
+            Backend::DcSbp { ranks } => {
+                if ranks == 0 {
+                    return Err(PartitionError::ZeroRanks);
+                }
+                Box::new(DcSbp {
+                    ranks,
+                    cost: self.cost,
+                    engine: self.engine,
+                    skip_finetune: self.skip_finetune,
+                })
+            }
+            Backend::Edist { ranks } => {
+                if ranks == 0 {
+                    return Err(PartitionError::ZeroRanks);
+                }
+                if self.sync_period == 0 {
+                    return Err(PartitionError::ZeroSyncPeriod);
+                }
+                Box::new(Edist {
+                    ranks,
+                    cost: self.cost,
+                    ownership: self.ownership,
+                    sync_period: self.sync_period,
+                })
+            }
+        };
+        match self.sample {
+            None => Ok(base),
+            Some((strategy, fraction)) => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(PartitionError::BadSampleFraction(
+                        (fraction * 1000.0).round() as i64,
+                    ));
+                }
+                Ok(Box::new(Sampled {
+                    inner: base,
+                    strategy,
+                    fraction,
+                    finetune_sweeps: self.finetune_sweeps,
+                }))
+            }
+        }
+    }
+
+    /// Runs inference and returns the unified [`Run`] result.
+    pub fn run(mut self) -> Result<Run, PartitionError> {
+        let solver = self.solver()?;
+        let cfg = RunConfig {
+            sbp: self.sbp.clone(),
+            cancel: self.cancel.clone(),
+        };
+        let wall = Instant::now();
+        let outcome = match self.progress.as_mut() {
+            Some(callback) => {
+                let mut sink = ProgressFn(|event: &ProgressEvent| callback(event));
+                solver.solve(self.graph, &cfg, &mut sink)
+            }
+            None => solver.solve(self.graph, &cfg, &mut NoProgress),
+        };
+        Ok(finish(solver.name(), outcome, wall.elapsed().as_secs_f64()))
+    }
+}
+
+fn finish(backend: String, outcome: RunOutcome, wall_seconds: f64) -> Run {
+    Run {
+        backend,
+        assignment: outcome.assignment,
+        num_blocks: outcome.num_blocks,
+        description_length: outcome.description_length,
+        iterations: outcome.iterations,
+        cancelled: outcome.cancelled,
+        wall_seconds,
+        virtual_seconds: outcome.virtual_seconds,
+        cluster: outcome.cluster,
+        sampled_vertices: outcome.sampled_vertices,
+    }
+}
+
+/// Runs a solver built elsewhere (e.g. a custom [`Solver`]
+/// implementation) through the same timing/result plumbing the builder
+/// uses.
+pub fn run_solver<S: Solver + ?Sized>(
+    solver: &S,
+    graph: &Graph,
+    cfg: &RunConfig,
+    progress: &mut dyn ProgressSink,
+) -> Run {
+    let wall = Instant::now();
+    let outcome = solver.solve(graph, cfg, progress);
+    finish(solver.name(), outcome, wall.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbp_graph::fixtures::two_cliques;
+
+    #[test]
+    fn builder_runs_every_backend() {
+        let g = two_cliques(8);
+        for backend in [
+            Backend::Sequential,
+            Backend::Hybrid(HybridConfig {
+                parallel: false,
+                ..HybridConfig::default()
+            }),
+            Backend::Batch,
+            Backend::DcSbp { ranks: 2 },
+            Backend::Edist { ranks: 2 },
+        ] {
+            let run = Partitioner::on(&g)
+                .backend(backend)
+                .seed(5)
+                .run()
+                .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert_eq!(run.assignment.len(), 16, "{backend}");
+            assert_eq!(run.num_blocks, 2, "{backend}");
+            assert!(run.wall_seconds >= 0.0);
+            let distributed = matches!(backend, Backend::DcSbp { .. } | Backend::Edist { .. });
+            assert_eq!(run.cluster.is_some(), distributed, "{backend}");
+        }
+    }
+
+    #[test]
+    fn zero_ranks_is_rejected() {
+        let g = two_cliques(4);
+        let err = Partitioner::on(&g)
+            .backend(Backend::Edist { ranks: 0 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, PartitionError::ZeroRanks);
+    }
+
+    #[test]
+    fn bad_sample_fraction_is_rejected() {
+        let g = two_cliques(4);
+        let err = Partitioner::on(&g)
+            .sample(SamplingStrategy::UniformNode, 1.5)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, PartitionError::BadSampleFraction(1500));
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn dl_norm_beats_null_model_on_structured_graph() {
+        let g = two_cliques(8);
+        let run = Partitioner::on(&g).seed(1).run().unwrap();
+        assert!(run.dl_norm(&g) < 1.0);
+    }
+}

@@ -4,8 +4,10 @@
 //! edist-cli generate  --family challenge|param|scaling|realworld --out g.mtx [--truth t.txt]
 //!                     [--vertices N] [--id TTT33|1M|Amazon|...] [--difficulty easy|hard]
 //!                     [--scale F] [--seed N]
-//! edist-cli partition --graph g.mtx --algo sbp|edist|dcsbp [--ranks N] [--seed N]
-//!                     [--out assignment.txt]
+//! edist-cli partition --graph g.mtx --backend sequential|hybrid|batch|dcsbp|edist
+//!                     [--ranks N] [--seed N] [--sample F]
+//!                     [--strategy uniform|degree|edge|fire|snowball]
+//!                     [--progress true] [--out assignment.txt]
 //! edist-cli sample    --graph g.mtx --fraction F [--strategy uniform|degree|edge|fire|snowball]
 //!                     [--seed N] [--out assignment.txt]
 //! edist-cli evaluate  --pred a.txt --truth b.txt
@@ -13,16 +15,18 @@
 //! edist-cli stats     --graph g.mtx
 //! ```
 //!
+//! Every inference path runs through the unified [`Partitioner`] builder
+//! (`--algo sbp|edist|dcsbp` is accepted as a deprecated alias for
+//! `--backend`; `sample` is shorthand for `partition --sample F`).
+//!
 //! Graphs load by extension: `.mtx` = Matrix Market, anything else =
 //! `src dst [weight]` edge list. Assignments are one label per line.
 
-use edist::dist::{dcsbp, edist as edist_run};
 use edist::graph::io::load_graph;
 use edist::prelude::*;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Arc;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -60,8 +64,8 @@ const HELP: &str = "edist-cli — exact distributed stochastic block partitionin
 
 subcommands:
   generate   synthesize a dataset-family graph (writes .mtx/.txt + truth)
-  partition  infer communities with sbp | edist | dcsbp
-  sample     sampling-based inference (sample -> SBP -> extend)
+  partition  infer communities (--backend sequential|hybrid|batch|dcsbp|edist)
+  sample     sampling-based inference (sample -> infer -> extend)
   evaluate   score a predicted labeling against ground truth
   islands    island-vertex census under round-robin distribution
   stats      basic graph statistics
@@ -190,58 +194,20 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(args: &Args) -> Result<(), String> {
-    let graph = Arc::new(load(args)?);
-    let algo = args.get("algo").unwrap_or("sbp");
-    let ranks: usize = args.num("ranks", 4usize)?;
-    let seed: u64 = args.num("seed", 0u64)?;
-    let cfg = SbpConfig {
-        seed,
-        ..SbpConfig::default()
-    };
-    let (assignment, num_blocks, dl) = match algo {
-        "sbp" => {
-            let r = sbp(&graph, &cfg);
-            (r.assignment, r.num_blocks, r.description_length)
-        }
-        "edist" => {
-            let ecfg = EdistConfig {
-                sbp: cfg,
-                ..EdistConfig::default()
-            };
-            let out = ThreadCluster::run(ranks.max(1), CostModel::hdr100(), |comm| {
-                edist_run(comm, &graph, &ecfg)
-            });
-            eprintln!("simulated runtime: {:.3}s", out.makespan());
-            let r = out.ranks.into_iter().next().expect("rank 0").result;
-            (r.assignment, r.num_blocks, r.description_length)
-        }
-        "dcsbp" => {
-            let dcfg = DcsbpConfig {
-                sbp: cfg,
-                ..DcsbpConfig::default()
-            };
-            let out = ThreadCluster::run(ranks.max(1), CostModel::hdr100(), |comm| {
-                dcsbp(comm, &graph, &dcfg)
-            });
-            eprintln!("simulated runtime: {:.3}s", out.makespan());
-            let r = out.ranks.into_iter().next().expect("rank 0").result;
-            (r.assignment, r.num_blocks, r.description_length)
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
-    };
-    eprintln!(
-        "blocks: {num_blocks}  DL: {dl:.2}  DL_norm: {:.4}",
-        normalized_dl(dl, graph.num_vertices(), graph.total_edge_weight())
-    );
-    write_assignment(args.get("out"), &assignment)
+fn parse_backend(name: &str, ranks: usize) -> Result<Backend, String> {
+    Ok(match name {
+        // `sbp` is the deprecated --algo spelling of the sequential backend.
+        "sequential" | "sbp" => Backend::Sequential,
+        "hybrid" => Backend::Hybrid(HybridConfig::default()),
+        "batch" => Backend::Batch,
+        "dcsbp" => Backend::DcSbp { ranks },
+        "edist" => Backend::Edist { ranks },
+        other => return Err(format!("unknown backend '{other}'")),
+    })
 }
 
-fn cmd_sample(args: &Args) -> Result<(), String> {
-    let graph = load(args)?;
-    let fraction: f64 = args.num("fraction", 0.5f64)?;
-    let seed: u64 = args.num("seed", 0u64)?;
-    let strategy = match args.get("strategy").unwrap_or("snowball") {
+fn parse_strategy(name: &str) -> Result<SamplingStrategy, String> {
+    Ok(match name {
         "uniform" => SamplingStrategy::UniformNode,
         "degree" => SamplingStrategy::DegreeWeightedNode,
         "edge" => SamplingStrategy::RandomEdge,
@@ -250,25 +216,81 @@ fn cmd_sample(args: &Args) -> Result<(), String> {
         },
         "snowball" => SamplingStrategy::ExpansionSnowball,
         other => return Err(format!("unknown strategy '{other}'")),
-    };
-    let cfg = SamplePipelineConfig {
-        strategy,
-        fraction,
-        sbp: SbpConfig {
-            seed,
-            ..SbpConfig::default()
-        },
-        ..SamplePipelineConfig::default()
-    };
-    let res = sample_partition_extend(&graph, &cfg);
+    })
+}
+
+/// Shared by `partition` and `sample`: build the `Partitioner`, run it,
+/// report, write the assignment.
+fn run_partitioner(
+    args: &Args,
+    graph: &Graph,
+    backend: Backend,
+    sample: Option<f64>,
+) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 0u64)?;
+    let mut partitioner = Partitioner::on(graph).backend(backend).seed(seed);
+    if let Some(fraction) = sample {
+        let strategy = parse_strategy(args.get("strategy").unwrap_or("snowball"))?;
+        partitioner = partitioner.sample(strategy, fraction);
+    }
+    let show_progress = args.get("progress").is_some_and(|v| v != "false");
+    if show_progress {
+        partitioner = partitioner.progress(|event| match event {
+            ProgressEvent::ClusterStarted { ranks } => {
+                eprintln!("spawning {ranks} simulated ranks");
+            }
+            ProgressEvent::PhaseStarted { phase } => eprintln!("phase: {phase}"),
+            ProgressEvent::Iteration { iteration, stat } => eprintln!(
+                "iter {iteration:>3}: {:>6} blocks  DL {:.2}  ({} sweeps, {} moves)",
+                stat.num_blocks, stat.dl, stat.sweeps, stat.moves
+            ),
+            _ => {}
+        });
+    }
+    let run = partitioner.run().map_err(|e| e.to_string())?;
+    if let Some(report) = &run.cluster {
+        eprintln!(
+            "simulated runtime: {:.3}s over {} collectives ({} bytes, busiest rank {} bytes)",
+            report.makespan, report.collectives, report.total_bytes, report.max_rank_bytes
+        );
+    }
+    if let Some(sampled) = run.sampled_vertices {
+        eprintln!("sampled {sampled} of {} vertices", graph.num_vertices());
+    }
     eprintln!(
-        "sampled {} of {} vertices; blocks: {}  DL: {:.2}",
-        res.sampled_vertices,
-        graph.num_vertices(),
-        res.num_blocks,
-        res.description_length
+        "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
+        run.backend,
+        run.num_blocks,
+        run.description_length,
+        run.dl_norm(graph),
+        run.wall_seconds
     );
-    write_assignment(args.get("out"), &res.assignment)
+    write_assignment(args.get("out"), &run.assignment)
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let graph = load(args)?;
+    let ranks: usize = args.num("ranks", 4usize)?;
+    let name = match (args.get("backend"), args.get("algo")) {
+        (Some(b), _) => b,
+        (None, Some(a)) => {
+            eprintln!("note: --algo is deprecated; use --backend");
+            a
+        }
+        (None, None) => "sequential",
+    };
+    let backend = parse_backend(name, ranks.max(1))?;
+    let sample = match args.get("sample") {
+        Some(_) => Some(args.num("sample", 0.5f64)?),
+        None => None,
+    };
+    run_partitioner(args, &graph, backend, sample)
+}
+
+fn cmd_sample(args: &Args) -> Result<(), String> {
+    let graph = load(args)?;
+    let fraction: f64 = args.num("fraction", 0.5f64)?;
+    run_partitioner(args, &graph, Backend::Sequential, Some(fraction))
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
@@ -373,6 +395,14 @@ mod tests {
     }
 
     #[test]
+    fn unknown_backend_is_an_error() {
+        assert!(parse_backend("quantum", 2).is_err());
+        assert!(parse_backend("edist", 2).is_ok());
+        assert!(parse_backend("sbp", 1).is_ok(), "deprecated alias accepted");
+        assert!(parse_strategy("telepathy").is_err());
+    }
+
+    #[test]
     fn generate_partition_evaluate_roundtrip() {
         let dir = std::env::temp_dir();
         let gpath = dir.join("edist_cli_test.mtx");
@@ -396,10 +426,23 @@ mod tests {
             "partition",
             "--graph",
             gpath.to_str().unwrap(),
-            "--algo",
+            "--backend",
             "edist",
             "--ranks",
             "2",
+            "--progress",
+            "true",
+            "--out",
+            apath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The deprecated --algo alias keeps working.
+        run(&argv(&[
+            "partition",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--algo",
+            "sbp",
             "--out",
             apath.to_str().unwrap(),
         ]))

@@ -10,38 +10,103 @@
 //!
 //! ## Quickstart
 //!
+//! Sequential SBP, Hybrid SBP, batch SBP, DC-SBP, and EDiSt are the same
+//! inference engine under different execution strategies; the
+//! [`Partitioner`] builder is the one entrypoint to
+//! all of them:
+//!
 //! ```
 //! use edist::prelude::*;
-//! use std::sync::Arc;
 //!
 //! // Generate a planted-partition graph (4 communities, easy mixing).
 //! let planted = generate(&SbmParams::example());
-//! let graph = Arc::new(planted.graph.clone());
 //!
 //! // Run EDiSt on 4 simulated MPI ranks.
-//! let cfg = EdistConfig::default();
-//! let (result, report) = run_edist_cluster(&graph, 4, CostModel::hdr100(), &cfg);
+//! let run = Partitioner::on(&planted.graph)
+//!     .backend(Backend::Edist { ranks: 4 })
+//!     .seed(42)
+//!     .run()
+//!     .expect("valid configuration");
 //!
 //! // Community recovery is measured with NMI against the planted truth.
-//! let score = nmi(&result.assignment, &planted.ground_truth);
-//! assert!(score > 0.5);
-//! assert!(report.makespan > 0.0);
+//! assert!(nmi(&run.assignment, &planted.ground_truth) > 0.5);
+//! // Distributed backends attach the simulated-cluster report.
+//! assert!(run.cluster.unwrap().makespan > 0.0);
+//! // Every run carries the golden-search trajectory.
+//! assert!(!run.iterations.is_empty());
 //! ```
+//!
+//! Swap `.backend(…)` to change the execution strategy — nothing else
+//! in the call changes:
+//!
+//! * [`Backend::Sequential`](api::Backend) — single-node MH baseline;
+//! * `Backend::Hybrid(HybridConfig::default())` — shared-memory hybrid;
+//! * `Backend::Batch` — frozen-state batch sweeps;
+//! * `Backend::DcSbp { ranks }` — divide-and-conquer on simulated MPI;
+//! * `Backend::Edist { ranks }` — exact distributed SBP.
+//!
+//! Long runs are observable and interruptible:
+//!
+//! ```no_run
+//! use edist::prelude::*;
+//!
+//! let planted = generate(&SbmParams::example());
+//! let token = CancelToken::new();
+//! let run = Partitioner::on(&planted.graph)
+//!     .backend(Backend::Edist { ranks: 8 })
+//!     .progress(|event| {
+//!         if let ProgressEvent::Iteration { iteration, stat } = event {
+//!             eprintln!("iter {iteration}: {} blocks, DL {:.1}", stat.num_blocks, stat.dl);
+//!         }
+//!     })
+//!     .cancel_token(token.clone()) // token.cancel() aborts with best-so-far
+//!     .run()
+//!     .unwrap();
+//! # let _ = run;
+//! ```
+//!
+//! Sampling-based data reduction (paper §V-F) composes with every
+//! backend via `.sample(strategy, fraction)`.
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! The four historical entrypoints remain as deprecated shims for one
+//! release; they are thin wrappers over the same [`Solver`](core::Solver)
+//! backends the builder uses:
+//!
+//! | Deprecated call | Replacement |
+//! |---|---|
+//! | `sbp(&g, &cfg)` | `Partitioner::on(&g).config(cfg).run()?` |
+//! | `sbp_from(&g, a, c, &cfg)` | `sbp_core::solve_sbp(&g, Some((a, c)), &RunConfig::from_sbp(cfg), &mut NoProgress)` |
+//! | `run_dcsbp_cluster(&g, n, cost, &cfg)` | `Partitioner::on(&g).backend(Backend::DcSbp { ranks: n }).cost_model(cost).config(cfg.sbp).run()?` |
+//! | `run_edist_cluster(&g, n, cost, &cfg)` | `Partitioner::on(&g).backend(Backend::Edist { ranks: n }).cost_model(cost).config(cfg.sbp).run()?` |
+//! | `sample_partition_extend(&g, &cfg)` | `Partitioner::on(&g).sample(cfg.strategy, cfg.fraction).config(cfg.sbp).run()?` |
+//!
+//! The unified [`Run`] result replaces the four former result
+//! structs (`SbpResult`, `DcsbpResult`, `EdistResult`,
+//! `SamplePipelineResult`): `assignment`, `num_blocks`,
+//! `description_length`, and the trajectory are always present;
+//! `cluster` / `sampled_vertices` are `Some` when the backend provides
+//! them.
 //!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
+//! | [`api`] | (this crate) | `Partitioner` builder, `Backend`, unified `Run` |
 //! | [`graph`] | `sbp-graph` | CSR digraph, Matrix Market / edge-list IO, subgraphs, island census |
 //! | [`gen`] | `sbp-gen` | degree-corrected SBM generator + the paper's dataset families |
-//! | [`core`] | `sbp-core` | blockmodel, ΔS kernels, proposals, merges, MCMC, golden-ratio SBP |
+//! | [`core`] | `sbp-core` | blockmodel, ΔS kernels, proposals, merges, MCMC, golden-ratio SBP, the `Solver` trait |
 //! | [`mpi`] | `sbp-mpi` | communicator trait, thread cluster, virtual clocks, cost model |
-//! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) |
+//! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) solver backends |
 //! | [`eval`] | `sbp-eval` | NMI, ARI, normalized description length |
+//! | [`sample`] | `sbp-sample` | sampling strategies + the `Sampled` solver decorator |
 //!
 //! See `DESIGN.md` for the system inventory and the substitutions made to
 //! run the paper's cluster-scale evaluation on a single machine, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every table/figure.
+
+pub mod api;
 
 pub use sbp_core as core;
 pub use sbp_dist as dist;
@@ -51,17 +116,25 @@ pub use sbp_graph as graph;
 pub use sbp_mpi as mpi;
 pub use sbp_sample as sample;
 
+pub use api::{Backend, PartitionError, Partitioner, Run};
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::api::{run_solver, Backend, PartitionError, Partitioner, Run};
+    #[allow(deprecated)]
+    pub use sbp_core::{sbp, sbp_from};
     pub use sbp_core::{
-        sbp, sbp_from, Blockmodel, GoldenBracket, McmcStrategy, SbpConfig, SbpResult,
+        solve_sbp, Blockmodel, CancelToken, GoldenBracket, HybridConfig, IterationStat,
+        McmcStrategy, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome,
+        SbpConfig, SbpResult, Solver,
     };
     // The raw `dcsbp`/`edist` phase functions are available as
     // `edist::dist::{dcsbp, edist}`; re-exporting them here would make the
     // names collide with the crate itself under glob imports.
+    #[allow(deprecated)]
+    pub use sbp_dist::{run_dcsbp_cluster, run_edist_cluster};
     pub use sbp_dist::{
-        run_dcsbp_cluster, run_edist_cluster, DcsbpConfig, DcsbpResult, EdistConfig, EdistResult,
-        OwnershipStrategy,
+        DcSbp, DcsbpConfig, DcsbpResult, Edist, EdistConfig, EdistResult, Engine, OwnershipStrategy,
     };
     pub use sbp_eval::{adjusted_rand_index, nmi, normalized_dl};
     pub use sbp_gen::{
@@ -71,10 +144,11 @@ pub mod prelude {
     pub use sbp_graph::{
         induced_subgraph, island_fraction_round_robin, round_robin_parts, Graph, GraphBuilder,
     };
-    pub use sbp_mpi::{Communicator, CostModel, SelfComm, ThreadCluster};
+    pub use sbp_mpi::{ClusterReport, Communicator, CostModel, SelfComm, ThreadCluster};
+    #[allow(deprecated)]
+    pub use sbp_sample::sample_partition_extend;
     pub use sbp_sample::{
-        extend_partition, sample_partition_extend, sample_vertices, SamplePipelineConfig,
-        SamplingStrategy,
+        extend_partition, sample_vertices, SamplePipelineConfig, Sampled, SamplingStrategy,
     };
 }
 
@@ -88,5 +162,11 @@ mod tests {
         b.add_arc(0, 1).add_arc(1, 0);
         let g = b.build();
         assert_eq!(g.num_vertices(), 4);
+        // The builder types are all reachable through the prelude.
+        let err = Partitioner::on(&g)
+            .backend(Backend::DcSbp { ranks: 0 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, PartitionError::ZeroRanks);
     }
 }
