@@ -472,6 +472,118 @@ impl Blockmodel {
         self.assignment[v as usize] = to;
     }
 
+    // ---------------------------------------------- distributed maintenance
+    //
+    // EDiSt over sharded graph ingest replicates the *blockmodel* on every
+    // rank while no rank holds the whole graph, so the matrix cannot always
+    // be (re)built from a local `Graph`. These two methods are the escape
+    // hatch: construction from explicit cells, and batched application of
+    // externally-summed deltas. Both preserve the crate invariant — the
+    // state always equals what `from_assignment` would rebuild from the
+    // current assignment over the *global* graph — provided the caller's
+    // cells/deltas are exact, which the integer-summed collectives in
+    // `sbp-dist` guarantee.
+
+    /// Builds a blockmodel from explicit matrix cells instead of a local
+    /// [`Graph`] — the distributed construction path, where each rank
+    /// contributes the cells of its owned out-edges and the summed result
+    /// is identical on every rank.
+    ///
+    /// `cells` entries accumulate (the same `(row, col)` may appear more
+    /// than once); block degrees are derived from the cells. Pass the
+    /// *global* `num_vertices` / `total_edge_weight` so the
+    /// description-length model term and the dense/sparse selection match
+    /// a monolithic [`Blockmodel::from_assignment`] build exactly.
+    ///
+    /// # Panics
+    /// Panics if a label or cell index is out of range.
+    pub fn from_parts(
+        num_vertices: usize,
+        total_edge_weight: Weight,
+        assignment: Vec<u32>,
+        num_blocks: usize,
+        cells: impl IntoIterator<Item = (u32, u32, Weight)>,
+    ) -> Self {
+        assert_eq!(
+            assignment.len(),
+            num_vertices,
+            "assignment must label every vertex"
+        );
+        assert!(
+            assignment.iter().all(|&b| (b as usize) < num_blocks),
+            "assignment label out of range"
+        );
+        let mut storage = Storage::new(StorageKind::Auto, num_blocks, total_edge_weight);
+        let mut d_out = vec![0 as Weight; num_blocks];
+        let mut d_in = vec![0 as Weight; num_blocks];
+        for (r, c, w) in cells {
+            assert!(
+                (r as usize) < num_blocks && (c as usize) < num_blocks,
+                "cell ({r}, {c}) out of range for {num_blocks} blocks"
+            );
+            assert!(w > 0, "cell ({r}, {c}) has non-positive weight {w}");
+            storage.add(r, c, w);
+            d_out[r as usize] += w;
+            d_in[c as usize] += w;
+        }
+        let ln_d_out = d_out.iter().map(|&w| ln_or_zero(w)).collect();
+        let ln_d_in = d_in.iter().map(|&w| ln_or_zero(w)).collect();
+        Blockmodel {
+            assignment,
+            num_blocks,
+            storage,
+            d_out,
+            d_in,
+            ln_d_out,
+            ln_d_in,
+            num_vertices,
+            total_edge_weight,
+        }
+    }
+
+    /// Applies one synchronized batch of externally-computed updates: peer
+    /// relabels (no local matrix effect — their matrix contribution
+    /// arrives via `cell_deltas`), pre-aggregated matrix cell deltas, and
+    /// per-block degree deltas. Refreshes the `ln` caches of every block
+    /// whose degree changed.
+    ///
+    /// `cell_deltas` must contain **at most one entry per cell**, already
+    /// summed: per-cell application order is unspecified, so un-aggregated
+    /// deltas could transiently drive a cell negative.
+    ///
+    /// # Panics
+    /// Panics (debug) if a delta drives a cell or degree negative — the
+    /// caller's bookkeeping is broken, not the input graph.
+    pub fn apply_dist_sync(
+        &mut self,
+        relabels: &[(Vertex, u32)],
+        cell_deltas: impl IntoIterator<Item = (u32, u32, Weight)>,
+        degree_deltas: impl IntoIterator<Item = (u32, Weight, Weight)>,
+    ) {
+        for &(v, to) in relabels {
+            debug_assert!((to as usize) < self.num_blocks);
+            self.assignment[v as usize] = to;
+        }
+        for (r, c, dw) in cell_deltas {
+            match dw.cmp(&0) {
+                std::cmp::Ordering::Greater => self.storage.add(r, c, dw),
+                std::cmp::Ordering::Less => self.storage.sub(r, c, -dw),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        for (b, d_out, d_in) in degree_deltas {
+            let b = b as usize;
+            self.d_out[b] += d_out;
+            self.d_in[b] += d_in;
+            debug_assert!(
+                self.d_out[b] >= 0 && self.d_in[b] >= 0,
+                "block {b} degree went negative"
+            );
+            self.ln_d_out[b] = ln_or_zero(self.d_out[b]);
+            self.ln_d_in[b] = ln_or_zero(self.d_in[b]);
+        }
+    }
+
     /// The DCSBM entropy `S = −Σ M_ij ln(M_ij/(d_out_i · d_in_j))` — the
     /// negative log-likelihood of Eq. 1. Natural log; minimized.
     pub fn entropy(&self) -> f64 {
@@ -772,5 +884,84 @@ mod tests {
     fn bad_assignment_panics() {
         let g = two_triangles();
         Blockmodel::from_assignment(&g, vec![0, 0, 0, 2, 2, 2], 2);
+    }
+
+    #[test]
+    fn from_parts_matches_from_assignment() {
+        let g = two_triangles();
+        let assignment = two_block_assignment();
+        let whole = Blockmodel::from_assignment(&g, assignment.clone(), 2);
+        // Feed the arc-derived cells in two interleaved halves with
+        // repeated keys — accumulation must land on the same state.
+        let cells: Vec<(u32, u32, i64)> = g
+            .arcs()
+            .map(|(s, d, w)| (assignment[s as usize], assignment[d as usize], w))
+            .collect();
+        let parts = Blockmodel::from_parts(
+            g.num_vertices(),
+            g.total_edge_weight(),
+            assignment,
+            2,
+            cells,
+        );
+        for r in 0..2u32 {
+            for c in 0..2u32 {
+                assert_eq!(whole.get(r, c), parts.get(r, c));
+            }
+            assert_eq!(whole.d_out(r), parts.d_out(r));
+            assert_eq!(whole.d_in(r), parts.d_in(r));
+            assert_eq!(whole.ln_d_out(r).to_bits(), parts.ln_d_out(r).to_bits());
+        }
+        assert_eq!(
+            whole.description_length().to_bits(),
+            parts.description_length().to_bits()
+        );
+        parts.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn apply_dist_sync_equals_move_vertex() {
+        for_both_kinds(|kind| {
+            // Apply vertex 2's move 0→1 once through move_vertex and once
+            // through externally-computed deltas; states must agree.
+            let g = two_triangles();
+            let mut via_move =
+                Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, kind);
+            let mut via_sync = via_move.clone();
+            via_move.move_vertex(&g, 2, 1);
+
+            let prev = two_block_assignment();
+            let mut next = prev.clone();
+            next[2] = 1;
+            let mut deltas: std::collections::BTreeMap<(u32, u32), i64> =
+                std::collections::BTreeMap::new();
+            for (s, d, w) in g.arcs() {
+                if s == 2 || d == 2 {
+                    *deltas
+                        .entry((prev[s as usize], prev[d as usize]))
+                        .or_insert(0) -= w;
+                    *deltas
+                        .entry((next[s as usize], next[d as usize]))
+                        .or_insert(0) += w;
+                }
+            }
+            via_sync.apply_dist_sync(
+                &[(2, 1)],
+                deltas.into_iter().map(|((r, c), dw)| (r, c, dw)),
+                [
+                    (0u32, -g.out_degree(2), -g.in_degree(2)),
+                    (1u32, g.out_degree(2), g.in_degree(2)),
+                ],
+            );
+            assert_eq!(via_move.assignment(), via_sync.assignment());
+            for r in 0..2u32 {
+                for c in 0..2u32 {
+                    assert_eq!(via_move.get(r, c), via_sync.get(r, c), "{kind:?}");
+                }
+                assert_eq!(via_move.d_out(r), via_sync.d_out(r));
+                assert_eq!(via_move.ln_d_in(r).to_bits(), via_sync.ln_d_in(r).to_bits());
+            }
+            via_sync.validate(&g).unwrap();
+        });
     }
 }

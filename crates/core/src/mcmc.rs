@@ -168,8 +168,11 @@ impl ConvergenceCheck {
 /// controller drives every MCMC variant. `cancel` is polled between
 /// sweeps: a cancelled phase stops early and reports the sweeps it
 /// completed (the distributed drivers coordinate the equivalent check
-/// through a broadcast instead, so ranks never disagree).
-pub fn mcmc_phase<F>(
+/// through a broadcast instead, so ranks never disagree). `on_sweep` is
+/// invoked with `(sweep_idx, dl)` after every sweep — the driver turns it
+/// into `ProgressEvent::Sweep`; pass `|_, _| {}` to observe nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn mcmc_phase<F, S>(
     graph: &Graph,
     bm: &mut Blockmodel,
     vertices: &[Vertex],
@@ -177,9 +180,11 @@ pub fn mcmc_phase<F>(
     threshold: f64,
     cancel: &CancelToken,
     mut sweep: F,
+    mut on_sweep: S,
 ) -> McmcStats
 where
     F: FnMut(&Graph, &mut Blockmodel, &[Vertex], usize) -> SweepOutcome,
+    S: FnMut(usize, f64),
 {
     let initial_dl = bm.description_length();
     let mut check = ConvergenceCheck::new(initial_dl, threshold);
@@ -197,6 +202,7 @@ where
         stats.proposals += outcome.proposals;
         let dl = bm.description_length();
         stats.final_dl = dl;
+        on_sweep(sweep_idx, dl);
         if check.record(dl) {
             break;
         }
@@ -303,6 +309,7 @@ mod tests {
         let initial = bm.description_length();
         let mut rng = SmallRng::seed_from_u64(15);
         let vertices: Vec<u32> = (0..6).collect();
+        let mut observed = Vec::new();
         let stats = mcmc_phase(
             &g,
             &mut bm,
@@ -311,9 +318,14 @@ mod tests {
             1e-6,
             &CancelToken::default(),
             |g, bm, vs, _| mh_sweep(g, bm, vs, 3.0, &mut rng),
+            |sweep, dl| observed.push((sweep, dl)),
         );
         assert!(stats.final_dl <= initial);
         assert!(stats.sweeps > 0);
+        // The hook fires once per sweep, in order, ending on the final DL.
+        assert_eq!(observed.len(), stats.sweeps);
+        assert_eq!(observed.last().unwrap().1, stats.final_dl);
+        assert!(observed.iter().enumerate().all(|(i, &(s, _))| s == i));
     }
 
     #[test]
@@ -323,9 +335,16 @@ mod tests {
         let cancel = CancelToken::default();
         cancel.cancel();
         let vertices: Vec<u32> = (0..6).collect();
-        let stats = mcmc_phase(&g, &mut bm, &vertices, 60, 1e-6, &cancel, |g, bm, vs, s| {
-            keyed_mh_sweep(g, bm, vs, 3.0, 1, s)
-        });
+        let stats = mcmc_phase(
+            &g,
+            &mut bm,
+            &vertices,
+            60,
+            1e-6,
+            &cancel,
+            |g, bm, vs, s| keyed_mh_sweep(g, bm, vs, 3.0, 1, s),
+            |_, _| {},
+        );
         assert_eq!(stats.sweeps, 0, "cancelled phase must not sweep");
     }
 

@@ -85,6 +85,19 @@ pub enum ProgressEvent {
         /// Block count after the merges.
         num_blocks: usize,
     },
+    /// One MCMC sweep finished (for distributed backends: one sync point —
+    /// rank 0 already holds the broadcast description length there, so
+    /// emitting it costs nothing extra). Fine-grained observability for
+    /// large-graph runs whose iterations take minutes.
+    Sweep {
+        /// Golden-search iteration index.
+        iteration: usize,
+        /// Sweep index within the iteration's MCMC phase.
+        sweep: usize,
+        /// Description length after the sweep (distributed backends: the
+        /// rank-0 broadcast value every replica agreed on).
+        dl: f64,
+    },
     /// A full merge+MCMC iteration finished.
     Iteration {
         /// Golden-search iteration index.

@@ -192,7 +192,9 @@ pub fn solve_sbp(
                 } else {
                     scfg.threshold_pre
                 };
-                let stats = run_mcmc(graph, &mut bm, &vertices, cfg, threshold, iter_idx);
+                let stats = run_mcmc(
+                    graph, &mut bm, &vertices, cfg, threshold, iter_idx, progress,
+                );
                 let entry = BracketEntry {
                     assignment: bm.assignment().to_vec(),
                     num_blocks: bm.num_blocks(),
@@ -305,11 +307,21 @@ fn run_mcmc(
     cfg: &RunConfig,
     threshold: f64,
     iter_idx: usize,
+    progress: &mut dyn ProgressSink,
 ) -> McmcStats {
     let beta = cfg.sbp.beta;
     let sweep_seed = mcmc_phase_seed(cfg.sbp.seed, iter_idx);
     let max_sweeps = cfg.sbp.max_sweeps;
     let cancel = &cfg.cancel;
+    // Every single-node sweep boundary is a "sync point" in the
+    // distributed drivers' sense, so sweep-level events come for free.
+    let mut on_sweep = |sweep: usize, dl: f64| {
+        progress.on_event(&ProgressEvent::Sweep {
+            iteration: iter_idx,
+            sweep,
+            dl,
+        });
+    };
     match &cfg.sbp.strategy {
         McmcStrategy::MetropolisHastings => mcmc_phase(
             graph,
@@ -319,6 +331,7 @@ fn run_mcmc(
             threshold,
             cancel,
             move |g, bm, vs, sweep| keyed_mh_sweep(g, bm, vs, beta, sweep_seed, sweep),
+            &mut on_sweep,
         ),
         McmcStrategy::Hybrid(hcfg) => {
             let hcfg = *hcfg;
@@ -330,6 +343,7 @@ fn run_mcmc(
                 threshold,
                 cancel,
                 move |g, bm, vs, sweep| hybrid_sweep(g, bm, vs, beta, &hcfg, sweep_seed, sweep),
+                &mut on_sweep,
             )
         }
         McmcStrategy::Batch => mcmc_phase(
@@ -340,6 +354,7 @@ fn run_mcmc(
             threshold,
             cancel,
             move |g, bm, vs, sweep| batch_sweep(g, bm, vs, beta, sweep_seed, sweep),
+            &mut on_sweep,
         ),
     }
 }

@@ -141,16 +141,7 @@ pub(crate) fn dcsbp_run<C: Communicator>(
 
     let root_result = gathered.map(|parts| {
         relay.emit(ProgressEvent::PhaseStarted { phase: "combine" });
-        let mut combined = vec![0u32; graph.num_vertices()];
-        let mut offset = 0u32;
-        for part in parts {
-            let width = part.iter().map(|&(_, b)| b + 1).max().unwrap_or(0);
-            for (v, b) in part {
-                combined[v as usize] = offset + b;
-            }
-            offset += width;
-        }
-        let num_blocks = (offset as usize).max(usize::from(!combined.is_empty()));
+        let (combined, num_blocks) = combine_parts(parts, graph.num_vertices());
         if cfg.skip_finetune {
             let bm =
                 sbp_core::Blockmodel::from_assignment(graph, combined, num_blocks).compacted(graph);
@@ -208,6 +199,49 @@ pub(crate) fn dcsbp_run<C: Communicator>(
         cluster: None,
         sampled_vertices: None,
     }
+}
+
+/// The root-side combine (Alg. 3 lines 20–22): each rank's local label
+/// space is shifted past its predecessors'. Shared by the monolithic and
+/// sharded drivers — one copy, so label-width handling cannot drift
+/// between them. Returns the combined assignment and its label-space
+/// width (`max(1)` on non-empty graphs so downstream blockmodels stay
+/// valid even if every part came back empty).
+pub(crate) fn combine_parts(parts: Vec<Vec<(u32, u32)>>, num_vertices: usize) -> (Vec<u32>, usize) {
+    let mut combined = vec![0u32; num_vertices];
+    let mut offset = 0u32;
+    for part in parts {
+        let width = part.iter().map(|&(_, b)| b + 1).max().unwrap_or(0);
+        for (v, b) in part {
+            combined[v as usize] = offset + b;
+        }
+        offset += width;
+    }
+    let num_blocks = (offset as usize).max(usize::from(!combined.is_empty()));
+    (combined, num_blocks)
+}
+
+/// Dense relabeling of occupied labels, ascending — the assignment-only
+/// equivalent of `Blockmodel::compacted` for drivers that have no full
+/// graph to rebuild against. Returns the compacted assignment and block
+/// count.
+pub(crate) fn compact_labels(mut assignment: Vec<u32>, width: usize) -> (Vec<u32>, usize) {
+    let mut seen = vec![false; width];
+    for &b in &assignment {
+        seen[b as usize] = true;
+    }
+    let mut map = vec![u32::MAX; width];
+    let mut next = 0u32;
+    for (old, &occupied) in seen.iter().enumerate() {
+        if occupied {
+            map[old] = next;
+            next += 1;
+        }
+    }
+    for b in &mut assignment {
+        *b = map[*b as usize];
+    }
+    (assignment, next as usize)
 }
 
 /// Runs DC-SBP on `n_ranks` simulated ranks; returns the (rank-identical)
@@ -295,6 +329,27 @@ mod tests {
         let (res, _) = run_dcsbp_cluster(&g, 2, CostModel::zero(), &DcsbpConfig::default());
         assert!(res.assignment.is_empty());
         assert_eq!(res.num_blocks, 0);
+    }
+
+    #[test]
+    fn combine_parts_offsets_label_spaces() {
+        // Rank 0 labels {0,1} on vertices {0,2}; rank 1 labels {0} on {1,3}.
+        let parts = vec![vec![(0u32, 0u32), (2, 1)], vec![(1, 0), (3, 0)]];
+        let (combined, width) = combine_parts(parts, 4);
+        assert_eq!(combined, vec![0, 2, 1, 2]);
+        assert_eq!(width, 3);
+        assert_eq!(combine_parts(vec![], 0), (vec![], 0));
+        assert_eq!(combine_parts(vec![vec![]], 1), (vec![0], 1));
+    }
+
+    #[test]
+    fn compact_labels_matches_blockmodel_compacted() {
+        let g = sbp_graph::fixtures::two_cliques(3);
+        let sparse_labels: Vec<u32> = vec![5, 5, 5, 2, 2, 7];
+        let bm = sbp_core::Blockmodel::from_assignment(&g, sparse_labels.clone(), 8).compacted(&g);
+        let (compact, nb) = compact_labels(sparse_labels, 8);
+        assert_eq!(compact, bm.assignment());
+        assert_eq!(nb, bm.num_blocks());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! disagree on control flow (that would mismatch the collective
 //! schedule).
 
+use crate::exchange::{decode_moves, encode_moves, ExchangeStats};
 use crate::ownership::{owned_blocks, OwnershipStrategy};
 use crate::solver::EventRelay;
 use sbp_core::golden::{BracketEntry, GoldenBracket, NextStep};
@@ -82,20 +83,20 @@ pub struct EdistResult {
 
 /// Broadcasts rank 0's description length so every replica records the
 /// bit-identical value (see module docs).
-fn shared_dl<C: Communicator>(comm: &C, bm: &Blockmodel) -> f64 {
+pub(crate) fn shared_dl<C: Communicator>(comm: &C, bm: &Blockmodel) -> f64 {
     comm.broadcast(0, (comm.rank() == 0).then(|| bm.description_length()))
 }
 
 /// Broadcasts rank 0's view of the cancellation token so every rank
 /// takes the same branch at the same collective.
-fn shared_cancelled<C: Communicator>(comm: &C, cancel: &CancelToken) -> bool {
+pub(crate) fn shared_cancelled<C: Communicator>(comm: &C, cancel: &CancelToken) -> bool {
     comm.broadcast(0, (comm.rank() == 0).then(|| cancel.is_cancelled()))
 }
 
 /// Runs EDiSt on this rank; collective calls must be matched by every rank
 /// of `comm`. Returns the same result on every rank.
 pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> EdistResult {
-    let out = edist_run(
+    let (out, _) = edist_run(
         comm,
         graph,
         cfg,
@@ -109,27 +110,140 @@ pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> Edi
     }
 }
 
-/// The full EDiSt driver: golden-ratio search with distributed merge and
-/// MCMC phases, per-iteration trajectory recording, rank-0 progress
-/// relay, and broadcast-coordinated cancellation.
+/// The data plane the shared EDiSt driver runs against.
+///
+/// EDiSt's *control flow* — golden search, distributed merge phase, sweep
+/// and sync schedule, convergence rule, broadcast-coordinated
+/// cancellation, event emission — is identical whether the graph is fully
+/// replicated (this module) or sharded per rank
+/// ([`crate::sharded`]); only how the replicated blockmodel is (re)built
+/// and how peers' moves reach the replica differ. Keeping the loop in one
+/// place means a change to the collective schedule cannot desynchronize
+/// one driver but not the other.
+pub(crate) trait EdistData {
+    /// Global vertex count.
+    fn num_vertices(&self) -> usize;
+    /// Graph used for owned-vertex sweeps and own-move application. The
+    /// sharded plane's graph is complete only for owned vertices — the
+    /// sweeps never walk further.
+    fn sweep_graph(&self) -> &Graph;
+    /// Vertices this rank sweeps.
+    fn my_vertices(&self) -> &[Vertex];
+    /// The starting blockmodel (compacted identity partition); identical
+    /// on every rank.
+    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Blockmodel;
+    /// The replicated blockmodel implied by `assignment`; identical on
+    /// every rank (a collective on the sharded plane).
+    fn build_blockmodel<C: Communicator>(
+        &self,
+        comm: &C,
+        assignment: Vec<u32>,
+        num_blocks: usize,
+    ) -> Blockmodel;
+    /// Applies one sync point's gathered move lists to the replica and
+    /// returns the total move count. `prev` holds the globally-agreed
+    /// assignment at the previous sync and must be advanced (the
+    /// replicated plane can ignore it).
+    fn apply_gathered_moves<C: Communicator>(
+        &self,
+        comm: &C,
+        bm: &mut Blockmodel,
+        prev: &mut Vec<u32>,
+        gathered: Vec<Vec<AcceptedMove>>,
+    ) -> usize;
+}
+
+/// The fully-replicated data plane: every rank holds the whole graph
+/// (the paper's EDiSt deployment).
+struct ReplicatedData<'a> {
+    graph: &'a Graph,
+    mine: Vec<Vertex>,
+}
+
+impl EdistData for ReplicatedData<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn sweep_graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn my_vertices(&self) -> &[Vertex] {
+        &self.mine
+    }
+
+    fn start_blockmodel<C: Communicator>(&self, _comm: &C) -> Blockmodel {
+        // Identical starting point to the single-node engine: the
+        // compacted identity partition.
+        let n = self.graph.num_vertices();
+        Blockmodel::from_assignment(self.graph, (0..n as u32).collect(), n).compacted(self.graph)
+    }
+
+    fn build_blockmodel<C: Communicator>(
+        &self,
+        _comm: &C,
+        assignment: Vec<u32>,
+        num_blocks: usize,
+    ) -> Blockmodel {
+        Blockmodel::from_assignment(self.graph, assignment, num_blocks)
+    }
+
+    fn apply_gathered_moves<C: Communicator>(
+        &self,
+        comm: &C,
+        bm: &mut Blockmodel,
+        _prev: &mut Vec<u32>,
+        gathered: Vec<Vec<AcceptedMove>>,
+    ) -> usize {
+        let mut moves = 0usize;
+        for (from_rank, peer_moves) in gathered.into_iter().enumerate() {
+            moves += peer_moves.len();
+            if from_rank == comm.rank() {
+                continue; // already applied during the sweep
+            }
+            for m in peer_moves {
+                bm.move_vertex(self.graph, m.v, m.to);
+            }
+        }
+        moves
+    }
+}
+
+/// The full monolithic EDiSt driver: golden-ratio search with distributed
+/// merge and MCMC phases, per-iteration trajectory recording, rank-0
+/// progress relay, and broadcast-coordinated cancellation. Also returns
+/// this rank's move-exchange byte accounting (raw vs varint-encoded).
 pub(crate) fn edist_run<C: Communicator>(
     comm: &C,
     graph: &Graph,
     cfg: &EdistConfig,
     cancel: &CancelToken,
     relay: &EventRelay,
-) -> RunOutcome {
-    if graph.num_vertices() == 0 {
-        return RunOutcome::empty();
+) -> (RunOutcome, ExchangeStats) {
+    let ownership = cfg.ownership.partition(graph, comm.size());
+    let data = ReplicatedData {
+        graph,
+        mine: ownership[comm.rank()].clone(),
+    };
+    edist_driver(comm, &data, cfg, cancel, relay)
+}
+
+/// The shared EDiSt control loop over any [`EdistData`] plane.
+pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
+    comm: &C,
+    data: &D,
+    cfg: &EdistConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> (RunOutcome, ExchangeStats) {
+    let mut xstats = ExchangeStats::default();
+    if data.num_vertices() == 0 {
+        return (RunOutcome::empty(), xstats);
     }
     let (rank, size) = (comm.rank(), comm.size());
-    let ownership = cfg.ownership.partition(graph, size);
-    let my_vertices: &[Vertex] = &ownership[rank];
 
-    // Identical starting point to the single-node engine: the compacted
-    // identity partition.
-    let n = graph.num_vertices();
-    let start = Blockmodel::from_assignment(graph, (0..n as u32).collect(), n).compacted(graph);
+    let start = data.start_blockmodel(comm);
     let mut bracket = GoldenBracket::new(cfg.sbp.block_reduction_rate);
     bracket.seed(BracketEntry {
         assignment: start.assignment().to_vec(),
@@ -153,14 +267,14 @@ pub(crate) fn edist_run<C: Communicator>(
                     num_blocks: best.num_blocks,
                     description_length: best.dl,
                 });
-                return outcome_from(comm, best, iterations, false);
+                return (outcome_from(comm, best, iterations, false), xstats);
             }
             NextStep::Continue {
                 start,
                 blocks_to_merge,
             } => {
                 let from_blocks = start.num_blocks;
-                let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
+                let bm = data.build_blockmodel(comm, start.assignment, start.num_blocks);
 
                 // ---- distributed merge phase (Alg. 4) ----
                 let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
@@ -174,7 +288,7 @@ pub(crate) fn edist_run<C: Communicator>(
                 let candidates: Vec<MergeCandidate> =
                     comm.allgatherv(mine).into_iter().flatten().collect();
                 let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
-                let mut bm = Blockmodel::from_assignment(graph, assignment, num_blocks);
+                let mut bm = data.build_blockmodel(comm, assignment, num_blocks);
                 relay.emit(ProgressEvent::Merged {
                     iteration: iter_idx,
                     from_blocks,
@@ -189,14 +303,14 @@ pub(crate) fn edist_run<C: Communicator>(
                 };
                 let phase = mcmc_phase_distributed(
                     comm,
-                    graph,
+                    data,
                     &mut bm,
-                    my_vertices,
                     cfg,
                     threshold,
                     iter_idx,
-                    rank,
                     cancel,
+                    relay,
+                    &mut xstats,
                 );
 
                 let entry = BracketEntry {
@@ -233,7 +347,7 @@ pub(crate) fn edist_run<C: Communicator>(
             description_length: best.dl,
         });
     }
-    outcome_from(comm, best, iterations, cancelled)
+    (outcome_from(comm, best, iterations, cancelled), xstats)
 }
 
 fn outcome_from<C: Communicator>(
@@ -263,27 +377,36 @@ struct DistributedPhase {
 }
 
 /// One distributed MCMC phase: sweep owned vertices, exchange moves every
-/// `sync_period` sweeps, stop on the shared convergence rule (or a
-/// broadcast cancellation decision).
+/// `sync_period` sweeps (as delta+varint payloads — see
+/// [`crate::exchange`]; the encoding is lossless, so exactness is
+/// untouched), hand the gathered lists to the data plane's move
+/// application, and stop on the shared convergence rule (or a broadcast
+/// cancellation decision). Emits a [`ProgressEvent::Sweep`] after every
+/// sync point — rank 0 already holds the broadcast DL there.
 #[allow(clippy::too_many_arguments)]
-fn mcmc_phase_distributed<C: Communicator>(
+fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
     comm: &C,
-    graph: &Graph,
+    data: &D,
     bm: &mut Blockmodel,
-    my_vertices: &[Vertex],
     cfg: &EdistConfig,
     threshold: f64,
     iter_idx: usize,
-    rank: usize,
     cancel: &CancelToken,
+    relay: &EventRelay,
+    xstats: &mut ExchangeStats,
 ) -> DistributedPhase {
     let beta = cfg.sbp.beta;
     let sync_period = cfg.sync_period.max(1);
+    let graph = data.sweep_graph();
+    let my_vertices = data.my_vertices();
     // Vertex-keyed streams: the seed depends on the iteration only, never
     // on the rank, so rank counts explore the same randomness.
     let sweep_seed = mcmc_phase_seed(cfg.sbp.seed, iter_idx);
     let initial_dl = shared_dl(comm, bm);
     let mut check = ConvergenceCheck::new(initial_dl, threshold);
+    // The globally-agreed assignment at the last sync point (the sharded
+    // plane's move application is phrased relative to it).
+    let mut prev = bm.assignment().to_vec();
     let mut pending: Vec<AcceptedMove> = Vec::new();
     let mut dl = initial_dl;
     let mut moves = 0usize;
@@ -304,16 +427,15 @@ fn mcmc_phase_distributed<C: Communicator>(
         sweeps += 1;
 
         if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
-            let gathered = comm.allgatherv(std::mem::take(&mut pending));
-            for (from_rank, peer_moves) in gathered.into_iter().enumerate() {
-                moves += peer_moves.len();
-                if from_rank == rank {
-                    continue; // already applied during the sweep
-                }
-                for m in peer_moves {
-                    bm.move_vertex(graph, m.v, m.to);
-                }
-            }
+            let payload = encode_moves(&pending);
+            xstats.record(pending.len(), payload.len());
+            pending.clear();
+            let gathered: Vec<Vec<AcceptedMove>> = comm
+                .allgatherv(payload)
+                .into_iter()
+                .map(|bytes| decode_moves(&bytes))
+                .collect();
+            moves += data.apply_gathered_moves(comm, bm, &mut prev, gathered);
             // One broadcast carries both the convergence value and the
             // cancellation decision, so all ranks agree on both.
             let (new_dl, cancel_now) = comm.broadcast(
@@ -321,6 +443,11 @@ fn mcmc_phase_distributed<C: Communicator>(
                 (comm.rank() == 0).then(|| (bm.description_length(), cancel.is_cancelled())),
             );
             dl = new_dl;
+            relay.emit(ProgressEvent::Sweep {
+                iteration: iter_idx,
+                sweep: sweeps - 1,
+                dl,
+            });
             if cancel_now {
                 cancelled = true;
                 break;

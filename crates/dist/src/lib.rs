@@ -24,18 +24,24 @@
 //! free functions remain as deprecated shims over them.
 
 pub mod dcsbp;
+pub mod distgraph;
 pub mod edist;
+pub mod exchange;
 pub mod ownership;
+pub mod sharded;
 pub mod solver;
 
 #[allow(deprecated)]
 pub use dcsbp::run_dcsbp_cluster;
 pub use dcsbp::{dcsbp, DcsbpConfig, DcsbpResult, Engine};
+pub use distgraph::{load_dist_graph, DistGraph, ShardIngestReport};
 #[allow(deprecated)]
 pub use edist::run_edist_cluster;
 pub use edist::{edist, EdistConfig, EdistResult};
+pub use exchange::ExchangeStats;
 pub use ownership::{balanced_ownership, modulo_ownership, owned_blocks, OwnershipStrategy};
 pub use sbp_mpi::ClusterReport;
+pub use sharded::{dcsbp_sharded, edist_sharded, run_sharded, ShardedBackend};
 pub use solver::{DcSbp, Edist};
 
 /// SplitMix64-style mixing used to derive per-rank / per-phase RNG streams

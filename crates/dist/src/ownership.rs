@@ -1,64 +1,19 @@
 //! Vertex- and block-ownership schemes (paper §III-B).
 //!
-//! EDiSt partitions *work*, not data: every rank holds the full graph and
-//! blockmodel but only proposes moves for the vertices (and merges for the
-//! blocks) it owns. The ownership scheme therefore controls load balance,
-//! which directly sets the BSP makespan: with `v mod n` assignment a rank
-//! that draws several hubs stalls every collective.
+//! The vertex-ownership strategies ([`OwnershipStrategy`],
+//! [`modulo_ownership`], [`balanced_ownership`]) live in
+//! [`sbp_graph::ownership`] since PR 3, because the shard planner in
+//! `sbp_graph::shard` must assign edges to shards with exactly the scheme
+//! EDiSt will own vertices under — a distributed load then ends with each
+//! rank holding precisely its owned adjacency. They are re-exported here
+//! so existing `sbp_dist::ownership` paths keep working.
+//!
+//! Block ownership for the distributed merge phase stays here: it has no
+//! ingest-side counterpart.
 
-use sbp_graph::{round_robin_parts, Graph, Vertex};
-
-/// How EDiSt assigns vertices to ranks.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum OwnershipStrategy {
-    /// `v mod n` — cheap, oblivious to degree skew.
-    Modulo,
-    /// Sorted-degree balanced (the paper's scheme): vertices are sorted by
-    /// descending degree and greedily assigned to the rank with the least
-    /// accumulated degree mass — an LPT bound on per-rank work imbalance.
-    #[default]
-    SortedBalanced,
-}
-
-impl OwnershipStrategy {
-    /// Materializes the per-rank owned vertex lists.
-    pub fn partition(self, graph: &Graph, n_parts: usize) -> Vec<Vec<Vertex>> {
-        match self {
-            OwnershipStrategy::Modulo => modulo_ownership(graph.num_vertices(), n_parts),
-            OwnershipStrategy::SortedBalanced => balanced_ownership(graph, n_parts),
-        }
-    }
-}
-
-/// `v mod n` ownership; identical to DC-SBP's round-robin distribution.
-pub fn modulo_ownership(num_vertices: usize, n_parts: usize) -> Vec<Vec<Vertex>> {
-    round_robin_parts(num_vertices, n_parts)
-}
-
-/// Sorted-degree balanced ownership: descending-degree greedy assignment to
-/// the rank with the smallest accumulated (weighted) degree. Deterministic:
-/// ties break on the lower vertex id and the lower rank id. Each returned
-/// part is sorted ascending.
-pub fn balanced_ownership(graph: &Graph, n_parts: usize) -> Vec<Vec<Vertex>> {
-    assert!(n_parts > 0, "need at least one part");
-    let n = graph.num_vertices();
-    let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-    order.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
-    let mut load = vec![0i64; n_parts];
-    let mut parts: Vec<Vec<Vertex>> = vec![Vec::with_capacity(n / n_parts + 1); n_parts];
-    for v in order {
-        let target = (0..n_parts)
-            .min_by_key(|&p| (load[p], p))
-            .expect("n_parts > 0");
-        // Count degree-0 vertices as one unit so islands also spread.
-        load[target] += graph.degree(v).max(1);
-        parts[target].push(v);
-    }
-    for part in &mut parts {
-        part.sort_unstable();
-    }
-    parts
-}
+pub use sbp_graph::ownership::{
+    balanced_ownership, balanced_ownership_by_degree, modulo_ownership, OwnershipStrategy,
+};
 
 /// Block ownership for the distributed merge phase: block `b` is proposed
 /// by rank `b mod n` (paper Alg. 4 line 3).
@@ -71,53 +26,7 @@ pub fn owned_blocks(num_blocks: usize, rank: usize, n_ranks: usize) -> Vec<u32> 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn star_plus_path() -> Graph {
-        // Vertex 0 is a hub of degree 6; 7..10 form a light path.
-        let mut edges = vec![];
-        for i in 1..7u32 {
-            edges.push((0, i, 1));
-        }
-        edges.push((7, 8, 1));
-        edges.push((8, 9, 1));
-        Graph::from_edges(10, edges)
-    }
-
-    #[test]
-    fn balanced_covers_every_vertex_exactly_once() {
-        let g = star_plus_path();
-        let parts = balanced_ownership(&g, 3);
-        let mut all: Vec<Vertex> = parts.concat();
-        all.sort_unstable();
-        assert_eq!(all, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn balanced_spreads_degree_mass_better_than_modulo() {
-        let g = star_plus_path();
-        let mass = |parts: &[Vec<Vertex>]| -> (i64, i64) {
-            let loads: Vec<i64> = parts
-                .iter()
-                .map(|p| p.iter().map(|&v| g.degree(v)).sum())
-                .collect();
-            (
-                loads.iter().copied().max().unwrap_or(0),
-                loads.iter().copied().min().unwrap_or(0),
-            )
-        };
-        let (bal_max, _) = mass(&balanced_ownership(&g, 2));
-        let (mod_max, _) = mass(&modulo_ownership(g.num_vertices(), 2));
-        assert!(
-            bal_max <= mod_max,
-            "balanced ({bal_max}) worse than modulo ({mod_max})"
-        );
-    }
-
-    #[test]
-    fn balanced_is_deterministic() {
-        let g = star_plus_path();
-        assert_eq!(balanced_ownership(&g, 4), balanced_ownership(&g, 4));
-    }
+    use sbp_graph::Graph;
 
     #[test]
     fn owned_blocks_partition_the_block_space() {
@@ -127,10 +36,13 @@ mod tests {
     }
 
     #[test]
-    fn single_part_owns_everything() {
-        let g = star_plus_path();
-        let parts = balanced_ownership(&g, 1);
-        assert_eq!(parts.len(), 1);
-        assert_eq!(parts[0], (0..10).collect::<Vec<_>>());
+    fn reexported_strategies_still_work() {
+        let g = Graph::from_edges(4, vec![(0, 1, 5), (2, 3, 1)]);
+        let parts = OwnershipStrategy::SortedBalanced.partition(&g, 2);
+        let mut all: Vec<u32> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert_eq!(modulo_ownership(4, 2), vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(balanced_ownership(&g, 2).len(), 2);
     }
 }

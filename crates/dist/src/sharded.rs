@@ -1,0 +1,648 @@
+//! Distributed SBP over **sharded** graph ingest: EDiSt and DC-SBP
+//! running against a [`DistGraph`] — each rank holding only its owned
+//! adjacency — instead of a replicated monolithic [`sbp_graph::Graph`].
+//!
+//! ## How EDiSt stays exact without the whole graph
+//!
+//! EDiSt replicates the *blockmodel*, not the graph. Everything a rank
+//! does between sync points touches only (a) the replicated blockmodel,
+//! (b) the replicated assignment vector, and (c) the adjacency of the
+//! vertices it sweeps — which the sharded loader guarantees is complete
+//! for owned vertices. The two places the monolithic driver walks the
+//! whole graph are replaced by integer-exact collectives:
+//!
+//! * **Blockmodel (re)builds** (`Blockmodel::from_assignment` at
+//!   iteration start and after merges): each rank derives the matrix
+//!   cells of its owned out-arcs and one allgather sums them —
+//!   [`Blockmodel::from_parts`] then yields the *identical integer
+//!   matrix* on every rank, because integer addition is
+//!   order-independent.
+//! * **Peer move application** (`move_vertex` needs the mover's
+//!   adjacency): ranks exchange pre-aggregated matrix **cell deltas**
+//!   instead. With `A_prev` the assignment at the last sync, `own` this
+//!   rank's moves and `A_next` the post-sync assignment, every rank
+//!   computes its arcs' share of `M(A_next) − M(A_prev)` (each arc
+//!   charged to the owner of its source — a partition of the arc set),
+//!   allgathers, sums, and subtracts its locally-known
+//!   `M(A_prev + own) − M(A_prev)` correction, because its replica
+//!   already applied its own moves incrementally mid-sweep. The result
+//!   lands every replica on exactly `M(A_next)` — the same integers the
+//!   monolithic driver reaches by replaying peer moves. Block-degree
+//!   updates need only the ghost-degree table.
+//!
+//! Consequently a sharded EDiSt run is **bit-identical** — assignments,
+//! DL, trajectories — to a monolithic EDiSt run with the same seed, rank
+//! count, and ownership, whenever the blockmodel stays on dense storage
+//! (`C ≤ 64` throughout, as in the repo's equivalence suites; sparse
+//! hash-map storage makes floating-point *summation order* — not values —
+//! depend on mutation history, the same caveat `tests/api.rs` documents
+//! for the monolithic backends). The equivalence is asserted in
+//! `tests/shard.rs`.
+//!
+//! DC-SBP composes with sharded ingest naturally — each rank's induced
+//! subgraph is a subset of its owned adjacency — except for root-side
+//! fine-tuning, which by construction needs the whole graph on rank 0;
+//! the sharded variant therefore always behaves like the paper's
+//! "no fine-tune" ablation (combine + compact + exact distributed DL).
+//! Run EDiSt over the same shards to refine its output distributively.
+
+use crate::dcsbp::{combine_parts, compact_labels, DcsbpConfig, Engine};
+use crate::distgraph::{load_dist_graph, DistGraph, ShardIngestReport};
+use crate::edist::{edist_driver, shared_dl, EdistConfig, EdistData};
+use crate::exchange::{decode_cells, encode_cells, ExchangeStats};
+use crate::mix_seed;
+use crate::solver::{run_cluster_streaming, EventRelay};
+use sbp_core::mcmc::AcceptedMove;
+use sbp_core::run::{CancelToken, NoProgress, ProgressEvent, ProgressSink, RunConfig, RunOutcome};
+use sbp_core::{naive_sbp, solve_sbp, Blockmodel};
+use sbp_graph::shard::ShardHeader;
+use sbp_graph::{induced_subgraph, Vertex, Weight};
+use sbp_mpi::{ClusterReport, Communicator, CostModel};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+// ------------------------------------------------------------ blockmodel
+
+/// This rank's matrix cells under `labels`: one entry per distinct
+/// `(row, col)` over the owned out-arcs, sorted (BTreeMap order).
+fn local_cells(dg: &DistGraph, labels: &[u32]) -> Vec<(u32, u32, Weight)> {
+    let mut cells: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for &v in dg.owned() {
+        let r = labels[v as usize];
+        for &(d, w) in dg.local().out_edges(v) {
+            *cells.entry((r, labels[d as usize])).or_insert(0) += w;
+        }
+    }
+    cells.into_iter().map(|((r, c), w)| (r, c, w)).collect()
+}
+
+/// Builds the replicated blockmodel from per-rank cell contributions —
+/// the sharded stand-in for `Blockmodel::from_assignment`. Every rank
+/// returns the identical integer state.
+fn dist_blockmodel<C: Communicator>(
+    comm: &C,
+    dg: &DistGraph,
+    assignment: Vec<u32>,
+    num_blocks: usize,
+) -> Blockmodel {
+    let mine = encode_cells(&local_cells(dg, &assignment));
+    let payloads = comm.allgatherv(mine);
+    let mut total: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for payload in payloads {
+        for (r, c, w) in decode_cells(&payload) {
+            *total.entry((r, c)).or_insert(0) += w;
+        }
+    }
+    Blockmodel::from_parts(
+        dg.num_vertices(),
+        dg.total_edge_weight(),
+        assignment,
+        num_blocks,
+        total.into_iter().map(|((r, c), w)| (r, c, w)),
+    )
+}
+
+// ------------------------------------------------------------- move sync
+
+/// Accumulates `±w` cell contributions for one arc under two labelings.
+fn arc_delta(
+    delta: &mut BTreeMap<(u32, u32), Weight>,
+    s: Vertex,
+    d: Vertex,
+    w: Weight,
+    before: &[u32],
+    after: &[u32],
+) {
+    *delta
+        .entry((before[s as usize], before[d as usize]))
+        .or_insert(0) -= w;
+    *delta
+        .entry((after[s as usize], after[d as usize]))
+        .or_insert(0) += w;
+}
+
+/// Applies one sync point's gathered moves to the replica: exchanges
+/// summed cell deltas, subtracts the local own-move correction, relabels
+/// peer-moved vertices, and fixes block degrees from the ghost-degree
+/// table. `prev` is the globally-agreed assignment at the previous sync
+/// and is advanced to the new agreement. Returns the total move count.
+fn apply_sync<C: Communicator>(
+    comm: &C,
+    dg: &DistGraph,
+    bm: &mut Blockmodel,
+    prev: &mut Vec<u32>,
+    gathered: Vec<Vec<AcceptedMove>>,
+) -> usize {
+    let rank = comm.rank();
+    // A vertex is only ever moved by its owner, so applying the per-rank
+    // lists in rank order (chronological within a rank) reproduces the
+    // final label of every vertex.
+    let mut next = prev.clone();
+    let mut moves = 0usize;
+    for peer_moves in &gathered {
+        moves += peer_moves.len();
+        for m in peer_moves {
+            next[m.v as usize] = m.to;
+        }
+    }
+    let mut moved: Vec<Vertex> = gathered
+        .iter()
+        .flatten()
+        .map(|m| m.v)
+        .filter(|&v| prev[v as usize] != next[v as usize])
+        .collect();
+    moved.sort_unstable();
+    moved.dedup();
+    let is_moved = |v: Vertex| prev[v as usize] != next[v as usize];
+
+    // This rank's share of M(A_next) − M(A_prev): arcs whose source it
+    // owns and which touch a net-moved endpoint. Out-arcs of moved owned
+    // vertices, plus in-arcs of moved vertices whose (owned) source did
+    // not itself move — each qualifying arc charged exactly once.
+    let mut contrib: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for &v in &moved {
+        if dg.owner_of(v) == rank {
+            for &(d, w) in dg.local().out_edges(v) {
+                arc_delta(&mut contrib, v, d, w, prev, &next);
+            }
+        }
+        // For owned `v` the in-list is complete (filter to own unmoved
+        // sources); for ghost `v` it holds exactly this rank's arcs into
+        // it, which is precisely this rank's share.
+        for &(s, w) in dg.local().in_edges(v) {
+            if dg.owner_of(s) == rank && !is_moved(s) {
+                arc_delta(&mut contrib, s, v, w, prev, &next);
+            }
+        }
+    }
+    let mine: Vec<(u32, u32, Weight)> = contrib
+        .into_iter()
+        .filter(|&(_, w)| w != 0)
+        .map(|((r, c), w)| (r, c, w))
+        .collect();
+    let payloads = comm.allgatherv(encode_cells(&mine));
+    let mut delta: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for payload in payloads {
+        for (r, c, w) in decode_cells(&payload) {
+            *delta.entry((r, c)).or_insert(0) += w;
+        }
+    }
+
+    // Own-move correction: the replica already applied this rank's own
+    // moves incrementally during the sweep, i.e. it sits at
+    // M(A_prev + own), not M(A_prev). Subtract M(A_prev + own) − M(A_prev)
+    // — computable locally since every arc incident to an owned vertex is
+    // present — so the summed delta lands the matrix exactly on M(A_next).
+    let cur = bm.assignment();
+    let own_moved: Vec<Vertex> = moved
+        .iter()
+        .copied()
+        .filter(|&v| dg.owner_of(v) == rank && cur[v as usize] != prev[v as usize])
+        .collect();
+    let is_own_moved = |v: Vertex| dg.owner_of(v) == rank && cur[v as usize] != prev[v as usize];
+    let mut corr: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for &v in &own_moved {
+        for &(d, w) in dg.local().out_edges(v) {
+            arc_delta(&mut corr, v, d, w, prev, cur);
+        }
+        for &(s, w) in dg.local().in_edges(v) {
+            if !is_own_moved(s) {
+                arc_delta(&mut corr, s, v, w, prev, cur);
+            }
+        }
+    }
+    for ((r, c), w) in corr {
+        *delta.entry((r, c)).or_insert(0) -= w;
+    }
+
+    // Peer relabels + degree fixes (own moves already applied in-sweep).
+    let relabels: Vec<(Vertex, u32)> = moved
+        .iter()
+        .copied()
+        .filter(|&v| dg.owner_of(v) != rank)
+        .map(|v| (v, next[v as usize]))
+        .collect();
+    let mut degree_deltas: BTreeMap<u32, (Weight, Weight)> = BTreeMap::new();
+    for &(v, to) in &relabels {
+        let (dout, din) = (dg.out_degree(v), dg.in_degree(v));
+        let from = prev[v as usize];
+        let e = degree_deltas.entry(from).or_insert((0, 0));
+        e.0 -= dout;
+        e.1 -= din;
+        let e = degree_deltas.entry(to).or_insert((0, 0));
+        e.0 += dout;
+        e.1 += din;
+    }
+    bm.apply_dist_sync(
+        &relabels,
+        delta.into_iter().map(|((r, c), w)| (r, c, w)),
+        degree_deltas.into_iter().map(|(b, (o, i))| (b, o, i)),
+    );
+    *prev = next;
+    moves
+}
+
+// ---------------------------------------------------------- EDiSt driver
+
+/// The sharded [`EdistData`] plane: sweeps run on the local (owned-only)
+/// graph, blockmodel builds go through the summed-cell collective, and
+/// peer moves apply via the cell-delta sync. The control loop itself —
+/// golden search, merge phase, sweep/sync schedule, cancellation, events
+/// — is `edist::edist_driver`, shared verbatim with the monolithic
+/// driver, so the two can never drift apart.
+struct ShardedData<'a> {
+    dg: &'a DistGraph,
+}
+
+impl EdistData for ShardedData<'_> {
+    fn num_vertices(&self) -> usize {
+        self.dg.num_vertices()
+    }
+
+    fn sweep_graph(&self) -> &sbp_graph::Graph {
+        self.dg.local()
+    }
+
+    fn my_vertices(&self) -> &[Vertex] {
+        self.dg.owned()
+    }
+
+    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Blockmodel {
+        // Identity start, like the monolithic driver (identity is already
+        // compact: every vertex occupies its own block, so the monolithic
+        // plane's compaction pass is the identity relabeling here).
+        let n = self.dg.num_vertices();
+        dist_blockmodel(comm, self.dg, (0..n as u32).collect(), n)
+    }
+
+    fn build_blockmodel<C: Communicator>(
+        &self,
+        comm: &C,
+        assignment: Vec<u32>,
+        num_blocks: usize,
+    ) -> Blockmodel {
+        dist_blockmodel(comm, self.dg, assignment, num_blocks)
+    }
+
+    fn apply_gathered_moves<C: Communicator>(
+        &self,
+        comm: &C,
+        bm: &mut Blockmodel,
+        prev: &mut Vec<u32>,
+        gathered: Vec<Vec<AcceptedMove>>,
+    ) -> usize {
+        apply_sync(comm, self.dg, bm, prev, gathered)
+    }
+}
+
+/// EDiSt over sharded ingest with default cancellation and no progress
+/// relay — the custom-[`Communicator`] entrypoint mirroring
+/// [`crate::edist::edist`]. Collective calls must be matched by every
+/// rank; the result is rank-identical.
+pub fn edist_sharded<C: Communicator>(
+    comm: &C,
+    dg: &DistGraph,
+    cfg: &EdistConfig,
+) -> (RunOutcome, ExchangeStats) {
+    edist_sharded_run(
+        comm,
+        dg,
+        cfg,
+        &CancelToken::default(),
+        &EventRelay::disabled(),
+    )
+}
+
+/// DC-SBP over sharded ingest with default cancellation and no progress
+/// relay — the custom-[`Communicator`] entrypoint mirroring
+/// [`crate::dcsbp::dcsbp`].
+pub fn dcsbp_sharded<C: Communicator>(comm: &C, dg: &DistGraph, cfg: &DcsbpConfig) -> RunOutcome {
+    dcsbp_sharded_run(
+        comm,
+        dg,
+        cfg,
+        &CancelToken::default(),
+        &EventRelay::disabled(),
+    )
+}
+
+/// EDiSt over sharded ingest (see module docs). The ownership comes from
+/// the shards themselves — `cfg.ownership` is ignored — so the sweep sets
+/// match what the shard planner promised. Collective calls must be
+/// matched by every rank.
+pub(crate) fn edist_sharded_run<C: Communicator>(
+    comm: &C,
+    dg: &DistGraph,
+    cfg: &EdistConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> (RunOutcome, ExchangeStats) {
+    edist_driver(comm, &ShardedData { dg }, cfg, cancel, relay)
+}
+
+// --------------------------------------------------------- DC-SBP driver
+
+/// DC-SBP over sharded ingest: per-rank local solves on the induced
+/// subgraph of the owned set (fully present locally), root-side combine,
+/// and an exact distributed DL — always the "no fine-tune" variant, since
+/// fine-tuning would need the whole graph on the root (see module docs).
+pub(crate) fn dcsbp_sharded_run<C: Communicator>(
+    comm: &C,
+    dg: &DistGraph,
+    cfg: &DcsbpConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> RunOutcome {
+    let rank = comm.rank();
+    let n = dg.num_vertices();
+    if n == 0 {
+        return RunOutcome::empty();
+    }
+    let sub = induced_subgraph(dg.local(), dg.owned());
+
+    relay.emit(ProgressEvent::PhaseStarted { phase: "local-sbp" });
+    let mut sub_cfg = cfg.sbp.clone();
+    sub_cfg.seed = mix_seed(cfg.sbp.seed, 0xDC00 + rank as u64);
+    let local_assignment: Vec<u32> = match cfg.engine {
+        Engine::Optimized => {
+            let run_cfg = RunConfig {
+                sbp: sub_cfg,
+                cancel: cancel.clone(),
+            };
+            solve_sbp(&sub.graph, None, &run_cfg, &mut NoProgress).assignment
+        }
+        Engine::Naive if cancel.is_cancelled() => vec![0; sub.graph.num_vertices()],
+        Engine::Naive => naive_sbp(&sub.graph, &sub_cfg).assignment,
+    };
+
+    let payload: Vec<(u32, u32)> = local_assignment
+        .iter()
+        .enumerate()
+        .map(|(v, &b)| (sub.to_global(v as u32), b))
+        .collect();
+    let gathered = comm.gatherv(0, payload);
+
+    // Root: offset label spaces and compact — pure assignment
+    // arithmetic, shared with the monolithic driver so the combine
+    // semantics cannot drift (`compact_labels` reproduces exactly the
+    // relabeling `Blockmodel::compacted` would apply).
+    let root_result = gathered.map(|parts| {
+        relay.emit(ProgressEvent::PhaseStarted { phase: "combine" });
+        let (combined, width) = combine_parts(parts, n);
+        let (compacted, num_blocks) = compact_labels(combined, width);
+        (compacted, num_blocks, cancel.is_cancelled())
+    });
+    let (assignment, num_blocks, cancelled): (Vec<u32>, usize, bool) =
+        comm.broadcast(0, root_result);
+
+    // Exact DL of the combined partition, computed distributively.
+    let bm = dist_blockmodel(comm, dg, assignment, num_blocks);
+    let description_length = shared_dl(comm, &bm);
+    if cancelled {
+        relay.emit(ProgressEvent::Cancelled { iteration: 0 });
+    } else {
+        relay.emit(ProgressEvent::Finished {
+            num_blocks,
+            description_length,
+        });
+    }
+    RunOutcome {
+        assignment: bm.into_assignment(),
+        num_blocks,
+        description_length,
+        iterations: Vec::new(),
+        cancelled,
+        virtual_seconds: comm.virtual_time(),
+        cluster: None,
+        sampled_vertices: None,
+    }
+}
+
+// ------------------------------------------------------- public runners
+
+/// Which sharded driver [`run_sharded`] launches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShardedBackend {
+    /// EDiSt (exact; bit-identical to a monolithic run in the dense
+    /// regime — see module docs).
+    Edist {
+        /// Sweeps between move exchanges (1 = the paper's every-sweep
+        /// schedule).
+        sync_period: usize,
+    },
+    /// DC-SBP, always in the "no fine-tune" variant (see module docs).
+    DcSbp {
+        /// Single-node engine for the per-rank subgraph solves.
+        engine: Engine,
+    },
+}
+
+/// Runs a sharded-ingest cluster over the `.sbps` directory `dir`: one
+/// simulated rank per shard, each loading only its own shard (the ingest
+/// collectives are part of the run and show up in the returned
+/// [`ClusterReport`]). Rank 0's progress events stream to `progress`
+/// live; `cfg.cancel` is honoured at the same checkpoints as the
+/// monolithic drivers.
+///
+/// `header` must come from [`sbp_graph::shard::validate_shard_dir`] on
+/// the same `dir` —
+/// callers always need it anyway (to pick rank counts and reject backend
+/// mismatches before spawning anything), so the directory is scanned
+/// exactly once per run instead of once per layer. Shard files that
+/// disappear or mutate *between* validation and the per-rank load panic
+/// the cluster.
+///
+/// Returns the rank-identical outcome plus the ingest report.
+pub fn run_sharded(
+    dir: &Path,
+    header: &ShardHeader,
+    backend: ShardedBackend,
+    cost: CostModel,
+    cfg: &RunConfig,
+    progress: &mut dyn ProgressSink,
+) -> (RunOutcome, ShardIngestReport) {
+    let ranks = header.shard_count;
+    progress.on_event(&ProgressEvent::Started {
+        num_vertices: header.num_vertices,
+        num_blocks: header.num_vertices,
+    });
+    progress.on_event(&ProgressEvent::ClusterStarted { ranks });
+    let cancel = cfg.cancel.clone();
+    let out = run_cluster_streaming(ranks, cost, progress, |comm, relay| {
+        let dg = load_dist_graph(comm, dir)
+            .unwrap_or_else(|e| panic!("rank {} failed to load shard: {e}", comm.rank()));
+        let report = *dg.report();
+        let (outcome, xstats) = match backend {
+            ShardedBackend::Edist { sync_period } => {
+                let ecfg = EdistConfig {
+                    sbp: cfg.sbp.clone(),
+                    ownership: dg.strategy(),
+                    sync_period,
+                };
+                edist_sharded_run(comm, &dg, &ecfg, &cancel, relay)
+            }
+            ShardedBackend::DcSbp { engine } => {
+                let dcfg = DcsbpConfig {
+                    sbp: cfg.sbp.clone(),
+                    engine,
+                    skip_finetune: true,
+                };
+                (
+                    dcsbp_sharded_run(comm, &dg, &dcfg, &cancel, relay),
+                    ExchangeStats::default(),
+                )
+            }
+        };
+        (outcome, xstats, report)
+    });
+    let mut report = ClusterReport::from_outcome(&out);
+    for rank in &out.ranks {
+        report.move_bytes_raw += rank.result.1.move_bytes_raw;
+        report.move_bytes_encoded += rank.result.1.move_bytes_encoded;
+    }
+    let rank0 = out.ranks.into_iter().next().expect("at least one rank");
+    let (mut outcome, _, ingest) = rank0.result;
+    outcome.virtual_seconds = report.makespan;
+    outcome.cluster = Some(report);
+    (outcome, ingest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Edist;
+    use sbp_core::run::Solver;
+    use sbp_core::SbpConfig;
+    use sbp_graph::fixtures::two_cliques;
+    use sbp_graph::shard::{shard_graph, validate_shard_dir};
+    use sbp_graph::OwnershipStrategy;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sharded_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Validate-then-run, as every real caller does.
+    fn run(
+        dir: &std::path::Path,
+        backend: ShardedBackend,
+        cfg: &RunConfig,
+    ) -> (RunOutcome, ShardIngestReport) {
+        let header = validate_shard_dir(dir).expect("coherent shard dir");
+        run_sharded(
+            dir,
+            &header,
+            backend,
+            CostModel::zero(),
+            cfg,
+            &mut NoProgress,
+        )
+    }
+
+    #[test]
+    fn sharded_edist_recovers_two_cliques() {
+        let g = two_cliques(8);
+        let dir = temp_dir("recover");
+        shard_graph(&g, &dir, 2, OwnershipStrategy::SortedBalanced).unwrap();
+        let (out, ingest) = run(
+            &dir,
+            ShardedBackend::Edist { sync_period: 1 },
+            &RunConfig::seeded(7),
+        );
+        assert_eq!(out.num_blocks, 2);
+        assert_eq!(out.assignment[0], out.assignment[7]);
+        assert_ne!(out.assignment[0], out.assignment[8]);
+        assert_eq!(ingest.total_arcs, g.num_arcs());
+        let rep = out.cluster.expect("cluster report");
+        assert_eq!(rep.ranks, 2);
+        assert!(rep.move_bytes_encoded <= rep.move_bytes_raw);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_edist_is_bit_identical_to_monolithic() {
+        // Dense regime (V ≤ 64): the sharded cell-delta maintenance must
+        // reproduce the monolithic trajectory bit for bit, at every rank
+        // count and under both ownership schemes.
+        let g = two_cliques(8);
+        for strategy in [OwnershipStrategy::Modulo, OwnershipStrategy::SortedBalanced] {
+            for ranks in [1usize, 2, 4] {
+                let dir = temp_dir(&format!("bitid_{ranks}_{}", strategy.code()));
+                shard_graph(&g, &dir, ranks, strategy).unwrap();
+                let cfg = RunConfig::seeded(42);
+                let (sharded, _) = run(&dir, ShardedBackend::Edist { sync_period: 1 }, &cfg);
+                let mono = Edist {
+                    ranks,
+                    cost: CostModel::zero(),
+                    ownership: strategy,
+                    sync_period: 1,
+                }
+                .solve(&g, &RunConfig::seeded(42), &mut NoProgress);
+                assert_eq!(sharded.assignment, mono.assignment, "{strategy:?}×{ranks}");
+                assert_eq!(sharded.num_blocks, mono.num_blocks);
+                assert_eq!(
+                    sharded.description_length.to_bits(),
+                    mono.description_length.to_bits(),
+                    "{strategy:?}×{ranks}: DL must match to the last bit"
+                );
+                assert_eq!(sharded.iterations.len(), mono.iterations.len());
+                for (a, b) in sharded.iterations.iter().zip(mono.iterations.iter()) {
+                    assert_eq!(a.dl.to_bits(), b.dl.to_bits());
+                    assert_eq!(a.sweeps, b.sweeps);
+                    assert_eq!(a.moves, b.moves);
+                }
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_dcsbp_runs_and_reports() {
+        let g = two_cliques(8);
+        let dir = temp_dir("dcsbp");
+        shard_graph(&g, &dir, 2, OwnershipStrategy::Modulo).unwrap();
+        let (out, ingest) = run(
+            &dir,
+            ShardedBackend::DcSbp {
+                engine: Engine::Optimized,
+            },
+            &RunConfig::seeded(1),
+        );
+        assert_eq!(out.assignment.len(), 16);
+        assert!(out.num_blocks >= 1);
+        assert!(out
+            .assignment
+            .iter()
+            .all(|&b| (b as usize) < out.num_blocks));
+        assert_eq!(ingest.ranks, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_shard_dir_fails_validation_before_spawning() {
+        // Callers must validate first; an empty directory never reaches
+        // run_sharded.
+        let dir = temp_dir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(validate_shard_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_sharded_run_aborts_consistently() {
+        let g = two_cliques(6);
+        let dir = temp_dir("cancel");
+        shard_graph(&g, &dir, 3, OwnershipStrategy::SortedBalanced).unwrap();
+        let cfg = RunConfig {
+            sbp: SbpConfig::default(),
+            cancel: CancelToken::new(),
+        };
+        cfg.cancel.cancel();
+        let (out, _) = run(&dir, ShardedBackend::Edist { sync_period: 1 }, &cfg);
+        assert!(out.cancelled);
+        assert_eq!(out.num_blocks, 12, "identity bracket entry comes back");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

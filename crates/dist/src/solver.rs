@@ -50,7 +50,7 @@ impl EventRelay<'_> {
 
 /// Runs `f` on `n` simulated ranks while draining rank 0's progress
 /// events to `progress` on the calling thread.
-fn run_cluster_streaming<R, F>(
+pub(crate) fn run_cluster_streaming<R, F>(
     n: usize,
     cost: CostModel,
     progress: &mut dyn ProgressSink,
@@ -148,7 +148,18 @@ impl Solver for Edist {
         let out = run_cluster_streaming(n, self.cost, progress, |comm, relay| {
             edist_run(comm, graph, &ecfg, &cancel, relay)
         });
-        finish_outcome(out, |r| r)
+        // Move-exchange accounting is summed over every rank, like the
+        // byte counters the report already carries.
+        let (raw, encoded) = out.ranks.iter().fold((0u64, 0u64), |(raw, enc), rank| {
+            let x = rank.result.1;
+            (raw + x.move_bytes_raw, enc + x.move_bytes_encoded)
+        });
+        let mut outcome = finish_outcome(out, |(r, _)| r);
+        if let Some(report) = outcome.cluster.as_mut() {
+            report.move_bytes_raw = raw;
+            report.move_bytes_encoded = encoded;
+        }
+        outcome
     }
 }
 
@@ -228,6 +239,14 @@ mod tests {
         assert!(rep.collectives > 0);
         assert!(rep.max_rank_bytes <= rep.total_bytes);
         assert!((out.virtual_seconds - rep.makespan).abs() < 1e-12);
+        // The move exchange travelled compressed and was accounted for.
+        assert!(rep.move_bytes_raw > 0, "no moves exchanged?");
+        assert!(
+            rep.move_bytes_encoded < rep.move_bytes_raw,
+            "varint exchange ({}) not smaller than raw ({})",
+            rep.move_bytes_encoded,
+            rep.move_bytes_raw
+        );
     }
 
     #[test]

@@ -16,6 +16,35 @@
 //!   round-robin vertex distribution used by divide-and-conquer SBP.
 //! * [`islands`] — the island-vertex census used in Fig. 2 of the paper:
 //!   vertices that lose every incident edge under a given data distribution.
+//! * [`ownership`] — the modulo / sorted-balanced vertex-ownership schemes
+//!   (paper §III-B), shared by the distributed drivers and the shard
+//!   planner.
+//! * [`varint`] — the zigzag + LEB128 + delta-run codec shared by the
+//!   shard format and EDiSt's compressed move exchange.
+//! * [`shard`] — the `.sbps` binary edge-shard format: a graph is split
+//!   into per-rank shards (each holding the out-edges of one rank's owned
+//!   vertices, delta+varint-encoded) so a distributed load never
+//!   materializes the whole graph on one node.
+//!
+//! ## Sharded graph workflow
+//!
+//! ```no_run
+//! use sbp_graph::shard::{shard_graph, unshard_graph, validate_shard_dir};
+//! use sbp_graph::{Graph, OwnershipStrategy};
+//! use std::path::Path;
+//!
+//! # fn demo(graph: &Graph) -> Result<(), sbp_graph::shard::ShardError> {
+//! // Split into 8 per-rank shards under the paper's balanced scheme.
+//! shard_graph(graph, Path::new("shards/"), 8, OwnershipStrategy::SortedBalanced)?;
+//! // Cheap pre-flight check (shard count, header coherence).
+//! let header = validate_shard_dir(Path::new("shards/"))?;
+//! assert_eq!(header.shard_count, 8);
+//! // Single-node escape hatch; `sbp_dist::load_dist_graph` is the
+//! // scalable per-rank path.
+//! let roundtrip = unshard_graph(Path::new("shards/"))?;
+//! assert_eq!(&roundtrip, graph);
+//! # Ok(()) }
+//! ```
 //!
 //! Vertex ids are `u32` (graphs up to ~4.2 B vertices) and edge weights are
 //! `i64`, because blockmodel matrix entries — sums of many edge weights —
@@ -26,11 +55,16 @@ pub mod fixtures;
 pub mod graph;
 pub mod io;
 pub mod islands;
+pub mod ownership;
+pub mod shard;
 pub mod subgraph;
+pub mod varint;
 
 pub use builder::GraphBuilder;
 pub use graph::Graph;
 pub use islands::{island_count, island_fraction_round_robin, IslandReport};
+pub use ownership::{balanced_ownership, modulo_ownership, OwnershipStrategy};
+pub use shard::{shard_graph, ShardPlan, ShardReader, ShardWriter};
 pub use subgraph::{induced_subgraph, round_robin_parts, InducedSubgraph};
 
 /// Vertex identifier type used across the workspace.

@@ -1,0 +1,226 @@
+//! Shared variable-length integer codec: zigzag, LEB128, and delta runs.
+//!
+//! Two subsystems share this module — the binary [`crate::shard`] format
+//! and EDiSt's move-exchange compression in `sbp-dist` — so the wire
+//! conventions live in one place:
+//!
+//! * **LEB128**: little-endian base-128 with a continuation bit; small
+//!   values cost one byte, `u64::MAX` costs ten.
+//! * **Zigzag**: maps signed deltas onto unsigned space
+//!   (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) so sign does not poison the
+//!   length prefix.
+//! * **Delta runs**: sorted id sequences are stored as first value +
+//!   successive differences, which keeps almost every entry in one byte.
+//!
+//! All decoders are strict: truncated or over-long input yields `None`
+//! (or an error in the higher-level readers), never garbage.
+
+/// Maps a signed value onto the unsigned zigzag spiral.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends `v` to `buf` as LEB128 (1–10 bytes).
+#[inline]
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` to `buf` as zigzag + LEB128.
+#[inline]
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, zigzag(v));
+}
+
+/// Reads one LEB128 value at `*pos`, advancing it. Returns `None` on
+/// truncation or an encoding longer than 10 bytes (which cannot come from
+/// [`write_u64`]).
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads one zigzag + LEB128 value at `*pos`, advancing it.
+#[inline]
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+/// Writes a strictly ascending id sequence as a count-prefixed delta run.
+///
+/// # Panics
+/// Panics (debug) if `ids` is not strictly ascending.
+pub fn write_ascending_ids(buf: &mut Vec<u8>, ids: &[u32]) {
+    write_u64(buf, ids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        let id = u64::from(id);
+        if i == 0 {
+            write_u64(buf, id);
+        } else {
+            debug_assert!(id > prev, "ids must be strictly ascending");
+            write_u64(buf, id - prev - 1);
+        }
+        prev = id;
+    }
+}
+
+/// Reads a sequence written by [`write_ascending_ids`]. Returns `None` on
+/// truncation, delta overflow, or if any id exceeds `u32::MAX`.
+pub fn read_ascending_ids(buf: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
+    let count = read_u64(buf, pos)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_u64(buf, pos)?;
+        let id = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)?.checked_add(1)?
+        };
+        if id > u64::from(u32::MAX) {
+            return None;
+        }
+        out.push(id as u32);
+        prev = id;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zigzag_spiral_is_correct() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn u64_roundtrip_extremes() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX];
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        write_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..cut], &mut pos), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes can never come from write_u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        // Ten bytes whose top byte overflows the 64th bit.
+        let buf = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn ascending_ids_delta_overflow_is_rejected() {
+        // count=2, first id 1, then a delta that would wrap u64.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 2);
+        write_u64(&mut buf, 1);
+        write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_ascending_ids(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn ascending_ids_roundtrip() {
+        for ids in [vec![], vec![0], vec![5, 6, 7], vec![0, 100, u32::MAX]] {
+            let mut buf = Vec::new();
+            write_ascending_ids(&mut buf, &ids);
+            let mut pos = 0;
+            assert_eq!(read_ascending_ids(&buf, &mut pos), Some(ids));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn i64_roundtrip(v in i64::MIN..i64::MAX) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn mixed_stream_roundtrip(vs in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

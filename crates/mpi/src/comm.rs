@@ -31,6 +31,16 @@ pub trait Communicator {
     /// receives all contributions, indexed by rank.
     fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
 
+    /// `MPI_Alltoallv`: rank `r` sends `per_dest[d]` to rank `d` and
+    /// receives one vector from every rank, indexed by source. Unlike
+    /// [`Communicator::allgatherv`] the payloads are point-to-point — the
+    /// sharded-ingest cut-edge exchange depends on this, since routing cut
+    /// edges through an allgather would hand every rank the whole graph.
+    ///
+    /// # Panics
+    /// Panics if `per_dest.len() != self.size()`.
+    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>>;
+
     /// `MPI_Gatherv`: contributions travel to `root`, which receives
     /// `Some(all)`; other ranks receive `None`.
     fn gatherv<T: Clone + Send + 'static>(&self, root: usize, local: Vec<T>)
@@ -90,6 +100,12 @@ impl Communicator for SelfComm {
         vec![local]
     }
 
+    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(per_dest.len(), 1, "single-rank communicator has one dest");
+        self.bump();
+        per_dest
+    }
+
     fn gatherv<T: Clone + Send + 'static>(
         &self,
         root: usize,
@@ -129,10 +145,11 @@ mod tests {
         assert_eq!(c.rank(), 0);
         assert_eq!(c.size(), 1);
         assert_eq!(c.allgatherv(vec![1, 2, 3]), vec![vec![1, 2, 3]]);
+        assert_eq!(c.alltoallv(vec![vec![7u8]]), vec![vec![7u8]]);
         assert_eq!(c.gatherv(0, vec![9]), Some(vec![vec![9]]));
         assert_eq!(c.broadcast(0, Some(42)), 42);
         c.barrier();
-        assert_eq!(c.stats().collectives, 4);
+        assert_eq!(c.stats().collectives, 5);
     }
 
     #[test]

@@ -21,13 +21,23 @@ pub struct ClusterReport {
     /// Bytes sent by the busiest single rank — compare against
     /// `total_bytes / ranks` to spot communication imbalance.
     pub max_rank_bytes: u64,
+    /// Bytes the EDiSt move exchange *would* have sent as raw fixed-width
+    /// `(vertex, block)` pairs, summed over ranks. Zero for backends
+    /// without a move exchange.
+    pub move_bytes_raw: u64,
+    /// Bytes the move exchange actually sent after delta + varint
+    /// encoding (see `sbp_graph::varint`). Compare with
+    /// [`ClusterReport::move_bytes_raw`] for the compression ratio the
+    /// paper's ablation 2 measures.
+    pub move_bytes_encoded: u64,
     /// Number of ranks.
     pub ranks: usize,
 }
 
 impl ClusterReport {
     /// Summarizes a [`ClusterOutcome`], aggregating statistics over every
-    /// rank (not just rank 0).
+    /// rank (not just rank 0). The move-exchange counters start at zero;
+    /// drivers that compress an exchange fill them in afterwards.
     pub fn from_outcome<R>(out: &ClusterOutcome<R>) -> Self {
         ClusterReport {
             makespan: out.makespan(),
@@ -39,6 +49,8 @@ impl ClusterReport {
                 .map(|r| r.stats.bytes_sent)
                 .max()
                 .unwrap_or(0),
+            move_bytes_raw: 0,
+            move_bytes_encoded: 0,
             ranks: out.ranks.len(),
         }
     }

@@ -197,6 +197,60 @@ impl Communicator for ThreadComm {
         assembled
     }
 
+    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            per_dest.len(),
+            self.size,
+            "alltoallv needs one payload per rank"
+        );
+        let my_t = self.accrue_busy();
+        let elem = std::mem::size_of::<T>();
+        if self.size == 1 {
+            self.vclock.set(my_t);
+            self.add_stats(0, 0);
+            self.finish_collective();
+            return per_dest;
+        }
+        // True point-to-point mesh: rank r's bucket for rank d travels
+        // directly, so — unlike the allgather — no rank ever observes
+        // traffic that is not addressed to it.
+        let mut result: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
+        let mut sent_bytes = 0usize;
+        for (dest, payload) in per_dest.into_iter().enumerate() {
+            if dest == self.rank {
+                result[dest] = Some(payload);
+            } else {
+                let bytes = payload.len() * elem;
+                sent_bytes += bytes;
+                self.send_to(dest, my_t, bytes, Box::new(payload));
+            }
+        }
+        let mut t_max = my_t;
+        let mut received_bytes = 0usize;
+        #[allow(clippy::needless_range_loop)] // `from` is a rank id, not just an index
+        for from in 0..self.size {
+            if from == self.rank {
+                continue;
+            }
+            let (t, bytes, payload) = self.recv_from(from);
+            t_max = t_max.max(t);
+            received_bytes += bytes;
+            result[from] = Some(
+                *payload
+                    .downcast::<Vec<T>>()
+                    .expect("collective type mismatch across ranks"),
+            );
+        }
+        self.vclock
+            .set(t_max + self.cost.collective(self.size, sent_bytes + received_bytes));
+        self.add_stats(sent_bytes, received_bytes);
+        self.finish_collective();
+        result
+            .into_iter()
+            .map(|r| r.expect("every rank slot filled"))
+            .collect()
+    }
+
     fn gatherv<T: Clone + Send + 'static>(
         &self,
         root: usize,
@@ -412,6 +466,55 @@ mod tests {
         let first = &out.ranks[0].result;
         for r in &out.ranks {
             assert_eq!(&r.result, first);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_point_to_point() {
+        let out = ThreadCluster::run(3, CostModel::zero(), |comm| {
+            // Rank r sends [r*10 + d] to rank d.
+            let per_dest: Vec<Vec<u32>> = (0..3)
+                .map(|d| vec![comm.rank() as u32 * 10 + d as u32])
+                .collect();
+            comm.alltoallv(per_dest)
+        });
+        for (rank, r) in out.ranks.iter().enumerate() {
+            let got = &r.result;
+            assert_eq!(got.len(), 3);
+            for (src, payload) in got.iter().enumerate() {
+                assert_eq!(payload, &vec![src as u32 * 10 + rank as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_counts_only_addressed_bytes() {
+        // Rank 0 sends 100 u64s to rank 1 and nothing to rank 2; rank 2
+        // must receive zero bytes — an allgather would have charged it.
+        let out = ThreadCluster::run(3, CostModel::zero(), |comm| {
+            let mut per_dest = vec![Vec::new(); 3];
+            if comm.rank() == 0 {
+                per_dest[1] = vec![0u64; 100];
+            }
+            comm.alltoallv(per_dest);
+            comm.stats()
+        });
+        assert_eq!(out.ranks[0].result.bytes_sent, 800);
+        assert_eq!(out.ranks[1].result.bytes_received, 800);
+        assert_eq!(out.ranks[2].result.bytes_received, 0);
+        assert_eq!(out.ranks[2].result.bytes_sent, 0);
+    }
+
+    #[test]
+    fn alltoallv_with_empty_payloads_and_self_delivery() {
+        let out = ThreadCluster::run(2, CostModel::zero(), |comm| {
+            let mut per_dest: Vec<Vec<u8>> = vec![Vec::new(); 2];
+            per_dest[comm.rank()] = vec![comm.rank() as u8; 3]; // to self only
+            comm.alltoallv(per_dest)
+        });
+        for (rank, r) in out.ranks.iter().enumerate() {
+            assert_eq!(r.result[rank], vec![rank as u8; 3]);
+            assert!(r.result[1 - rank].is_empty());
         }
     }
 

@@ -1,0 +1,84 @@
+//! Sharded graph ingest end to end: generate a planted graph, split it
+//! into per-rank binary `.sbps` shards, then run EDiSt where each
+//! simulated rank loads **only its own shard** — the monolithic graph
+//! never materializes on any rank — and verify the result against both
+//! the planted truth and an in-memory run.
+//!
+//! ```text
+//! cargo run --release --example sharded_ingest
+//! ```
+
+use edist::graph::shard::shard_graph;
+use edist::prelude::*;
+
+fn main() {
+    let planted = generate(&SbmParams::example());
+    let dir = std::env::temp_dir().join(format!("edist_sharded_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Shard: 4 shards under the paper's sorted-balanced ownership.
+    let paths = shard_graph(&planted.graph, &dir, 4, OwnershipStrategy::SortedBalanced)
+        .expect("write shards");
+    let bytes: u64 = paths
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    println!(
+        "sharded V={} arcs={} into {} files ({bytes} bytes, {:.2} bytes/arc)",
+        planted.graph.num_vertices(),
+        planted.graph.num_arcs(),
+        paths.len(),
+        bytes as f64 / planted.graph.num_arcs() as f64,
+    );
+
+    // 2. Partition straight off the shards (rank count = shard count).
+    let sharded = Partitioner::on_sharded(&dir)
+        .seed(42)
+        .run()
+        .expect("sharded run");
+    let ingest = sharded.ingest.expect("ingest report");
+    println!(
+        "{}: {} blocks, DL {:.1}, NMI {:.3} vs truth",
+        sharded.backend,
+        sharded.num_blocks,
+        sharded.description_length,
+        nmi(&sharded.assignment, &planted.ground_truth),
+    );
+    println!(
+        "busiest rank read {} arcs and held {} — the full graph has {} \
+         ({} cut arcs were exchanged point-to-point)",
+        ingest.max_rank_shard_edges,
+        ingest.max_rank_local_arcs,
+        ingest.total_arcs,
+        ingest.total_cut_arcs,
+    );
+    assert!(ingest.max_rank_local_arcs < ingest.total_arcs);
+
+    // 3. The distributed load changes where bytes come from, not the
+    //    quality: an in-memory EDiSt run recovers the same structure.
+    //    (On dense-regime graphs — V ≤ 64 — the two runs are bit-identical;
+    //    see tests/shard.rs. At this size sparse hash-map iteration order
+    //    makes trajectories layout-dependent, so we compare partitions.)
+    let mono = Partitioner::on(&planted.graph)
+        .backend(Backend::Edist { ranks: 4 })
+        .seed(42)
+        .run()
+        .expect("monolithic run");
+    let agreement = nmi(&sharded.assignment, &mono.assignment);
+    println!(
+        "sharded vs monolithic agreement: NMI {agreement:.3} \
+         (truth: {:.3} sharded, {:.3} monolithic)",
+        nmi(&sharded.assignment, &planted.ground_truth),
+        nmi(&mono.assignment, &planted.ground_truth),
+    );
+    assert!(nmi(&sharded.assignment, &planted.ground_truth) > 0.5);
+
+    let report = sharded.cluster.expect("cluster report");
+    println!(
+        "move exchange: {} bytes varint-encoded vs {} raw",
+        report.move_bytes_encoded, report.move_bytes_raw
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,13 +26,16 @@ use sbp_core::run::{
     Sequential, Solver,
 };
 use sbp_core::{HybridConfig, IterationStat, SbpConfig};
-use sbp_dist::{DcSbp, Edist, Engine, OwnershipStrategy};
+use sbp_dist::{run_sharded, DcSbp, Edist, Engine, OwnershipStrategy, ShardedBackend};
 use sbp_eval::normalized_dl;
 use sbp_graph::Graph;
 use sbp_mpi::{ClusterReport, CostModel};
 use sbp_sample::{Sampled, SamplingStrategy};
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
+
+pub use sbp_dist::ShardIngestReport;
 
 /// Boxed progress callback stored by the builder.
 type ProgressCallback<'a> = Box<dyn FnMut(&ProgressEvent) + 'a>;
@@ -83,6 +86,27 @@ pub enum PartitionError {
     BadSampleFraction(i64),
     /// `sync_period` must be at least 1.
     ZeroSyncPeriod,
+    /// The `.sbps` shard directory could not be read or validated.
+    ShardLoad(String),
+    /// The requested feature/backend combination cannot run over a
+    /// sharded source; the message says what and what to do instead.
+    ShardedUnsupported(String),
+    /// An explicit [`Partitioner::ownership`] setting contradicts the
+    /// scheme the shards were planned under.
+    ShardStrategyMismatch {
+        /// Ownership the builder asked for.
+        requested: OwnershipStrategy,
+        /// Ownership baked into the shard headers.
+        shards: OwnershipStrategy,
+    },
+    /// The requested rank count differs from the shard count — one rank
+    /// loads exactly one shard.
+    ShardCountMismatch {
+        /// Ranks the backend asked for.
+        ranks: usize,
+        /// Shards present in the directory.
+        shards: usize,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -99,6 +123,19 @@ impl fmt::Display for PartitionError {
             PartitionError::ZeroSyncPeriod => {
                 write!(f, "sync_period must be at least 1")
             }
+            PartitionError::ShardLoad(reason) => write!(f, "shard load failed: {reason}"),
+            PartitionError::ShardedUnsupported(what) => write!(f, "{what}"),
+            PartitionError::ShardStrategyMismatch { requested, shards } => write!(
+                f,
+                "builder asked for {requested:?} ownership but the shards were \
+                 planned under {shards:?} (ownership is baked in at shard time; \
+                 re-shard, or drop the .ownership() call)"
+            ),
+            PartitionError::ShardCountMismatch { ranks, shards } => write!(
+                f,
+                "backend wants {ranks} ranks but the directory holds {shards} shards \
+                 (one rank loads exactly one shard)"
+            ),
         }
     }
 }
@@ -131,6 +168,9 @@ pub struct Run {
     pub cluster: Option<ClusterReport>,
     /// Vertices actually sampled — `Some` when sampling was enabled.
     pub sampled_vertices: Option<usize>,
+    /// Shard-ingest report — `Some` when the run loaded `.sbps` shards
+    /// via [`Partitioner::on_sharded`] instead of an in-memory graph.
+    pub ingest: Option<ShardIngestReport>,
 }
 
 impl Run {
@@ -143,20 +183,46 @@ impl Run {
             graph.total_edge_weight(),
         )
     }
+
+    /// Normalized description length for sharded runs, using the global
+    /// vertex/edge counts from the ingest report (no graph in memory).
+    pub fn dl_norm_sharded(&self) -> Option<f64> {
+        self.ingest.map(|ingest| {
+            normalized_dl(
+                self.description_length,
+                ingest.num_vertices,
+                ingest.total_edge_weight,
+            )
+        })
+    }
+}
+
+/// Where the graph comes from.
+enum Source<'a> {
+    /// An in-memory [`Graph`], replicated on every simulated rank.
+    Graph(&'a Graph),
+    /// A directory of `.sbps` shards; each rank loads only its own shard
+    /// (see `sbp_dist::sharded`).
+    Shards(PathBuf),
 }
 
 /// Builder for a partitioning run: pick a [`Backend`], tune the shared
 /// hyper-parameters, optionally add sampling, a progress callback, and a
 /// cancellation token, then [`run`](Partitioner::run).
 pub struct Partitioner<'a> {
-    graph: &'a Graph,
+    source: Source<'a>,
     backend: Option<Backend>,
     sbp: SbpConfig,
     cost: CostModel,
-    ownership: OwnershipStrategy,
+    /// `None` until [`Partitioner::ownership`] is called, so the sharded
+    /// path can distinguish "default" from an explicit request it would
+    /// have to silently override.
+    ownership: Option<OwnershipStrategy>,
     sync_period: usize,
     engine: Engine,
-    skip_finetune: bool,
+    /// `None` until [`Partitioner::skip_finetune`] is called (same
+    /// rationale as `ownership`).
+    skip_finetune: Option<bool>,
     sample: Option<(SamplingStrategy, f64)>,
     finetune_sweeps: usize,
     cancel: CancelToken,
@@ -170,15 +236,32 @@ impl<'a> Partitioner<'a> {
     /// [`McmcStrategy`](sbp_core::McmcStrategy) runs — sequential MH by
     /// default.
     pub fn on(graph: &'a Graph) -> Self {
+        Self::with_source(Source::Graph(graph))
+    }
+
+    /// Starts a builder over a directory of `.sbps` shards written by
+    /// [`sbp_graph::shard::shard_graph`] (or `edist-cli shard`). The run
+    /// spawns one simulated rank per shard; each rank loads **only its
+    /// own shard** plus exchanged cut edges, so the monolithic graph
+    /// never materializes (see `sbp_dist::sharded` for the exactness
+    /// guarantees). Only the distributed backends apply: with no explicit
+    /// [`backend`](Partitioner::backend) the run uses EDiSt on one rank
+    /// per shard; a `DcSbp` backend always behaves as its no-fine-tune
+    /// variant; an explicit backend's `ranks` must equal the shard count.
+    pub fn on_sharded(dir: impl Into<PathBuf>) -> Self {
+        Self::with_source(Source::Shards(dir.into()))
+    }
+
+    fn with_source(source: Source<'a>) -> Self {
         Partitioner {
-            graph,
+            source,
             backend: None,
             sbp: SbpConfig::default(),
             cost: CostModel::hdr100(),
-            ownership: OwnershipStrategy::default(),
+            ownership: None,
             sync_period: 1,
             engine: Engine::default(),
-            skip_finetune: false,
+            skip_finetune: None,
             sample: None,
             finetune_sweeps: 3,
             cancel: CancelToken::new(),
@@ -218,9 +301,12 @@ impl<'a> Partitioner<'a> {
         self
     }
 
-    /// Sets EDiSt's vertex-ownership scheme.
+    /// Sets EDiSt's vertex-ownership scheme (default: sorted-balanced).
+    /// On a sharded source the ownership is baked into the shards, so an
+    /// explicit setting that contradicts them is rejected at
+    /// [`run`](Partitioner::run) instead of silently overridden.
     pub fn ownership(mut self, ownership: OwnershipStrategy) -> Self {
-        self.ownership = ownership;
+        self.ownership = Some(ownership);
         self
     }
 
@@ -238,8 +324,12 @@ impl<'a> Partitioner<'a> {
     }
 
     /// Skips DC-SBP's root-side fine-tuning pass (ablation switch).
+    /// Sharded DC-SBP always runs without fine-tuning (the root never
+    /// holds the whole graph), so `skip_finetune(false)` on a sharded
+    /// source is rejected at [`run`](Partitioner::run) rather than
+    /// silently forced.
     pub fn skip_finetune(mut self, skip: bool) -> Self {
-        self.skip_finetune = skip;
+        self.skip_finetune = Some(skip);
         self
     }
 
@@ -294,7 +384,7 @@ impl<'a> Partitioner<'a> {
                     ranks,
                     cost: self.cost,
                     engine: self.engine,
-                    skip_finetune: self.skip_finetune,
+                    skip_finetune: self.skip_finetune.unwrap_or(false),
                 })
             }
             Backend::Edist { ranks } => {
@@ -307,7 +397,7 @@ impl<'a> Partitioner<'a> {
                 Box::new(Edist {
                     ranks,
                     cost: self.cost,
-                    ownership: self.ownership,
+                    ownership: self.ownership.unwrap_or_default(),
                     sync_period: self.sync_period,
                 })
             }
@@ -332,24 +422,135 @@ impl<'a> Partitioner<'a> {
 
     /// Runs inference and returns the unified [`Run`] result.
     pub fn run(mut self) -> Result<Run, PartitionError> {
-        let solver = self.solver()?;
+        match &self.source {
+            Source::Graph(graph) => {
+                let graph = *graph;
+                let solver = self.solver()?;
+                let cfg = RunConfig {
+                    sbp: self.sbp.clone(),
+                    cancel: self.cancel.clone(),
+                };
+                let wall = Instant::now();
+                let outcome = match self.progress.as_mut() {
+                    Some(callback) => {
+                        let mut sink = ProgressFn(|event: &ProgressEvent| callback(event));
+                        solver.solve(graph, &cfg, &mut sink)
+                    }
+                    None => solver.solve(graph, &cfg, &mut NoProgress),
+                };
+                Ok(finish(
+                    solver.name(),
+                    outcome,
+                    wall.elapsed().as_secs_f64(),
+                    None,
+                ))
+            }
+            Source::Shards(dir) => {
+                let dir = dir.clone();
+                self.run_sharded_source(&dir)
+            }
+        }
+    }
+
+    /// The sharded-source run path: validate the directory, pick the
+    /// sharded driver matching the backend, stream events, attach the
+    /// ingest report.
+    fn run_sharded_source(&mut self, dir: &std::path::Path) -> Result<Run, PartitionError> {
+        if self.sample.is_some() {
+            return Err(PartitionError::ShardedUnsupported(
+                "sampling is not supported over sharded input (sample before sharding, \
+                 or load the graph in memory)"
+                    .into(),
+            ));
+        }
+        let header = sbp_graph::shard::validate_shard_dir(dir)
+            .map_err(|e| PartitionError::ShardLoad(e.to_string()))?;
+        let shards = header.shard_count;
+        // The ownership scheme is baked into the shards; an explicit
+        // builder setting that contradicts them must error, not be
+        // silently overridden.
+        if let Some(requested) = self.ownership {
+            if requested != header.strategy {
+                return Err(PartitionError::ShardStrategyMismatch {
+                    requested,
+                    shards: header.strategy,
+                });
+            }
+        }
+        let (sharded, name) = match self.backend {
+            None | Some(Backend::Edist { .. }) => {
+                if let Some(Backend::Edist { ranks }) = self.backend {
+                    if ranks != shards {
+                        return Err(PartitionError::ShardCountMismatch { ranks, shards });
+                    }
+                }
+                if self.sync_period == 0 {
+                    return Err(PartitionError::ZeroSyncPeriod);
+                }
+                (
+                    ShardedBackend::Edist {
+                        sync_period: self.sync_period,
+                    },
+                    format!("edist-sharded(ranks={shards})"),
+                )
+            }
+            Some(Backend::DcSbp { ranks }) => {
+                if ranks != shards {
+                    return Err(PartitionError::ShardCountMismatch { ranks, shards });
+                }
+                // Sharded DC-SBP cannot fine-tune (the root never holds
+                // the whole graph); an explicit request for fine-tuning
+                // must error, not be silently forced off.
+                if self.skip_finetune == Some(false) {
+                    return Err(PartitionError::ShardedUnsupported(
+                        "DC-SBP fine-tuning is not available over sharded input \
+                         (it needs the whole graph on the root; run Edist over the \
+                         same shards to refine distributively)"
+                            .into(),
+                    ));
+                }
+                (
+                    ShardedBackend::DcSbp {
+                        engine: self.engine,
+                    },
+                    format!("dcsbp-sharded(ranks={shards})"),
+                )
+            }
+            Some(other) => {
+                return Err(PartitionError::ShardedUnsupported(format!(
+                    "the {other} backend cannot run over sharded input \
+                     (only Edist and DcSbp can)"
+                )));
+            }
+        };
         let cfg = RunConfig {
             sbp: self.sbp.clone(),
             cancel: self.cancel.clone(),
         };
+        let cost = self.cost;
         let wall = Instant::now();
-        let outcome = match self.progress.as_mut() {
+        let (outcome, ingest) = match self.progress.as_mut() {
             Some(callback) => {
                 let mut sink = ProgressFn(|event: &ProgressEvent| callback(event));
-                solver.solve(self.graph, &cfg, &mut sink)
+                run_sharded(dir, &header, sharded, cost, &cfg, &mut sink)
             }
-            None => solver.solve(self.graph, &cfg, &mut NoProgress),
+            None => run_sharded(dir, &header, sharded, cost, &cfg, &mut NoProgress),
         };
-        Ok(finish(solver.name(), outcome, wall.elapsed().as_secs_f64()))
+        Ok(finish(
+            name,
+            outcome,
+            wall.elapsed().as_secs_f64(),
+            Some(ingest),
+        ))
     }
 }
 
-fn finish(backend: String, outcome: RunOutcome, wall_seconds: f64) -> Run {
+fn finish(
+    backend: String,
+    outcome: RunOutcome,
+    wall_seconds: f64,
+    ingest: Option<ShardIngestReport>,
+) -> Run {
     Run {
         backend,
         assignment: outcome.assignment,
@@ -361,6 +562,7 @@ fn finish(backend: String, outcome: RunOutcome, wall_seconds: f64) -> Run {
         virtual_seconds: outcome.virtual_seconds,
         cluster: outcome.cluster,
         sampled_vertices: outcome.sampled_vertices,
+        ingest,
     }
 }
 
@@ -375,7 +577,7 @@ pub fn run_solver<S: Solver + ?Sized>(
 ) -> Run {
     let wall = Instant::now();
     let outcome = solver.solve(graph, cfg, progress);
-    finish(solver.name(), outcome, wall.elapsed().as_secs_f64())
+    finish(solver.name(), outcome, wall.elapsed().as_secs_f64(), None)
 }
 
 #[cfg(test)]
@@ -435,5 +637,113 @@ mod tests {
         let g = two_cliques(8);
         let run = Partitioner::on(&g).seed(1).run().unwrap();
         assert!(run.dl_norm(&g) < 1.0);
+    }
+
+    fn sharded_fixture(tag: &str, shards: usize) -> std::path::PathBuf {
+        let g = two_cliques(8);
+        let dir = std::env::temp_dir().join(format!("api_shard_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sbp_graph::shard::shard_graph(&g, &dir, shards, OwnershipStrategy::SortedBalanced).unwrap();
+        dir
+    }
+
+    #[test]
+    fn on_sharded_defaults_to_edist_over_all_shards() {
+        let dir = sharded_fixture("default", 2);
+        let run = Partitioner::on_sharded(&dir).seed(5).run().unwrap();
+        assert_eq!(run.backend, "edist-sharded(ranks=2)");
+        assert_eq!(run.num_blocks, 2);
+        assert_eq!(run.assignment.len(), 16);
+        let ingest = run.ingest.expect("sharded run reports ingest");
+        assert_eq!(ingest.ranks, 2);
+        assert_eq!(ingest.num_vertices, 16);
+        assert!(run.dl_norm_sharded().unwrap() < 1.0);
+        assert!(run.cluster.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_validates_backend_and_rank_count() {
+        let dir = sharded_fixture("validate", 2);
+        let err = Partitioner::on_sharded(&dir)
+            .backend(Backend::Edist { ranks: 3 })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::ShardCountMismatch {
+                ranks: 3,
+                shards: 2
+            }
+        );
+        let err = Partitioner::on_sharded(&dir)
+            .backend(Backend::Sequential)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::ShardedUnsupported(_)));
+        let err = Partitioner::on_sharded(&dir)
+            .sample(SamplingStrategy::UniformNode, 0.5)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::ShardedUnsupported(_)));
+        let err = Partitioner::on_sharded(std::env::temp_dir().join("no_such_shards"))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::ShardLoad(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_rejects_contradictory_explicit_settings() {
+        // The fixture shards under SortedBalanced; ownership is baked in.
+        let dir = sharded_fixture("explicit", 2);
+        let err = Partitioner::on_sharded(&dir)
+            .ownership(OwnershipStrategy::Modulo)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::ShardStrategyMismatch {
+                requested: OwnershipStrategy::Modulo,
+                shards: OwnershipStrategy::SortedBalanced,
+            }
+        );
+        // An explicit setting that AGREES with the shards is fine.
+        let run = Partitioner::on_sharded(&dir)
+            .ownership(OwnershipStrategy::SortedBalanced)
+            .seed(1)
+            .run()
+            .unwrap();
+        assert_eq!(run.num_blocks, 2);
+        // Fine-tuning cannot happen over shards: explicit opt-in errors,
+        // explicit opt-out (matching the forced behavior) is accepted.
+        let err = Partitioner::on_sharded(&dir)
+            .backend(Backend::DcSbp { ranks: 2 })
+            .skip_finetune(false)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::ShardedUnsupported(_)));
+        assert!(err.to_string().contains("fine-tuning"));
+        Partitioner::on_sharded(&dir)
+            .backend(Backend::DcSbp { ranks: 2 })
+            .skip_finetune(true)
+            .seed(1)
+            .run()
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_dcsbp_backend_runs() {
+        let dir = sharded_fixture("dcsbp", 2);
+        let run = Partitioner::on_sharded(&dir)
+            .backend(Backend::DcSbp { ranks: 2 })
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(run.backend, "dcsbp-sharded(ranks=2)");
+        assert_eq!(run.assignment.len(), 16);
+        assert!(run.ingest.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

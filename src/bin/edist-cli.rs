@@ -4,7 +4,9 @@
 //! edist-cli generate  --family challenge|param|scaling|realworld --out g.mtx [--truth t.txt]
 //!                     [--vertices N] [--id TTT33|1M|Amazon|...] [--difficulty easy|hard]
 //!                     [--scale F] [--seed N]
-//! edist-cli partition --graph g.mtx --backend sequential|hybrid|batch|dcsbp|edist
+//! edist-cli shard     --graph g.mtx --ranks N --out shards/ [--strategy modulo|balanced]
+//! edist-cli partition --graph g.mtx | --sharded shards/
+//!                     [--backend sequential|hybrid|batch|dcsbp|edist]
 //!                     [--ranks N] [--seed N] [--sample F]
 //!                     [--strategy uniform|degree|edge|fire|snowball]
 //!                     [--progress true] [--out assignment.txt]
@@ -19,14 +21,113 @@
 //! (`--algo sbp|edist|dcsbp` is accepted as a deprecated alias for
 //! `--backend`; `sample` is shorthand for `partition --sample F`).
 //!
+//! `shard` splits a graph into per-rank binary `.sbps` shards;
+//! `partition --sharded` then runs EDiSt (or DC-SBP) with one simulated
+//! rank per shard, each rank loading only its own shard — the monolithic
+//! graph never materializes. Long `partition` runs handle Ctrl-C: the
+//! first interrupt cancels cooperatively and writes the best partition
+//! found so far, a second one kills the process.
+//!
 //! Graphs load by extension: `.mtx` = Matrix Market, anything else =
 //! `src dst [weight]` edge list. Assignments are one label per line.
 
 use edist::graph::io::load_graph;
+use edist::graph::shard::{shard_graph, validate_shard_dir};
 use edist::prelude::*;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// SIGINT → [`CancelToken`] bridge, in the same hand-rolled-FFI spirit as
+/// the `clock_gettime` shim in `sbp-mpi` (the container has no `ctrlc`
+/// crate). The handler only flips an atomic; one process-wide watcher
+/// thread (spawned on first install, never per run) does the cancelling
+/// against whichever token the *current* run registered. The handler
+/// re-arms SIGINT to its default disposition so a second Ctrl-C
+/// terminates immediately.
+#[cfg(unix)]
+mod sigint {
+    use edist::prelude::CancelToken;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, Once, OnceLock};
+    use std::time::Duration;
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    /// Token of the run the next interrupt should cancel.
+    static CURRENT: OnceLock<Mutex<CancelToken>> = OnceLock::new();
+    static WATCHER: Once = Once::new();
+
+    const SIGINT: i32 = 2;
+    /// POSIX `sighandler_t`; `None` is `SIG_DFL` (the null pointer, via
+    /// the guaranteed `Option<fn>` niche optimization).
+    type SigHandler = Option<extern "C" fn(i32)>;
+    const SIG_DFL: SigHandler = None;
+    /// `SIG_ERR` is `(sighandler_t)-1`; the return travels as a plain
+    /// address so it can be compared against it.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        /// POSIX `signal(2)`; the C library std links against provides it.
+        /// The previous handler comes back as a raw address (possibly
+        /// `SIG_ERR`), never called — so receiving it as `usize` is sound.
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    /// Async-signal-safe by construction: one atomic store plus a
+    /// re-arm via `signal`, which POSIX lists as safe to call from a
+    /// handler.
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    /// Registers `token` as the interrupt target and ensures the handler
+    /// plus the single watcher thread exist. Interrupts are consumed: one
+    /// SIGINT cancels the currently-registered token exactly once, so a
+    /// finished run's stale token can never eat a later run's interrupt.
+    /// Returns false when no handler could be installed (e.g. a sandbox
+    /// filtering `signal(2)`) — the run then simply stays
+    /// non-interruptible instead of promising a best-so-far exit it
+    /// cannot deliver.
+    pub fn install(token: CancelToken) -> bool {
+        // SAFETY: `on_sigint` is async-signal-safe (see above) and stays
+        // alive for the process lifetime; SIGINT is a valid signal.
+        if unsafe { signal(SIGINT, Some(on_sigint)) } == SIG_ERR {
+            return false;
+        }
+        let current = CURRENT.get_or_init(|| Mutex::new(token.clone()));
+        *current.lock().expect("sigint token lock") = token;
+        WATCHER.call_once(|| {
+            std::thread::spawn(|| loop {
+                if INTERRUPTED.swap(false, Ordering::SeqCst) {
+                    eprintln!("interrupt: finishing at the next checkpoint (Ctrl-C again to kill)");
+                    if let Some(current) = CURRENT.get() {
+                        current.lock().expect("sigint token lock").cancel();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            });
+        });
+        true
+    }
+
+    #[cfg(test)]
+    pub fn trigger_for_test() {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use edist::prelude::CancelToken;
+
+    /// No signal shim off Unix; runs are not Ctrl-C-cancellable there.
+    pub fn install(_token: CancelToken) -> bool {
+        false
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +148,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&args),
+        "shard" => cmd_shard(&args),
         "partition" => cmd_partition(&args),
         "sample" => cmd_sample(&args),
         "evaluate" => cmd_evaluate(&args),
@@ -64,7 +166,9 @@ const HELP: &str = "edist-cli — exact distributed stochastic block partitionin
 
 subcommands:
   generate   synthesize a dataset-family graph (writes .mtx/.txt + truth)
-  partition  infer communities (--backend sequential|hybrid|batch|dcsbp|edist)
+  shard      split a graph into per-rank binary .sbps shards
+  partition  infer communities (--backend sequential|hybrid|batch|dcsbp|edist;
+             --sharded DIR runs distributed backends over .sbps shards)
   sample     sampling-based inference (sample -> infer -> extend)
   evaluate   score a predicted labeling against ground truth
   islands    island-vertex census under round-robin distribution
@@ -194,6 +298,37 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_shard(args: &Args) -> Result<(), String> {
+    let graph = load(args)?;
+    let ranks: usize = args.num("ranks", 4usize)?;
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let strategy = match args.get("strategy").unwrap_or("balanced") {
+        "modulo" => OwnershipStrategy::Modulo,
+        "balanced" => OwnershipStrategy::SortedBalanced,
+        other => return Err(format!("unknown ownership strategy '{other}'")),
+    };
+    let out = args.require("out")?;
+    let paths = shard_graph(&graph, Path::new(out), ranks, strategy)
+        .map_err(|e| format!("sharding into {out}: {e}"))?;
+    let total_bytes: u64 = paths
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    eprintln!(
+        "wrote {} shards to {out}: V={} arcs={} ({} bytes, {:.2} bytes/arc; raw triples {} bytes)",
+        paths.len(),
+        graph.num_vertices(),
+        graph.num_arcs(),
+        total_bytes,
+        total_bytes as f64 / graph.num_arcs().max(1) as f64,
+        graph.num_arcs() * 16,
+    );
+    Ok(())
+}
+
 fn parse_backend(name: &str, ranks: usize) -> Result<Backend, String> {
     Ok(match name {
         // `sbp` is the deprecated --algo spelling of the sequential backend.
@@ -219,19 +354,39 @@ fn parse_strategy(name: &str) -> Result<SamplingStrategy, String> {
     })
 }
 
+/// Where `partition` reads its graph from.
+enum GraphSource {
+    /// In-memory graph loaded from one file.
+    Mem(Graph),
+    /// `.sbps` shard directory; each simulated rank loads only its shard.
+    Shards(String),
+}
+
 /// Shared by `partition` and `sample`: build the `Partitioner`, run it,
-/// report, write the assignment.
+/// report, write the assignment. Ctrl-C is wired to the run's
+/// `CancelToken` so a long search returns best-so-far instead of dying.
 fn run_partitioner(
     args: &Args,
-    graph: &Graph,
-    backend: Backend,
+    source: &GraphSource,
+    backend: Option<Backend>,
     sample: Option<f64>,
 ) -> Result<(), String> {
     let seed: u64 = args.num("seed", 0u64)?;
-    let mut partitioner = Partitioner::on(graph).backend(backend).seed(seed);
+    let mut partitioner = match source {
+        GraphSource::Mem(graph) => Partitioner::on(graph),
+        GraphSource::Shards(dir) => Partitioner::on_sharded(dir),
+    }
+    .seed(seed);
+    if let Some(backend) = backend {
+        partitioner = partitioner.backend(backend);
+    }
     if let Some(fraction) = sample {
         let strategy = parse_strategy(args.get("strategy").unwrap_or("snowball"))?;
         partitioner = partitioner.sample(strategy, fraction);
+    }
+    let token = CancelToken::new();
+    if sigint::install(token.clone()) {
+        partitioner = partitioner.cancel_token(token);
     }
     let show_progress = args.get("progress").is_some_and(|v| v != "false");
     if show_progress {
@@ -248,49 +403,105 @@ fn run_partitioner(
         });
     }
     let run = partitioner.run().map_err(|e| e.to_string())?;
+    if run.cancelled {
+        eprintln!("cancelled: writing the best partition found so far");
+    }
+    if let Some(ingest) = &run.ingest {
+        eprintln!(
+            "sharded ingest: V={} E={} over {} ranks (busiest rank read {} of {} arcs, \
+             holds {}; {} cut arcs exchanged)",
+            ingest.num_vertices,
+            ingest.total_edge_weight,
+            ingest.ranks,
+            ingest.max_rank_shard_edges,
+            ingest.total_arcs,
+            ingest.max_rank_local_arcs,
+            ingest.total_cut_arcs
+        );
+    }
     if let Some(report) = &run.cluster {
         eprintln!(
             "simulated runtime: {:.3}s over {} collectives ({} bytes, busiest rank {} bytes)",
             report.makespan, report.collectives, report.total_bytes, report.max_rank_bytes
         );
+        if report.move_bytes_raw > 0 {
+            eprintln!(
+                "move exchange: {} bytes varint-encoded vs {} raw ({:.1}% saved)",
+                report.move_bytes_encoded,
+                report.move_bytes_raw,
+                100.0 * (1.0 - report.move_bytes_encoded as f64 / report.move_bytes_raw as f64)
+            );
+        }
     }
     if let Some(sampled) = run.sampled_vertices {
-        eprintln!("sampled {sampled} of {} vertices", graph.num_vertices());
+        eprintln!("sampled {sampled} vertices");
     }
+    let dl_norm = match source {
+        GraphSource::Mem(graph) => run.dl_norm(graph),
+        GraphSource::Shards(_) => run.dl_norm_sharded().unwrap_or(f64::NAN),
+    };
     eprintln!(
         "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
-        run.backend,
-        run.num_blocks,
-        run.description_length,
-        run.dl_norm(graph),
-        run.wall_seconds
+        run.backend, run.num_blocks, run.description_length, dl_norm, run.wall_seconds
     );
     write_assignment(args.get("out"), &run.assignment)
 }
 
 fn cmd_partition(args: &Args) -> Result<(), String> {
-    let graph = load(args)?;
     let ranks: usize = args.num("ranks", 4usize)?;
     let name = match (args.get("backend"), args.get("algo")) {
-        (Some(b), _) => b,
+        (Some(b), _) => Some(b),
         (None, Some(a)) => {
             eprintln!("note: --algo is deprecated; use --backend");
-            a
+            Some(a)
         }
-        (None, None) => "sequential",
+        (None, None) => None,
     };
-    let backend = parse_backend(name, ranks.max(1))?;
+    let source = match args.get("sharded") {
+        Some(_) if args.get("graph").is_some() => {
+            // Running over one of them while the other silently names a
+            // different (possibly stale) graph would partition the wrong
+            // input without warning.
+            return Err("pass either --graph or --sharded, not both".into());
+        }
+        Some(dir) => GraphSource::Shards(dir.to_string()),
+        None => GraphSource::Mem(load(args)?),
+    };
+    let backend = match (&source, name, args.get("ranks")) {
+        // A sharded source defaults to EDiSt on one rank per shard; a
+        // file source keeps the historical sequential default.
+        (GraphSource::Shards(_), None, None) => None,
+        // An explicit --ranks travels into the backend so the facade's
+        // shard-count check rejects mismatches with its own message.
+        (GraphSource::Shards(_), None, Some(_)) => Some(Backend::Edist { ranks }),
+        (GraphSource::Shards(_), Some(name), Some(_)) => Some(parse_backend(name, ranks)?),
+        // Only a named backend WITHOUT --ranks needs the shard count up
+        // front — the single case the CLI pre-reads the headers for
+        // (the facade validates once more when it runs).
+        (GraphSource::Shards(dir), Some(name), None) => {
+            let header =
+                validate_shard_dir(Path::new(dir)).map_err(|e| format!("--sharded {dir}: {e}"))?;
+            Some(parse_backend(name, header.shard_count)?)
+        }
+        (GraphSource::Mem(_), None, _) => Some(Backend::Sequential),
+        (GraphSource::Mem(_), Some(name), _) => Some(parse_backend(name, ranks.max(1))?),
+    };
     let sample = match args.get("sample") {
         Some(_) => Some(args.num("sample", 0.5f64)?),
         None => None,
     };
-    run_partitioner(args, &graph, backend, sample)
+    run_partitioner(args, &source, backend, sample)
 }
 
 fn cmd_sample(args: &Args) -> Result<(), String> {
     let graph = load(args)?;
     let fraction: f64 = args.num("fraction", 0.5f64)?;
-    run_partitioner(args, &graph, Backend::Sequential, Some(fraction))
+    run_partitioner(
+        args,
+        &GraphSource::Mem(graph),
+        Some(Backend::Sequential),
+        Some(fraction),
+    )
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
@@ -467,6 +678,126 @@ mod tests {
         for p in [&gpath, &tpath, &apath] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn shard_partition_sharded_roundtrip() {
+        let dir = std::env::temp_dir();
+        let gpath = dir.join("edist_cli_shard_test.mtx");
+        let tpath = dir.join("edist_cli_shard_truth.txt");
+        let sdir = dir.join(format!("edist_cli_shards_{}", std::process::id()));
+        let apath = dir.join("edist_cli_shard_assign.txt");
+        let _ = std::fs::remove_dir_all(&sdir);
+        run(&argv(&[
+            "generate",
+            "--family",
+            "challenge",
+            "--vertices",
+            "300",
+            "--difficulty",
+            "easy",
+            "--out",
+            gpath.to_str().unwrap(),
+            "--truth",
+            tpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "shard",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--ranks",
+            "2",
+            "--strategy",
+            "balanced",
+            "--out",
+            sdir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Default backend over shards is EDiSt on one rank per shard.
+        run(&argv(&[
+            "partition",
+            "--sharded",
+            sdir.to_str().unwrap(),
+            "--progress",
+            "true",
+            "--out",
+            apath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let labels = read_assignment(apath.to_str().unwrap()).unwrap();
+        assert_eq!(labels.len(), 300);
+        run(&argv(&[
+            "evaluate",
+            "--pred",
+            apath.to_str().unwrap(),
+            "--truth",
+            tpath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Explicit dcsbp backend over the same shards also works.
+        run(&argv(&[
+            "partition",
+            "--sharded",
+            sdir.to_str().unwrap(),
+            "--backend",
+            "dcsbp",
+            "--out",
+            apath.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Conflicting --ranks is rejected up front.
+        assert!(run(&argv(&[
+            "partition",
+            "--sharded",
+            sdir.to_str().unwrap(),
+            "--ranks",
+            "5",
+        ]))
+        .is_err());
+        // Unknown strategy and missing dir are surfaced as errors.
+        assert!(run(&argv(&[
+            "shard",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--strategy",
+            "quantum",
+            "--out",
+            sdir.to_str().unwrap(),
+        ]))
+        .is_err());
+        assert!(run(&argv(&["partition", "--sharded", "/no/such/dir"])).is_err());
+        // --graph and --sharded are mutually exclusive.
+        assert!(run(&argv(&[
+            "partition",
+            "--graph",
+            gpath.to_str().unwrap(),
+            "--sharded",
+            sdir.to_str().unwrap(),
+        ]))
+        .is_err());
+        for p in [&gpath, &tpath, &apath] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&sdir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigint_watcher_cancels_token() {
+        // Other tests in this binary also call install() (through
+        // run_partitioner) and may swap the current token concurrently,
+        // so re-register and re-trigger each attempt instead of racing a
+        // single 50ms watcher poll.
+        let token = CancelToken::new();
+        assert!(sigint::install(token.clone()));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !token.is_cancelled() && std::time::Instant::now() < deadline {
+            sigint::install(token.clone());
+            sigint::trigger_for_test();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(token.is_cancelled(), "watcher never cancelled the token");
     }
 
     #[test]

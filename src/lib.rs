@@ -68,6 +68,32 @@
 //! Sampling-based data reduction (paper §V-F) composes with every
 //! backend via `.sample(strategy, fraction)`.
 //!
+//! ## Sharded graph ingest (paper-scale IO)
+//!
+//! At paper scale no machine can hold the whole edge list, so graphs can
+//! be split into per-rank binary `.sbps` shards
+//! ([`graph::shard`]) and partitioned with each simulated rank
+//! loading **only its own shard** plus exchanged cut edges:
+//!
+//! ```no_run
+//! use edist::prelude::*;
+//!
+//! # fn demo(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
+//! // Offline: split the graph once (or use `edist-cli shard`).
+//! shard_graph(graph, std::path::Path::new("shards/"), 8, OwnershipStrategy::SortedBalanced)?;
+//! // Online: one rank per shard; the monolithic graph never materializes.
+//! let run = Partitioner::on_sharded("shards/").seed(42).run()?;
+//! let ingest = run.ingest.unwrap();
+//! assert!(ingest.max_rank_local_arcs < ingest.total_arcs);
+//! # Ok(()) }
+//! ```
+//!
+//! The sharded EDiSt driver keeps the replicated blockmodel exact through
+//! integer cell-delta collectives — bit-identical to a monolithic run in
+//! the dense regime (see `sbp_dist::sharded`), with the move exchange
+//! delta+varint-compressed ([`graph::varint`], accounted in
+//! [`ClusterReport`](mpi::ClusterReport)).
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The four historical entrypoints remain as deprecated shims for one
@@ -94,11 +120,11 @@
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
 //! | [`api`] | (this crate) | `Partitioner` builder, `Backend`, unified `Run` |
-//! | [`graph`] | `sbp-graph` | CSR digraph, Matrix Market / edge-list IO, subgraphs, island census |
+//! | [`graph`] | `sbp-graph` | CSR digraph, Matrix Market / edge-list IO, `.sbps` shards + varint codec, ownership schemes, subgraphs, island census |
 //! | [`gen`] | `sbp-gen` | degree-corrected SBM generator + the paper's dataset families |
 //! | [`core`] | `sbp-core` | blockmodel, ΔS kernels, proposals, merges, MCMC, golden-ratio SBP, the `Solver` trait |
 //! | [`mpi`] | `sbp-mpi` | communicator trait, thread cluster, virtual clocks, cost model |
-//! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) solver backends |
+//! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) solver backends, distributed shard loader + sharded drivers |
 //! | [`eval`] | `sbp-eval` | NMI, ARI, normalized description length |
 //! | [`sample`] | `sbp-sample` | sampling strategies + the `Sampled` solver decorator |
 //!
@@ -128,14 +154,16 @@ pub mod prelude {
         McmcStrategy, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome,
         SbpConfig, SbpResult, Solver,
     };
+    pub use sbp_graph::shard::{shard_graph, ShardPlan, ShardReader, ShardWriter};
     // The raw `dcsbp`/`edist` phase functions are available as
     // `edist::dist::{dcsbp, edist}`; re-exporting them here would make the
     // names collide with the crate itself under glob imports.
+    pub use sbp_dist::{
+        load_dist_graph, run_sharded, DcSbp, DcsbpConfig, DcsbpResult, DistGraph, Edist,
+        EdistConfig, EdistResult, Engine, OwnershipStrategy, ShardIngestReport, ShardedBackend,
+    };
     #[allow(deprecated)]
     pub use sbp_dist::{run_dcsbp_cluster, run_edist_cluster};
-    pub use sbp_dist::{
-        DcSbp, DcsbpConfig, DcsbpResult, Edist, EdistConfig, EdistResult, Engine, OwnershipStrategy,
-    };
     pub use sbp_eval::{adjusted_rand_index, nmi, normalized_dl};
     pub use sbp_gen::{
         generate, graph_challenge, param_study, realworld, scaling_graph, Difficulty,

@@ -191,6 +191,7 @@ fn progress_event_stream_is_ordered_and_complete() {
                     ProgressEvent::ClusterStarted { .. } => "cluster",
                     ProgressEvent::PhaseStarted { .. } => "phase",
                     ProgressEvent::Merged { .. } => "merged",
+                    ProgressEvent::Sweep { .. } => "sweep",
                     ProgressEvent::Iteration { .. } => "iteration",
                     ProgressEvent::Cancelled { .. } => "cancelled",
                     ProgressEvent::Finished { .. } => "finished",
@@ -207,6 +208,13 @@ fn progress_event_stream_is_ordered_and_complete() {
     let iterations = events.iter().filter(|e| *e == "iteration").count();
     assert_eq!(iterations, run.iterations.len());
     assert!(iterations > 0);
+    // Sweep-level events: one per sync point, at least one per recorded
+    // iteration (EDiSt syncs every sweep), and the total sweep count the
+    // trajectory reports is exactly what was emitted.
+    let sweeps = events.iter().filter(|e| *e == "sweep").count();
+    let expected: usize = run.iterations.iter().map(|s| s.sweeps).sum();
+    assert_eq!(sweeps, expected, "one Sweep event per sync point");
+    assert!(sweeps >= iterations);
 }
 
 #[test]

@@ -1,0 +1,305 @@
+//! Sharded-ingest contract tests: the `.sbps` round trip, the
+//! distributed loader's memory bound, and the headline exactness claim —
+//! EDiSt over sharded ingest is bit-identical to EDiSt over a monolithic
+//! load.
+//!
+//! As in `tests/api.rs`, the bit-identity fixtures keep `V ≤ 64` so the
+//! blockmodel stays on dense storage for the whole run and description
+//! lengths are bit-reproducible regardless of move-application order;
+//! the round-trip and memory-bound properties are storage-agnostic and
+//! use larger generated graphs.
+
+use edist::dist::load_dist_graph;
+use edist::graph::fixtures::two_cliques;
+use edist::graph::shard::{shard_graph, unshard_graph, validate_shard_dir};
+use edist::prelude::*;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("shard_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn strategies() -> [OwnershipStrategy; 2] {
+    [OwnershipStrategy::Modulo, OwnershipStrategy::SortedBalanced]
+}
+
+// ---------------------------------------------------------- round trips
+
+proptest! {
+    /// Graph → shards → reassembly is the identity, for random graphs,
+    /// both strategies, and rank counts 1/2/4.
+    #[test]
+    fn shard_roundtrip_reassembles_random_graphs(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 1i64..5), 0..120),
+    ) {
+        let edges: Vec<(u32, u32, i64)> = edges
+            .into_iter()
+            .map(|(s, d, w)| (s % n as u32, d % n as u32, w))
+            .collect();
+        let g = Graph::from_edges(n, edges);
+        for strategy in strategies() {
+            for ranks in [1usize, 2, 4] {
+                let dir = temp_dir(&format!("prop_{ranks}_{}", strategy.code()));
+                shard_graph(&g, &dir, ranks, strategy).unwrap();
+                let back = unshard_graph(&dir).unwrap();
+                prop_assert_eq!(&back, &g, "{:?} × {} ranks", strategy, ranks);
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+}
+
+/// Graph → shards → `DistGraphLoader` at ranks 1/2/4 → reassembled from
+/// the per-rank owned adjacency ≡ original (the loader-level round trip
+/// the issue asks for, on a structured generated graph).
+#[test]
+fn dist_loader_roundtrip_at_multiple_rank_counts() {
+    let planted = graph_challenge(400, Difficulty::Easy, 11);
+    let g = &planted.graph;
+    for strategy in strategies() {
+        for ranks in [1usize, 2, 4] {
+            let dir = temp_dir(&format!("loader_{ranks}_{}", strategy.code()));
+            shard_graph(g, &dir, ranks, strategy).unwrap();
+            let out = ThreadCluster::run(ranks, CostModel::zero(), |comm| {
+                let dg = load_dist_graph(comm, &dir).expect("load");
+                // Each rank contributes its owned out-adjacency; the
+                // union must be exactly the original arc set.
+                let mut arcs = Vec::new();
+                for &v in dg.owned() {
+                    for &(d, w) in dg.local().out_edges(v) {
+                        arcs.push((v, d, w));
+                    }
+                }
+                (arcs, dg.local_arcs(), *dg.report())
+            });
+            let mut all_arcs = Vec::new();
+            for r in &out.ranks {
+                all_arcs.extend_from_slice(&r.result.0);
+            }
+            let reassembled = Graph::from_edges(g.num_vertices(), all_arcs);
+            assert_eq!(&reassembled, g, "{strategy:?} × {ranks} ranks");
+
+            // Memory bound: every rank retains exactly its shard plus the
+            // cut edges addressed to it — never the whole graph (for
+            // ranks ≥ 2 on this well-connected fixture).
+            let report = out.ranks[0].result.2;
+            assert_eq!(report.total_arcs, g.num_arcs());
+            if ranks >= 2 {
+                for (i, r) in out.ranks.iter().enumerate() {
+                    assert!(
+                        r.result.1 < g.num_arcs(),
+                        "rank {i} holds {}/{} arcs at {ranks} ranks",
+                        r.result.1,
+                        g.num_arcs()
+                    );
+                }
+                assert!(report.max_rank_local_arcs < g.num_arcs());
+                // The advertised bound: shard share + exchanged cut arcs.
+                assert!(
+                    report.max_rank_local_arcs
+                        <= report.max_rank_shard_edges + report.total_cut_arcs
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+// --------------------------------------------------------- bit identity
+
+/// The acceptance headline: EDiSt over `DistGraphLoader` (ranks 2 and 4)
+/// produces bit-identical assignments, DL, and trajectories to EDiSt
+/// over a monolithic `load_graph` of the same graph+seed — while no rank
+/// loads more than its shard + cut edges.
+#[test]
+fn sharded_edist_bit_identical_to_monolithic_load() {
+    // Write the graph to disk and come back through the text loader, so
+    // the comparison covers the full "file → partition" path on both
+    // sides, exactly as a CLI user would hit it.
+    let g = two_cliques(8);
+    let dir = std::env::temp_dir();
+    let gpath = dir.join(format!("shard_it_mono_{}.mtx", std::process::id()));
+    edist::graph::io::save_graph(&g, &gpath).unwrap();
+    let mono_graph = edist::graph::io::load_graph(&gpath).unwrap();
+    assert_eq!(mono_graph, g);
+
+    for strategy in strategies() {
+        for ranks in [2usize, 4] {
+            let sdir = temp_dir(&format!("bitid_{ranks}_{}", strategy.code()));
+            shard_graph(&g, &sdir, ranks, strategy).unwrap();
+
+            let sharded = Partitioner::on_sharded(&sdir)
+                .backend(Backend::Edist { ranks })
+                .seed(42)
+                .run()
+                .unwrap();
+            let mono = Partitioner::on(&mono_graph)
+                .backend(Backend::Edist { ranks })
+                .ownership(strategy)
+                .seed(42)
+                .run()
+                .unwrap();
+
+            assert_eq!(
+                sharded.assignment, mono.assignment,
+                "{strategy:?} × {ranks}: assignments diverged"
+            );
+            assert_eq!(sharded.num_blocks, mono.num_blocks);
+            assert_eq!(
+                sharded.description_length.to_bits(),
+                mono.description_length.to_bits(),
+                "{strategy:?} × {ranks}: DL must match to the last bit"
+            );
+            assert_eq!(sharded.iterations.len(), mono.iterations.len());
+            for (a, b) in sharded.iterations.iter().zip(mono.iterations.iter()) {
+                assert_eq!(a.num_blocks, b.num_blocks);
+                assert_eq!(a.dl.to_bits(), b.dl.to_bits());
+                assert_eq!(a.sweeps, b.sweeps);
+                assert_eq!(a.moves, b.moves);
+            }
+
+            // Memory bound rides along on every equivalence run.
+            let ingest = sharded.ingest.expect("ingest report");
+            assert!(
+                ingest.max_rank_local_arcs <= ingest.max_rank_shard_edges + ingest.total_cut_arcs
+            );
+            assert!(ingest.max_rank_local_arcs < g.num_arcs());
+            std::fs::remove_dir_all(&sdir).unwrap();
+        }
+    }
+    let _ = std::fs::remove_file(&gpath);
+}
+
+/// Batch strategy, larger sync period, and a less regular graph: the
+/// sharded sync algebra must stay exact under multi-sweep move batches
+/// (several moves of the same vertex between syncs).
+#[test]
+fn sharded_edist_bit_identical_under_batch_and_sync_period() {
+    let planted = generate(&SbmParams {
+        num_vertices: 48,
+        ..SbmParams::example()
+    });
+    let g = &planted.graph;
+    for sync_period in [1usize, 3] {
+        let sdir = temp_dir(&format!("batch_{sync_period}"));
+        shard_graph(g, &sdir, 3, OwnershipStrategy::SortedBalanced).unwrap();
+        let cfg = SbpConfig {
+            strategy: McmcStrategy::Batch,
+            seed: 7,
+            ..SbpConfig::default()
+        };
+        let sharded = Partitioner::on_sharded(&sdir)
+            .backend(Backend::Edist { ranks: 3 })
+            .sync_period(sync_period)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let mono = Partitioner::on(g)
+            .backend(Backend::Edist { ranks: 3 })
+            .sync_period(sync_period)
+            .config(cfg)
+            .run()
+            .unwrap();
+        assert_eq!(sharded.assignment, mono.assignment, "period {sync_period}");
+        assert_eq!(
+            sharded.description_length.to_bits(),
+            mono.description_length.to_bits(),
+            "period {sync_period}"
+        );
+        std::fs::remove_dir_all(&sdir).unwrap();
+    }
+}
+
+/// Sharded DC-SBP ≡ monolithic DC-SBP (no-fine-tune) when the shards use
+/// modulo ownership — the same round-robin distribution DC-SBP uses.
+#[test]
+fn sharded_dcsbp_matches_monolithic_no_finetune() {
+    let g = two_cliques(8);
+    let sdir = temp_dir("dcsbp_eq");
+    shard_graph(&g, &sdir, 2, OwnershipStrategy::Modulo).unwrap();
+    let sharded = Partitioner::on_sharded(&sdir)
+        .backend(Backend::DcSbp { ranks: 2 })
+        .seed(9)
+        .run()
+        .unwrap();
+    let mono = Partitioner::on(&g)
+        .backend(Backend::DcSbp { ranks: 2 })
+        .skip_finetune(true)
+        .seed(9)
+        .run()
+        .unwrap();
+    assert_eq!(sharded.assignment, mono.assignment);
+    assert_eq!(sharded.num_blocks, mono.num_blocks);
+    assert_eq!(
+        sharded.description_length.to_bits(),
+        mono.description_length.to_bits()
+    );
+    std::fs::remove_dir_all(&sdir).unwrap();
+}
+
+// ------------------------------------------------- compression + events
+
+/// The compressed move exchange must shrink wire bytes — both against
+/// the raw baseline counter and against sending fixed-width pairs.
+#[test]
+fn move_exchange_compression_is_recorded_and_effective() {
+    let planted = graph_challenge(300, Difficulty::Easy, 3);
+    let run = Partitioner::on(&planted.graph)
+        .backend(Backend::Edist { ranks: 2 })
+        .seed(1)
+        .run()
+        .unwrap();
+    let rep = run.cluster.expect("cluster report");
+    assert!(rep.move_bytes_raw > 0);
+    assert!(
+        rep.move_bytes_encoded * 2 < rep.move_bytes_raw,
+        "varint exchange {}B should be well under half of raw {}B",
+        rep.move_bytes_encoded,
+        rep.move_bytes_raw
+    );
+}
+
+/// Sweep-level progress events arrive from sharded runs too, carrying
+/// the broadcast DL of each sync point.
+#[test]
+fn sharded_runs_emit_sweep_events() {
+    let g = two_cliques(8);
+    let sdir = temp_dir("events");
+    shard_graph(&g, &sdir, 2, OwnershipStrategy::SortedBalanced).unwrap();
+    let mut sweeps = 0usize;
+    let mut last_dl = f64::NAN;
+    let run = Partitioner::on_sharded(&sdir)
+        .seed(2)
+        .progress(|event| {
+            if let ProgressEvent::Sweep { dl, .. } = event {
+                sweeps += 1;
+                last_dl = *dl;
+            }
+        })
+        .run()
+        .unwrap();
+    let expected: usize = run.iterations.iter().map(|s| s.sweeps).sum();
+    assert_eq!(sweeps, expected, "one Sweep event per sync point");
+    assert!(last_dl.is_finite());
+    std::fs::remove_dir_all(&sdir).unwrap();
+}
+
+/// `validate_shard_dir` + `Partitioner::on_sharded` agree on rank counts
+/// end to end (the CLI relies on this contract).
+#[test]
+fn shard_dir_headers_drive_rank_selection() {
+    let g = two_cliques(6);
+    let sdir = temp_dir("headers");
+    shard_graph(&g, &sdir, 3, OwnershipStrategy::Modulo).unwrap();
+    let header = validate_shard_dir(Path::new(&sdir)).unwrap();
+    assert_eq!(header.shard_count, 3);
+    assert_eq!(header.num_vertices, 12);
+    assert_eq!(header.strategy, OwnershipStrategy::Modulo);
+    let run = Partitioner::on_sharded(&sdir).seed(4).run().unwrap();
+    assert_eq!(run.cluster.unwrap().ranks, 3);
+    std::fs::remove_dir_all(&sdir).unwrap();
+}
