@@ -59,12 +59,14 @@ fn bench_delta(c: &mut Criterion) {
     // Three regimes along the agglomerative trajectory: few blocks (the
     // late-inference endgame, where the adaptive layer selects the flat
     // dense matrix), many (C = V/4), and huge (identity partition, C = V,
-    // where Auto's occupancy rule keeps the hash-map representation).
+    // where Auto's occupancy rule keeps the sparse representation).
     // `adaptive_*` is the production path (Auto storage + DeltaScratch),
-    // `hashmap_*` forces the seed's sparse representation through the same
-    // scratch kernel, and `dense_naive_*` is the python-reference O(C)
-    // rescan baseline. Table VI shows the same crossover at the
-    // whole-algorithm level.
+    // `sparse_*` forces the sparse representation — canonical sorted
+    // lines since PR 4; the same ids were `hashmap_*` in BENCH_pr1.json,
+    // which the bench-regression guard maps — through the same scratch
+    // kernel, and `dense_naive_*` is the python-reference O(C) rescan
+    // baseline. Table VI shows the same crossover at the whole-algorithm
+    // level.
     let (graph, truth_assignment, truth_nb) = bench_graph();
     let n = graph.num_vertices();
     let many_nb = (n / 4).max(4);
@@ -92,7 +94,7 @@ fn bench_delta(c: &mut Criterion) {
         });
         let sparse =
             Blockmodel::from_assignment_with(&graph, assignment.clone(), nb, StorageKind::Sparse);
-        group.bench_function(format!("delta_entropy/hashmap_{label}"), |b| {
+        group.bench_function(format!("delta_entropy/sparse_{label}"), |b| {
             let mut scratch = DeltaScratch::new();
             b.iter(|| black_box(eval_pairs(&sparse, &mut scratch)))
         });
@@ -122,6 +124,70 @@ fn bench_delta(c: &mut Criterion) {
                 black_box(acc)
             })
         });
+    }
+    group.finish();
+}
+
+/// The canonical-line design decision, kept reproducible: a sorted-vec
+/// line vs a hash-map-with-sorted-snapshot line under the MCMC access
+/// pattern — a handful of cell mutations (an accepted move touching the
+/// line) between full canonical iterations (proposal scans + the ΔS
+/// snapshot + the entropy sum). The snapshot variant must re-sort after
+/// any key-set change, and the pattern changes the key set almost every
+/// round, which is why the sorted vec wins and is what `Blockmodel`
+/// ships (see `sbp_core::line`).
+fn bench_line_variants(c: &mut Criterion) {
+    use sbp_core::line::{CanonicalLine, SnapshotLine};
+    // Line occupancies spanning the sparse regimes the search visits:
+    // adjacency-sized identity lines to populated mid-search rows.
+    let mut group = quick(c);
+    for occupancy in [8usize, 64, 512] {
+        let keys: Vec<u32> = (0..occupancy as u32).map(|i| i * 7 + 3).collect();
+        let mutate_keys: Vec<u32> = (0..8u32).map(|i| i * 31 % (occupancy as u32 * 7)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("line/sorted_vec", occupancy),
+            &occupancy,
+            |b, _| {
+                let mut line =
+                    CanonicalLine::from_unsorted(keys.iter().map(|&k| (k, 2)).collect::<Vec<_>>());
+                b.iter(|| {
+                    for &k in &mutate_keys {
+                        line.add(k, 1);
+                    }
+                    let mut acc = 0i64;
+                    for &(k, w) in line.iter() {
+                        acc += i64::from(k) + w;
+                    }
+                    for &k in &mutate_keys {
+                        line.sub(k, 1);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("line/snapshot", occupancy),
+            &occupancy,
+            |b, _| {
+                let mut line = SnapshotLine::default();
+                for &k in &keys {
+                    line.add(k, 2);
+                }
+                b.iter(|| {
+                    for &k in &mutate_keys {
+                        line.add(k, 1);
+                    }
+                    let mut acc = 0i64;
+                    for &(k, w) in line.canonical() {
+                        acc += i64::from(k) + w;
+                    }
+                    for &k in &mutate_keys {
+                        line.sub(k, 1);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -262,6 +328,7 @@ fn bench_generator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_delta,
+    bench_line_variants,
     bench_propose,
     bench_merge_phase,
     bench_sweeps,

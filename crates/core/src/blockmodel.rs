@@ -5,11 +5,12 @@
 //!
 //! The agglomerative search spends most of its wall-clock time at small
 //! block counts (the endgame after the first few halvings), where a flat
-//! `C×C` array beats a vector of hash maps on every axis: O(1) `get` with
-//! no hashing, contiguous line scans for the ΔS kernel, and zero per-cell
-//! allocation. At large `C` (early iterations start at `C = V`) the dense
-//! array would be quadratic in memory, so rows stay as hash maps with a
-//! stored transpose — the paper's §III-A optimizations (a) and (b).
+//! `C×C` array beats per-row sparse structures on every axis: O(1) `get`,
+//! contiguous line scans for the ΔS kernel, and zero per-cell allocation.
+//! At large `C` (early iterations start at `C = V`) the dense array would
+//! be quadratic in memory, so rows are [`crate::line::CanonicalLine`]s —
+//! sorted `(block, weight)` vectors — with a stored transpose: the paper's
+//! §III-A optimizations (a) and (b).
 //!
 //! [`Blockmodel::from_assignment`] picks the representation from the block
 //! count: dense when `C <= dense_threshold()` (default 1024, tunable via
@@ -19,6 +20,19 @@
 //! iterations — never mid-sweep. Both representations expose the same
 //! iteration API ([`Blockmodel::row_iter`] / [`Blockmodel::col_iter`]) and
 //! are checked against each other by property tests.
+//!
+//! ## Canonical line iteration
+//!
+//! Every iteration over a matrix line visits cells **ascending by block
+//! id**, under either representation, whatever sequence of moves produced
+//! the state. This is a correctness guarantee, not a convenience: the
+//! weighted proposal scans, the ΔS/Hastings kernels, and the f64 entropy
+//! sums all consume line iterations, so a history-dependent order would
+//! make floating-point results depend on storage layout — which is what
+//! previously limited the sharded ≡ monolithic EDiSt bit-identity to the
+//! dense regime (`C ≤ 64`). With canonical lines the guarantee is
+//! unconditional; `prop_core` asserts iteration-order invariance and
+//! dense/sparse agreement down to the bit.
 //!
 //! ## Cached logarithms
 //!
@@ -31,13 +45,13 @@
 //! `ln` caches always equal what [`Blockmodel::from_assignment`] would
 //! rebuild from the current assignment. `validate` checks this in tests.
 
-use crate::fxhash::FxHashMap;
+use crate::line::CanonicalLine;
 use crate::model_description_length;
 use sbp_graph::{Graph, Vertex, Weight};
 use std::sync::OnceLock;
 
 /// Block counts at or below this use the flat dense matrix; above it, the
-/// sparse hash-map rows + transpose. Read once from `SBP_DENSE_THRESHOLD`
+/// sparse canonical-line rows + transpose. Read once from `SBP_DENSE_THRESHOLD`
 /// (default 1024). See the crate docs for tuning guidance: raise it if your
 /// graphs converge to a few thousand communities and memory allows
 /// (`2·C²·8` bytes per blockmodel), lower it under tight memory or when
@@ -52,20 +66,31 @@ pub fn dense_threshold() -> usize {
     })
 }
 
+/// What [`StorageKind::Auto`] selects for a blockmodel of `num_blocks`
+/// blocks over `total_edge_weight` — the single source of truth for the
+/// dense/sparse rule, exposed so the sparse-regime test suites can assert
+/// "this trajectory ran on sparse storage" against the real predicate
+/// instead of a hand-copied formula that would silently rot if the rule
+/// is ever retuned.
+pub fn auto_picks_dense(num_blocks: usize, total_edge_weight: Weight) -> bool {
+    Storage::pick_dense(StorageKind::Auto, num_blocks, total_edge_weight)
+}
+
 /// Which matrix representation a [`Blockmodel`] should use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum StorageKind {
     /// Pick the representation from block count and expected occupancy:
     /// dense when `C <= 64`, or when `C <= dense_threshold()` **and** the
     /// mean cell occupancy `E/C²` is at least 1/8 (a dense line scan only
-    /// beats hash-map iteration when the lines are actually populated —
+    /// beats sparse-line iteration when the lines are actually populated —
     /// the identity partition at `C = V` has ~`avg_degree` entries per
     /// 10k-slot line and must stay sparse).
     #[default]
     Auto,
     /// Flat row-major `C×C` array plus its transpose.
     Dense,
-    /// One hash map per row plus one per column (the stored transpose).
+    /// One sorted [`CanonicalLine`] per row plus one per column (the
+    /// stored transpose).
     Sparse,
 }
 
@@ -80,14 +105,16 @@ enum Storage {
         mt: Vec<Weight>,
     },
     Sparse {
-        rows: Vec<FxHashMap<u32, Weight>>,
-        cols: Vec<FxHashMap<u32, Weight>>,
+        rows: Vec<CanonicalLine>,
+        cols: Vec<CanonicalLine>,
     },
 }
 
 impl Storage {
-    fn new(kind: StorageKind, num_blocks: usize, total_edge_weight: Weight) -> Storage {
-        let dense = match kind {
+    /// The dense/sparse selection rule shared by the in-place and bulk
+    /// construction paths.
+    fn pick_dense(kind: StorageKind, num_blocks: usize, total_edge_weight: Weight) -> bool {
+        match kind {
             StorageKind::Auto => {
                 num_blocks <= 64
                     || (num_blocks <= dense_threshold()
@@ -95,18 +122,6 @@ impl Storage {
             }
             StorageKind::Dense => true,
             StorageKind::Sparse => false,
-        };
-        if dense {
-            Storage::Dense {
-                c: num_blocks,
-                m: vec![0; num_blocks * num_blocks],
-                mt: vec![0; num_blocks * num_blocks],
-            }
-        } else {
-            Storage::Sparse {
-                rows: vec![FxHashMap::default(); num_blocks],
-                cols: vec![FxHashMap::default(); num_blocks],
-            }
         }
     }
 
@@ -114,7 +129,7 @@ impl Storage {
     fn get(&self, r: u32, col: u32) -> Weight {
         match self {
             Storage::Dense { c, m, .. } => m[r as usize * c + col as usize],
-            Storage::Sparse { rows, .. } => rows[r as usize].get(&col).copied().unwrap_or(0),
+            Storage::Sparse { rows, .. } => rows[r as usize].get(col),
         }
     }
 
@@ -126,8 +141,8 @@ impl Storage {
                 mt[col as usize * *c + r as usize] += w;
             }
             Storage::Sparse { rows, cols } => {
-                *rows[r as usize].entry(col).or_insert(0) += w;
-                *cols[col as usize].entry(r).or_insert(0) += w;
+                rows[r as usize].add(col, w);
+                cols[col as usize].add(r, w);
             }
         }
     }
@@ -142,21 +157,8 @@ impl Storage {
                 mt[col as usize * *c + r as usize] -= w;
             }
             Storage::Sparse { rows, cols } => {
-                let e = rows[r as usize]
-                    .get_mut(&col)
-                    .unwrap_or_else(|| panic!("subtracting from empty cell ({r}, {col})"));
-                *e -= w;
-                debug_assert!(*e >= 0, "cell ({r}, {col}) went negative");
-                if *e == 0 {
-                    rows[r as usize].remove(&col);
-                }
-                let e = cols[col as usize]
-                    .get_mut(&r)
-                    .expect("transpose out of sync");
-                *e -= w;
-                if *e == 0 {
-                    cols[col as usize].remove(&r);
-                }
+                rows[r as usize].sub(col, w);
+                cols[col as usize].sub(r, w);
             }
         }
     }
@@ -207,8 +209,63 @@ impl Storage {
     }
 }
 
+/// Accumulates a full matrix from a cell stream at rebuild boundaries.
+///
+/// Dense targets accumulate in place (O(1) per cell). Sparse targets
+/// gather each line's raw contributions and sort once per line in
+/// [`StorageBuilder::finish`] — repeated sorted inserts would be
+/// quadratic in line occupancy, which matters for hub rows at `C = V`
+/// where a line is a vertex's whole adjacency.
+enum StorageBuilder {
+    Dense(Storage),
+    Sparse {
+        rows: Vec<Vec<(u32, Weight)>>,
+        cols: Vec<Vec<(u32, Weight)>>,
+    },
+}
+
+impl StorageBuilder {
+    fn new(kind: StorageKind, num_blocks: usize, total_edge_weight: Weight) -> StorageBuilder {
+        if Storage::pick_dense(kind, num_blocks, total_edge_weight) {
+            StorageBuilder::Dense(Storage::Dense {
+                c: num_blocks,
+                m: vec![0; num_blocks * num_blocks],
+                mt: vec![0; num_blocks * num_blocks],
+            })
+        } else {
+            StorageBuilder::Sparse {
+                rows: vec![Vec::new(); num_blocks],
+                cols: vec![Vec::new(); num_blocks],
+            }
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, r: u32, c: u32, w: Weight) {
+        match self {
+            StorageBuilder::Dense(storage) => storage.add(r, c, w),
+            StorageBuilder::Sparse { rows, cols } => {
+                rows[r as usize].push((c, w));
+                cols[c as usize].push((r, w));
+            }
+        }
+    }
+
+    fn finish(self) -> Storage {
+        match self {
+            StorageBuilder::Dense(storage) => storage,
+            StorageBuilder::Sparse { rows, cols } => Storage::Sparse {
+                rows: rows.into_iter().map(CanonicalLine::from_unsorted).collect(),
+                cols: cols.into_iter().map(CanonicalLine::from_unsorted).collect(),
+            },
+        }
+    }
+}
+
 /// Iterator over the nonzero `(other_block, weight)` entries of one matrix
-/// line (a row, or a column via the stored transpose).
+/// line (a row, or a column via the stored transpose), **ascending by
+/// block id** under either storage representation — the canonical order
+/// every observable line walk shares (see the module docs).
 pub enum LineIter<'a> {
     /// Dense scan of a contiguous line, skipping zeros.
     Dense {
@@ -217,8 +274,8 @@ pub enum LineIter<'a> {
         /// Next index to inspect.
         next: usize,
     },
-    /// Sparse iteration over a hash-map line.
-    Sparse(std::collections::hash_map::Iter<'a, u32, Weight>),
+    /// Sparse iteration over a sorted [`CanonicalLine`].
+    Sparse(std::slice::Iter<'a, (u32, Weight)>),
 }
 
 impl Iterator for LineIter<'_> {
@@ -238,7 +295,7 @@ impl Iterator for LineIter<'_> {
                 }
                 None
             }
-            LineIter::Sparse(it) => it.next().map(|(&b, &w)| (b, w)),
+            LineIter::Sparse(it) => it.next().copied(),
         }
     }
 }
@@ -293,15 +350,16 @@ impl Blockmodel {
             assignment.iter().all(|&b| (b as usize) < num_blocks),
             "assignment label out of range"
         );
-        let mut storage = Storage::new(kind, num_blocks, graph.total_edge_weight());
+        let mut builder = StorageBuilder::new(kind, num_blocks, graph.total_edge_weight());
         let mut d_out = vec![0 as Weight; num_blocks];
         let mut d_in = vec![0 as Weight; num_blocks];
         for (src, dst, w) in graph.arcs() {
             let (r, c) = (assignment[src as usize], assignment[dst as usize]);
-            storage.add(r, c, w);
+            builder.add(r, c, w);
             d_out[r as usize] += w;
             d_in[c as usize] += w;
         }
+        let storage = builder.finish();
         let ln_d_out = d_out.iter().map(|&w| ln_or_zero(w)).collect();
         let ln_d_in = d_in.iter().map(|&w| ln_or_zero(w)).collect();
         Blockmodel {
@@ -373,14 +431,17 @@ impl Blockmodel {
         self.storage.get(r, c)
     }
 
-    /// Nonzero entries of row `r` as `(col, weight)`, in unspecified order.
+    /// Nonzero entries of row `r` as `(col, weight)`, ascending by `col`
+    /// — the canonical order, identical under both representations and
+    /// independent of move history.
     #[inline]
     pub fn row_iter(&self, r: u32) -> LineIter<'_> {
         self.storage.row_iter(r)
     }
 
-    /// Nonzero entries of column `c` as `(row, weight)`, in unspecified
-    /// order.
+    /// Nonzero entries of column `c` as `(row, weight)`, ascending by
+    /// `row` — the canonical order, identical under both representations
+    /// and independent of move history.
     #[inline]
     pub fn col_iter(&self, c: u32) -> LineIter<'_> {
         self.storage.col_iter(c)
@@ -513,7 +574,7 @@ impl Blockmodel {
             assignment.iter().all(|&b| (b as usize) < num_blocks),
             "assignment label out of range"
         );
-        let mut storage = Storage::new(StorageKind::Auto, num_blocks, total_edge_weight);
+        let mut builder = StorageBuilder::new(StorageKind::Auto, num_blocks, total_edge_weight);
         let mut d_out = vec![0 as Weight; num_blocks];
         let mut d_in = vec![0 as Weight; num_blocks];
         for (r, c, w) in cells {
@@ -522,10 +583,11 @@ impl Blockmodel {
                 "cell ({r}, {c}) out of range for {num_blocks} blocks"
             );
             assert!(w > 0, "cell ({r}, {c}) has non-positive weight {w}");
-            storage.add(r, c, w);
+            builder.add(r, c, w);
             d_out[r as usize] += w;
             d_in[c as usize] += w;
         }
+        let storage = builder.finish();
         let ln_d_out = d_out.iter().map(|&w| ln_or_zero(w)).collect();
         let ln_d_in = d_in.iter().map(|&w| ln_or_zero(w)).collect();
         Blockmodel {
@@ -586,6 +648,11 @@ impl Blockmodel {
 
     /// The DCSBM entropy `S = −Σ M_ij ln(M_ij/(d_out_i · d_in_j))` — the
     /// negative log-likelihood of Eq. 1. Natural log; minimized.
+    ///
+    /// Terms accumulate row-major with each row in canonical (ascending)
+    /// order, so the f64 sum is bit-identical for any two blockmodels
+    /// holding the same integer state — across storage representations
+    /// and move histories alike.
     pub fn entropy(&self) -> f64 {
         let mut s = 0.0f64;
         for r in 0..self.num_blocks as u32 {
@@ -641,16 +708,19 @@ impl Blockmodel {
         Blockmodel::from_assignment(graph, assignment, next as usize)
     }
 
-    /// All nonzero cells as `(row, col, weight)`, sorted — the canonical
-    /// form used to compare representations.
-    fn cells_sorted(&self) -> Vec<(u32, u32, Weight)> {
+    /// All nonzero cells as `(row, col, weight)` in row-major iteration
+    /// order. Canonical line iteration makes this ascending by `(r, c)`
+    /// with no explicit sort — `validate` compares these sequences
+    /// directly, so a representation that broke canonical order would be
+    /// caught even if it held the right integers.
+    fn cells_canonical(&self) -> Vec<(u32, u32, Weight)> {
         let mut cells = Vec::new();
         for r in 0..self.num_blocks as u32 {
             for (c, m) in self.row_iter(r) {
                 cells.push((r, c, m));
             }
         }
-        cells.sort_unstable();
+        debug_assert!(cells.is_sorted(), "line iteration lost canonical order");
         cells
     }
 
@@ -674,10 +744,10 @@ impl Blockmodel {
             self.num_blocks,
             self.storage_kind(),
         );
-        if self.cells_sorted() != rebuilt.cells_sorted() {
+        if self.cells_canonical() != rebuilt.cells_canonical() {
             return Err("matrix rows out of sync with assignment".into());
         }
-        if self.cells_sorted_via_cols() != self.cells_sorted() {
+        if self.cells_sorted_via_cols() != self.cells_canonical() {
             return Err("transpose out of sync with rows".into());
         }
         if self.d_out != rebuilt.d_out || self.d_in != rebuilt.d_in {
@@ -752,23 +822,53 @@ mod tests {
 
     #[test]
     fn row_and_col_iters_agree_across_kinds() {
+        // Exact sequence equality, NOT sorted-then-compared: canonical
+        // iteration means the sparse walk reproduces the dense walk
+        // element for element.
         let g = two_triangles();
         let dense =
             Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Dense);
         let sparse =
             Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Sparse);
         for r in 0..2u32 {
-            let mut a: Vec<_> = dense.row_iter(r).collect();
-            let mut b: Vec<_> = sparse.row_iter(r).collect();
-            a.sort_unstable();
-            b.sort_unstable();
+            let a: Vec<_> = dense.row_iter(r).collect();
+            let b: Vec<_> = sparse.row_iter(r).collect();
             assert_eq!(a, b, "row {r}");
-            let mut a: Vec<_> = dense.col_iter(r).collect();
-            let mut b: Vec<_> = sparse.col_iter(r).collect();
-            a.sort_unstable();
-            b.sort_unstable();
+            assert!(a.is_sorted(), "row {r} not canonical");
+            let a: Vec<_> = dense.col_iter(r).collect();
+            let b: Vec<_> = sparse.col_iter(r).collect();
             assert_eq!(a, b, "col {r}");
+            assert!(a.is_sorted(), "col {r} not canonical");
         }
+    }
+
+    /// The tentpole guarantee at unit scale: after an arbitrary move
+    /// history, sparse lines still iterate in ascending order and the
+    /// entropy sum is bit-identical to a fresh rebuild of the same state.
+    #[test]
+    fn sparse_iteration_is_canonical_after_moves() {
+        let g = two_triangles();
+        let mut bm =
+            Blockmodel::from_assignment_with(&g, two_block_assignment(), 2, StorageKind::Sparse);
+        for (v, to) in [(2u32, 1u32), (5, 0), (2, 0), (0, 1), (5, 1), (0, 0)] {
+            bm.move_vertex(&g, v, to);
+        }
+        let rebuilt =
+            Blockmodel::from_assignment_with(&g, bm.assignment().to_vec(), 2, StorageKind::Sparse);
+        for r in 0..2u32 {
+            let moved: Vec<_> = bm.row_iter(r).collect();
+            assert!(moved.is_sorted(), "row {r} lost canonical order");
+            assert_eq!(
+                moved,
+                rebuilt.row_iter(r).collect::<Vec<_>>(),
+                "row {r} depends on move history"
+            );
+        }
+        assert_eq!(bm.entropy().to_bits(), rebuilt.entropy().to_bits());
+        assert_eq!(
+            bm.description_length().to_bits(),
+            rebuilt.description_length().to_bits()
+        );
     }
 
     #[test]

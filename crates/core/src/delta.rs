@@ -21,6 +21,11 @@
 //! * **sparse storage** → a sorted small vector of `(cell, delta)`
 //!   entries; the kernel snapshots the nonzero cells of the four affected
 //!   lines into a reusable buffer and merges the delta by binary search.
+//!   Because line iteration is canonical (ascending block id — see
+//!   [`crate::line`]), the snapshot order, and therefore the f64
+//!   summation order of every ΔS, is a pure function of the logical
+//!   blockmodel state: two replicas holding the same integers produce
+//!   bit-identical ΔS values regardless of how their storage was built.
 //!
 //! The free functions ([`vertex_move_delta`], [`delta_entropy`], …) remain
 //! as allocating wrappers for tests and benchmarks; they use the sorted
@@ -572,6 +577,8 @@ fn delta_entropy_cells(
     // Sparse storage: snapshot every currently-nonzero cell in the
     // affected lines exactly once — rows r and s in full, columns r and s
     // excluding rows r/s; disjoint by construction, so no dedup pass.
+    // Canonical line iteration makes this snapshot (and hence the ΔS
+    // summation order) deterministic given the logical state.
     affected.clear();
     for (c, m) in bm.row_iter(r) {
         affected.push((pack(r, c), m));

@@ -6,6 +6,12 @@
 //! snapshot; once a higher DL appears (the "golden ratio criterion"), the
 //! optimum is bracketed and golden-section steps shrink the bracket until
 //! the block-count window is ≤ 2 wide.
+//!
+//! The bracket compares raw f64 description lengths (`entry.dl <= mid.dl`
+//! in [`GoldenBracket::record`]), so its decisions are only replica-stable
+//! because those DLs are themselves bit-stable: entropy sums accumulate
+//! over canonical matrix lines (see `crate::line`), making equal logical
+//! states produce equal bits in both the dense and sparse regimes.
 
 /// A stored search point: partition + its block count and description
 /// length. The partition is the dense assignment vector, from which a

@@ -7,10 +7,13 @@
 //!
 //! * [`Blockmodel`] — the inter-block edge-count matrix with **adaptive
 //!   storage**: a flat dense `C×C` array (plus transpose) when the block
-//!   count is at most [`blockmodel::dense_threshold`], and sparse hash-map
-//!   rows plus a stored transpose above it (the paper's §III-A
-//!   optimizations a and b). Incremental vertex moves, cached
-//!   `ln(degree)` vectors, and exact description-length (Eq. 2)
+//!   count is at most [`blockmodel::dense_threshold`], and sparse
+//!   [`line::CanonicalLine`] rows (sorted vectors) plus a stored
+//!   transpose above it (the paper's §III-A optimizations a and b).
+//!   Every line iterates in canonical ascending order regardless of
+//!   storage or move history — the property the distributed drivers'
+//!   unconditional bit-identity rests on. Incremental vertex moves,
+//!   cached `ln(degree)` vectors, and exact description-length (Eq. 2)
 //!   evaluation;
 //! * [`delta`] — sparse O(affected-lines) change-in-entropy computation for
 //!   vertex moves and block merges (optimization c), built around the
@@ -58,6 +61,7 @@ pub mod delta;
 pub mod fxhash;
 pub mod golden;
 pub mod hybrid;
+pub mod line;
 pub mod lntab;
 pub mod mcmc;
 pub mod merge;
@@ -66,7 +70,7 @@ pub mod propose;
 pub mod run;
 pub mod sbp;
 
-pub use blockmodel::{dense_threshold, Blockmodel, LineIter, StorageKind};
+pub use blockmodel::{auto_picks_dense, dense_threshold, Blockmodel, LineIter, StorageKind};
 pub use delta::{
     delta_entropy, merge_delta, vertex_move_delta, with_scratch, DeltaScratch, LineDelta,
 };

@@ -10,6 +10,13 @@
 //! stop when the moving average of the last three per-sweep ΔDL values
 //! falls below `threshold × initial DL`, or after `max_sweeps` — plus a
 //! cancellation check between sweeps.
+//!
+//! Proposal draws, acceptance tests, and the per-sweep DL the convergence
+//! rule consumes all flow through canonical-order line iteration
+//! ([`crate::line`]), so a sweep over a given blockmodel state is a pure
+//! function of `(state, seed, sweep, vertex set)` — never of the storage
+//! layout's history. The distributed drivers inherit sparse-regime
+//! bit-identity from exactly this property.
 
 use crate::blockmodel::Blockmodel;
 use crate::delta::with_scratch;

@@ -8,7 +8,11 @@
 //! `propose_merges` accepts an explicit block subset so EDiSt can compute
 //! proposals for only its owned blocks (Alg. 4 line 4) and allgather the
 //! results; `apply_merges` is deterministic given the combined candidate
-//! list, which is what keeps every rank's blockmodel bit-identical.
+//! list, which is what keeps every rank's blockmodel bit-identical. The
+//! per-candidate ΔS values feeding the total order come from weighted
+//! scans and delta kernels over canonical matrix lines, so candidate
+//! ranking — and therefore the applied merge set — is identical on every
+//! replica in the sparse regime too, not just on dense storage.
 
 use crate::blockmodel::Blockmodel;
 use crate::delta::with_scratch;

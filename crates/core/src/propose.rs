@@ -7,6 +7,13 @@
 //! block drawn proportionally to row + column `t` of the blockmodel. The
 //! same machinery proposes merge targets for blocks (`agg = true`), where
 //! the current block is excluded.
+//!
+//! The weighted scans walk matrix lines in canonical (ascending) order —
+//! see [`crate::line`] — so a given random draw selects the same block on
+//! every replica holding the same logical blockmodel, whatever storage
+//! layout or move history produced it. This is one of the three
+//! iteration sites the sharded ≡ monolithic bit-identity depends on (the
+//! others are the ΔS kernels and the entropy sum).
 
 use crate::blockmodel::Blockmodel;
 use crate::delta::LineDelta;

@@ -2,7 +2,12 @@
 //!
 //! Alternates the block-merge phase (Alg. 1) and the MCMC phase (Alg. 2)
 //! under golden-ratio control until the optimal block count is bracketed —
-//! Fig. 1 of the paper. [`solve_sbp`] is the engine: it accepts an
+//! Fig. 1 of the paper. Every description length recorded in the bracket
+//! and the iteration trajectory is an entropy sum over canonical matrix
+//! lines, so a trajectory is reproducible bit for bit from
+//! `(graph, seed, config)` in both storage regimes — the golden search's
+//! control flow (which bracket entry wins, when the search stops) cannot
+//! diverge between replicas that hold the same integers. [`solve_sbp`] is the engine: it accepts an
 //! optional starting partition (how DC-SBP's root-rank fine-tuning phase,
 //! Alg. 3 line 23, resumes from the combined partial results), reports
 //! [`ProgressEvent`]s, honours a [`crate::run::CancelToken`] at iteration

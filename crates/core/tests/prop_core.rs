@@ -258,6 +258,97 @@ proptest! {
         prop_assert!(sparse.validate(&g).is_ok());
     }
 
+    /// Canonical-line tentpole, part 1: building the same logical block
+    /// matrix through different move histories (a fresh rebuild vs an
+    /// arbitrary detour-and-return move sequence) yields **identical
+    /// canonical line iteration** — exact sequences, not sorted-equal —
+    /// plus bit-identical entropy sums and bit-identical ΔS under
+    /// `DeltaScratch`. This is the property that extends the sharded ≡
+    /// monolithic EDiSt guarantee beyond dense storage.
+    #[test]
+    fn canonical_iteration_is_move_history_invariant(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+        detours in proptest::collection::vec((0usize..24, 0u32..5), 1..25),
+        probe in (0usize..24, 0u32..5),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let fresh = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Sparse);
+        // Same logical state, different storage history: detour every
+        // scripted vertex through a temporary block and back home.
+        let mut detoured = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Sparse);
+        for &(vsel, tosel) in &detours {
+            let v = (vsel % n) as u32;
+            let home = detoured.block_of(v);
+            detoured.move_vertex(&g, v, tosel % c as u32);
+            detoured.move_vertex(&g, v, home);
+        }
+        prop_assert_eq!(fresh.assignment(), detoured.assignment());
+        for line in 0..c as u32 {
+            let a: Vec<_> = fresh.row_iter(line).collect();
+            let b: Vec<_> = detoured.row_iter(line).collect();
+            prop_assert_eq!(&a, &b, "row {} depends on move history", line);
+            prop_assert!(a.is_sorted(), "row {} not canonical", line);
+            let a: Vec<_> = fresh.col_iter(line).collect();
+            let b: Vec<_> = detoured.col_iter(line).collect();
+            prop_assert_eq!(&a, &b, "col {} depends on move history", line);
+            prop_assert!(a.is_sorted(), "col {} not canonical", line);
+        }
+        prop_assert_eq!(fresh.entropy().to_bits(), detoured.entropy().to_bits());
+        prop_assert_eq!(
+            fresh.description_length().to_bits(),
+            detoured.description_length().to_bits()
+        );
+        // ΔS and the Hastings correction consume line iteration; with the
+        // canonical order they must agree to the bit, not within an
+        // epsilon.
+        let (v, to) = ((probe.0 % n) as u32, probe.1 % c as u32);
+        let mut s1 = DeltaScratch::new();
+        let mut s2 = DeltaScratch::new();
+        s1.vertex_move_delta(&g, &fresh, v, to);
+        s2.vertex_move_delta(&g, &detoured, v, to);
+        prop_assert_eq!(
+            s1.delta_entropy(&fresh).to_bits(),
+            s2.delta_entropy(&detoured).to_bits()
+        );
+        prop_assert_eq!(
+            s1.hastings_correction(&g, &fresh, v).to_bits(),
+            s2.hastings_correction(&g, &detoured, v).to_bits()
+        );
+    }
+
+    /// Canonical-line tentpole, part 2: sparse line iteration reproduces
+    /// the dense row/column scan order element for element, and the f64
+    /// entropy sum is therefore bit-identical across representations.
+    #[test]
+    fn canonical_sparse_iteration_matches_dense_line_order(
+        (n, edges, assignment, c) in arb_graph_and_assignment(),
+    ) {
+        let g = Graph::from_edges(n, edges);
+        let dense = Blockmodel::from_assignment_with(
+            &g, assignment.clone(), c, StorageKind::Dense);
+        let sparse = Blockmodel::from_assignment_with(
+            &g, assignment, c, StorageKind::Sparse);
+        for line in 0..c as u32 {
+            prop_assert_eq!(
+                dense.row_iter(line).collect::<Vec<_>>(),
+                sparse.row_iter(line).collect::<Vec<_>>(),
+                "row {} order differs across representations", line
+            );
+            prop_assert_eq!(
+                dense.col_iter(line).collect::<Vec<_>>(),
+                sparse.col_iter(line).collect::<Vec<_>>(),
+                "col {} order differs across representations", line
+            );
+        }
+        prop_assert_eq!(dense.entropy().to_bits(), sparse.entropy().to_bits());
+        prop_assert_eq!(
+            dense.description_length().to_bits(),
+            sparse.description_length().to_bits()
+        );
+    }
+
     /// The reusable scratch never leaks state between proposals: a fresh
     /// scratch and a heavily reused one agree on every evaluation, under
     /// both representations.

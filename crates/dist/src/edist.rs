@@ -28,11 +28,13 @@
 //! backend-equivalence tests in the facade crate).
 //!
 //! Convergence and cancellation decisions use values broadcast from rank
-//! 0: all replicas hold the same state, but hash-map iteration order can
-//! differ between ranks, and a last-bit difference in the floating-point
-//! sum — or a cancellation racing a collective — must never make ranks
-//! disagree on control flow (that would mismatch the collective
-//! schedule).
+//! 0. Since canonical sparse-line iteration (`sbp_core::line`), replicas
+//! holding the same integer state compute bit-identical floating-point
+//! sums in both storage regimes, so the broadcast is no longer papering
+//! over layout-dependent last-bit drift — it remains because a
+//! cancellation racing a collective must never make ranks disagree on
+//! control flow (that would mismatch the collective schedule), and as
+//! defense in depth for the DL.
 
 use crate::exchange::{decode_moves, encode_moves, ExchangeStats};
 use crate::ownership::{owned_blocks, OwnershipStrategy};

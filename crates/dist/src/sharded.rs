@@ -32,12 +32,13 @@
 //!
 //! Consequently a sharded EDiSt run is **bit-identical** — assignments,
 //! DL, trajectories — to a monolithic EDiSt run with the same seed, rank
-//! count, and ownership, whenever the blockmodel stays on dense storage
-//! (`C ≤ 64` throughout, as in the repo's equivalence suites; sparse
-//! hash-map storage makes floating-point *summation order* — not values —
-//! depend on mutation history, the same caveat `tests/api.rs` documents
-//! for the monolithic backends). The equivalence is asserted in
-//! `tests/shard.rs`.
+//! count, and ownership, **unconditionally**: sparse block-matrix lines
+//! iterate in canonical order (`sbp_core::line`), so floating-point
+//! summation order is a pure function of the replicated integer state in
+//! both storage regimes, not just on the dense flat matrix as before.
+//! The equivalence is asserted in `tests/shard.rs` across ranks ×
+//! ownerships × MCMC strategies × sync periods, on dense-regime,
+//! sparse-regime, and regime-crossing trajectories.
 //!
 //! DC-SBP composes with sharded ingest naturally — each rank's induced
 //! subgraph is a subset of its owned adjacency — except for root-side

@@ -57,6 +57,11 @@ pub enum ShardError {
     Io(std::io::Error),
     /// Structural problem in the byte stream.
     Malformed(String),
+    /// The directory exists but holds no `.sbps` shards — almost always a
+    /// wrong path or a sharding run that never happened, so it gets its
+    /// own variant (with the offending path) instead of masquerading as a
+    /// malformed shard.
+    EmptyShardDir(PathBuf),
 }
 
 impl fmt::Display for ShardError {
@@ -64,6 +69,11 @@ impl fmt::Display for ShardError {
         match self {
             ShardError::Io(e) => write!(f, "io error: {e}"),
             ShardError::Malformed(reason) => write!(f, "malformed shard: {reason}"),
+            ShardError::EmptyShardDir(dir) => write!(
+                f,
+                "no .{SHARD_EXTENSION} shards in {} — is this really a shard directory?",
+                dir.display()
+            ),
         }
     }
 }
@@ -555,8 +565,9 @@ where
 }
 
 /// Lists a shard directory: all `.sbps` files sorted by name (the
-/// canonical names sort by shard index). Errors if the directory holds no
-/// shards.
+/// canonical names sort by shard index). A directory with no shards is
+/// [`ShardError::EmptyShardDir`], so callers (and CLI users) can tell a
+/// mistyped path from actual shard corruption.
 pub fn shard_paths(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
@@ -565,10 +576,7 @@ pub fn shard_paths(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
         .filter(|p| p.extension().is_some_and(|e| e == SHARD_EXTENSION))
         .collect();
     if paths.is_empty() {
-        return Err(malformed(format!(
-            "no .{SHARD_EXTENSION} shards in {}",
-            dir.display()
-        )));
+        return Err(ShardError::EmptyShardDir(dir.to_path_buf()));
     }
     paths.sort();
     Ok(paths)
@@ -938,10 +946,33 @@ mod tests {
     }
 
     #[test]
-    fn empty_directory_is_an_error() {
+    fn empty_directory_is_a_dedicated_error_with_the_path() {
         let dir = temp_dir("empty");
         std::fs::create_dir_all(&dir).unwrap();
-        assert!(shard_paths(&dir).is_err());
+        for result in [
+            shard_paths(&dir).map(|_| ()),
+            validate_shard_dir(&dir).map(|_| ()),
+            unshard_graph(&dir).map(|_| ()),
+        ] {
+            match result {
+                Err(ShardError::EmptyShardDir(p)) => assert_eq!(p, dir),
+                other => panic!("expected EmptyShardDir, got {other:?}"),
+            }
+        }
+        // The message names the path and does not claim corruption.
+        let msg = ShardError::EmptyShardDir(dir.clone()).to_string();
+        assert!(msg.contains(dir.to_str().unwrap()), "message lacks path");
+        assert!(!msg.contains("malformed"), "empty dir is not corruption");
+        // A directory with a non-shard file is still "empty" in shard
+        // terms; a real shard clears the error.
+        std::fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        assert!(matches!(
+            shard_paths(&dir),
+            Err(ShardError::EmptyShardDir(_))
+        ));
+        let g = two_cliques(4);
+        shard_graph(&g, &dir, 1, OwnershipStrategy::Modulo).unwrap();
+        assert!(shard_paths(&dir).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

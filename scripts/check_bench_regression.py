@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard the ΔS sparse-path micro-benchmarks against BENCH_pr1.json.
+
+Usage:
+    CRITERION_SUMMARY=target/criterion-summary.json \
+        cargo bench -p sbp-bench --bench micro -- delta_entropy
+    python3 scripts/check_bench_regression.py [summary.json] [baseline.json]
+
+Two checks, from strongest to weakest signal:
+
+1. **Cross-machine ratio guard** (always meaningful): the adaptive ΔS
+   kernel must beat the naive dense rescan on the sparse-leaning regimes
+   by a healthy margin. PR 1 recorded ~6x at manyC and ~6x at hugeC; a
+   canonical-line regression that gave back the sparse-path wins would
+   collapse this ratio long before it reaches the 2x floor asserted here.
+
+2. **Absolute guard vs the PR 1 record**: each sparse-path kernel's mean
+   must stay within BENCH_TOL (default 1.5x, i.e. +50%) of the mean
+   recorded in BENCH_pr1.json. The default is deliberately loose because
+   CI machines differ from the recording machine; the PR-acceptance
+   tolerance of 10% is checked on the recording machine and documented in
+   benchmarks/summary.md. Override with e.g. BENCH_TOL=1.1 locally.
+
+The `sparse_*` benchmark ids were `hashmap_*` when BENCH_pr1.json was
+recorded (the forced-sparse representation was a hash map then; it is a
+canonical sorted line now) — the ID_MAP below bridges the rename.
+"""
+
+import json
+import os
+import sys
+
+SUMMARY = sys.argv[1] if len(sys.argv) > 1 else "target/criterion-summary.json"
+BASELINE = sys.argv[2] if len(sys.argv) > 2 else "BENCH_pr1.json"
+TOL = float(os.environ.get("BENCH_TOL", "1.5"))
+
+# Current id -> id in the BENCH_pr1.json "pr1" record.
+ID_MAP = {
+    "edist/delta_entropy/sparse_fewC": "edist/delta_entropy/hashmap_fewC",
+    "edist/delta_entropy/sparse_manyC": "edist/delta_entropy/hashmap_manyC",
+    "edist/delta_entropy/sparse_hugeC": "edist/delta_entropy/hashmap_hugeC",
+    "edist/delta_entropy/adaptive_manyC": "edist/delta_entropy/adaptive_manyC",
+    "edist/delta_entropy/adaptive_hugeC": "edist/delta_entropy/adaptive_hugeC",
+}
+
+# (numerator, denominator, max allowed ratio): adaptive sparse-path vs
+# the naive dense rescan, same machine, same run.
+RATIO_GUARDS = [
+    ("edist/delta_entropy/adaptive_manyC", "edist/delta_entropy/dense_naive_manyC", 0.5),
+    ("edist/delta_entropy/adaptive_hugeC", "edist/delta_entropy/dense_naive_hugeC", 0.5),
+]
+
+
+def main() -> int:
+    with open(SUMMARY) as f:
+        measured = {b["id"]: b["mean_ns"] for b in json.load(f)["benchmarks"]}
+    with open(BASELINE) as f:
+        baseline = json.load(f)["pr1"]
+
+    failures = []
+
+    for num, den, max_ratio in RATIO_GUARDS:
+        if num not in measured or den not in measured:
+            failures.append(f"missing benchmark for ratio guard: {num} / {den}")
+            continue
+        ratio = measured[num] / measured[den]
+        verdict = "ok" if ratio <= max_ratio else f"FAIL (> {max_ratio})"
+        print(f"ratio {num} / {den} = {ratio:.3f}  [{verdict}]")
+        if ratio > max_ratio:
+            failures.append(
+                f"{num} is only {1 / ratio:.2f}x faster than the naive dense "
+                f"rescan (needs >= {1 / max_ratio:.1f}x): sparse-path win regressed"
+            )
+
+    for current_id, pr1_id in ID_MAP.items():
+        if current_id not in measured:
+            failures.append(f"benchmark {current_id} missing from {SUMMARY}")
+            continue
+        if pr1_id not in baseline:
+            failures.append(f"baseline {pr1_id} missing from {BASELINE}")
+            continue
+        got, ref = measured[current_id], baseline[pr1_id]["mean_ns"]
+        rel = got / ref
+        verdict = "ok" if rel <= TOL else f"FAIL (> {TOL:.2f}x)"
+        print(f"abs   {current_id}: {got:12.1f} ns vs pr1 {ref:12.1f} ns = {rel:.3f}x  [{verdict}]")
+        if rel > TOL:
+            failures.append(
+                f"{current_id} mean {got:.0f} ns exceeds {TOL:.2f}x the "
+                f"BENCH_pr1.json record ({ref:.0f} ns)"
+            )
+
+    if failures:
+        print("\nbench regression guard FAILED:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print("\nbench regression guard passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

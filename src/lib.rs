@@ -90,9 +90,10 @@
 //!
 //! The sharded EDiSt driver keeps the replicated blockmodel exact through
 //! integer cell-delta collectives — bit-identical to a monolithic run in
-//! the dense regime (see `sbp_dist::sharded`), with the move exchange
-//! delta+varint-compressed ([`graph::varint`], accounted in
-//! [`ClusterReport`](mpi::ClusterReport)).
+//! **both** storage regimes, since sparse matrix lines iterate in
+//! canonical order (`sbp_core::line`; see `sbp_dist::sharded`) — with
+//! the move exchange delta+varint-compressed ([`graph::varint`],
+//! accounted in [`ClusterReport`](mpi::ClusterReport)).
 //!
 //! ## Migrating from the 0.1 free functions
 //!

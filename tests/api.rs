@@ -18,14 +18,20 @@
 //!   expected — that is inherent to immediate-application MH, not an
 //!   RNG artifact.
 
-use edist::graph::fixtures::two_cliques;
+use edist::graph::fixtures::{clique_ring, two_cliques};
 use edist::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-// NOTE: `two_cliques(k)` keeps `2k ≤ 64` throughout this suite so the
-// blockmodel stays on dense storage for the whole run and description
-// lengths are bit-reproducible regardless of move-application order.
+mod common;
+use common::{assert_bit_identical, assert_sparse_trajectory, sparse_regime_cfg, SPARSE_RING};
+
+// NOTE: the `two_cliques(k)` fixtures keep `2k ≤ 64` so those runs stay
+// on dense storage end to end — they are the dense half of the
+// equivalence story. Canonical sparse-line iteration made the same
+// bit-identity hold on sparse storage; the `*_in_sparse_regime` tests
+// below cover that half with `clique_ring` trajectories that never leave
+// the sparse representation.
 
 #[test]
 fn sequential_is_bit_identical_to_single_rank_edist() {
@@ -87,6 +93,53 @@ fn batch_edist_is_rank_count_invariant() {
             ed.description_length.to_bits(),
             "ranks {ranks}: DL must match to the last bit"
         );
+    }
+}
+
+/// `Sequential` ≡ `Edist { ranks: 1 }` extended beyond the dense regime:
+/// the shared RNG streams were never rank-dependent, and with canonical
+/// line iteration the sparse-storage phases are bit-reproducible too.
+#[test]
+fn sequential_is_bit_identical_to_single_rank_edist_in_sparse_regime() {
+    let g = clique_ring(SPARSE_RING);
+    for seed in [0u64, 7, 42] {
+        let cfg = sparse_regime_cfg(McmcStrategy::MetropolisHastings, seed);
+        let seq = Partitioner::on(&g)
+            .backend(Backend::Sequential)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let ed = Partitioner::on(&g)
+            .backend(Backend::Edist { ranks: 1 })
+            .config(cfg)
+            .run()
+            .unwrap();
+        assert_bit_identical(&seq, &ed, &format!("sparse seed {seed}"));
+        assert_sparse_trajectory(&seq, &g);
+    }
+}
+
+/// Batch EDiSt rank-count invariance extended to sparse storage: a
+/// frozen-state decision depends only on the replica state and the keyed
+/// RNG stream, and canonical lines make the replica's f64 observables a
+/// pure function of that state.
+#[test]
+fn batch_edist_is_rank_count_invariant_in_sparse_regime() {
+    let g = clique_ring(SPARSE_RING);
+    let cfg = sparse_regime_cfg(McmcStrategy::Batch, 11);
+    let base = Partitioner::on(&g)
+        .backend(Backend::Batch)
+        .config(cfg.clone())
+        .run()
+        .unwrap();
+    assert_sparse_trajectory(&base, &g);
+    for ranks in [1usize, 2, 4] {
+        let ed = Partitioner::on(&g)
+            .backend(Backend::Edist { ranks })
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert_bit_identical(&base, &ed, &format!("sparse batch × {ranks} ranks"));
     }
 }
 

@@ -1,0 +1,83 @@
+//! Helpers shared by the sparse-regime equivalence suites in
+//! `tests/shard.rs` and `tests/api.rs`.
+//!
+//! The sparse-regime suites must run the golden search entirely above the
+//! dense-storage cutoff (`C > 64`, occupancy below the auto-dense bar).
+//! Test-sized graphs cannot *converge* there — the DCSBM resolution limit
+//! pulls the DL optimum of any small graph below 64 blocks — so the
+//! suites cap `max_iterations` at the first two agglomerative halvings of
+//! `clique_ring(120)`: the executed trajectory is then exactly
+//! `C ∈ {360, 180, 90}`, every phase of which (merge scans, MH/Batch
+//! sweeps, ΔS kernels, entropy sums, distributed cell-delta syncs) runs
+//! on sparse storage. [`assert_sparse_trajectory`] verifies that claim
+//! from the recorded trajectory instead of trusting the arithmetic.
+
+use edist::prelude::*;
+
+/// The `clique_ring` size the sparse-regime suites share.
+pub const SPARSE_RING: u32 = 120;
+
+/// Config for a sparse-regime run: the given strategy and seed, with the
+/// golden loop capped at two iterations so no visited block count drops
+/// to the dense cutoff (see the module docs).
+pub fn sparse_regime_cfg(strategy: McmcStrategy, seed: u64) -> SbpConfig {
+    SbpConfig {
+        strategy,
+        seed,
+        max_iterations: 2,
+        ..SbpConfig::default()
+    }
+}
+
+/// Asserts that every blockmodel the run built — the identity seed at
+/// `C = V` and each recorded iteration — selected sparse storage under
+/// the auto rule, checked against the production predicate
+/// (`edist::core::auto_picks_dense`) so the suites cannot silently go
+/// vacuous if the dense/sparse rule is ever retuned.
+pub fn assert_sparse_trajectory(run: &Run, graph: &Graph) {
+    let e = graph.total_edge_weight();
+    let v = graph.num_vertices();
+    assert!(
+        !edist::core::auto_picks_dense(v, e),
+        "identity partition (C = {v}) would not be sparse"
+    );
+    assert!(
+        !run.iterations.is_empty(),
+        "run recorded no iterations — nothing sparse was exercised"
+    );
+    for (i, it) in run.iterations.iter().enumerate() {
+        let c = it.num_blocks;
+        assert!(
+            !edist::core::auto_picks_dense(c, e),
+            "iteration {i} ran at C = {c}, which auto-selects dense storage"
+        );
+    }
+}
+
+/// Asserts two runs are bit-identical: assignments, block count, DL bits,
+/// and the full per-iteration trajectory (blocks, DL bits, sweeps,
+/// moves).
+pub fn assert_bit_identical(a: &Run, b: &Run, ctx: &str) {
+    assert_eq!(a.assignment, b.assignment, "{ctx}: assignments diverged");
+    assert_eq!(a.num_blocks, b.num_blocks, "{ctx}: block counts diverged");
+    assert_eq!(
+        a.description_length.to_bits(),
+        b.description_length.to_bits(),
+        "{ctx}: DL must match to the last bit"
+    );
+    assert_eq!(
+        a.iterations.len(),
+        b.iterations.len(),
+        "{ctx}: trajectory lengths diverged"
+    );
+    for (i, (x, y)) in a.iterations.iter().zip(b.iterations.iter()).enumerate() {
+        assert_eq!(x.num_blocks, y.num_blocks, "{ctx}: iteration {i} blocks");
+        assert_eq!(
+            x.dl.to_bits(),
+            y.dl.to_bits(),
+            "{ctx}: iteration {i} DL bits"
+        );
+        assert_eq!(x.sweeps, y.sweeps, "{ctx}: iteration {i} sweeps");
+        assert_eq!(x.moves, y.moves, "{ctx}: iteration {i} moves");
+    }
+}

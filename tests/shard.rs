@@ -3,18 +3,23 @@
 //! EDiSt over sharded ingest is bit-identical to EDiSt over a monolithic
 //! load.
 //!
-//! As in `tests/api.rs`, the bit-identity fixtures keep `V ≤ 64` so the
-//! blockmodel stays on dense storage for the whole run and description
-//! lengths are bit-reproducible regardless of move-application order;
-//! the round-trip and memory-bound properties are storage-agnostic and
-//! use larger generated graphs.
+//! The bit-identity suites cover **both storage regimes**. The dense
+//! fixtures (`two_cliques`, `V ≤ 64`) predate canonical line iteration,
+//! when bit-reproducibility required the flat matrix; the sparse-regime
+//! matrix (`clique_ring`, every visited `C > 64` on sorted canonical
+//! lines) is what makes the guarantee unconditional — plus a
+//! mixed-regime run that crosses the storage switch mid-search. The
+//! round-trip and memory-bound properties are storage-agnostic.
 
 use edist::dist::load_dist_graph;
-use edist::graph::fixtures::two_cliques;
+use edist::graph::fixtures::{clique_ring, two_cliques};
 use edist::graph::shard::{shard_graph, unshard_graph, validate_shard_dir};
 use edist::prelude::*;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
+
+mod common;
+use common::{assert_bit_identical, assert_sparse_trajectory, sparse_regime_cfg, SPARSE_RING};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("shard_it_{tag}_{}", std::process::id()));
@@ -209,6 +214,107 @@ fn sharded_edist_bit_identical_under_batch_and_sync_period() {
             sharded.description_length.to_bits(),
             mono.description_length.to_bits(),
             "period {sync_period}"
+        );
+        std::fs::remove_dir_all(&sdir).unwrap();
+    }
+}
+
+/// The headline test work of the canonical-line PR: sharded ≡ monolithic
+/// EDiSt **in the sparse regime**, over the full equivalence matrix —
+/// ranks {1, 2, 4} × {Modulo, SortedBalanced} × {MH, Batch} ×
+/// sync_period {1, 3} — asserting bit-identical assignments, DL, and
+/// trajectories, with every visited block count verified to have run on
+/// sparse storage. Before canonical line iteration this matrix could not
+/// hold: hash-map rows made weighted proposal scans and f64 entropy sums
+/// depend on each replica's storage history.
+#[test]
+fn sharded_edist_bit_identical_in_sparse_regime_matrix() {
+    let g = clique_ring(SPARSE_RING);
+    for strategy in strategies() {
+        for ranks in [1usize, 2, 4] {
+            for (mcmc, mcmc_tag) in [
+                (McmcStrategy::MetropolisHastings, "mh"),
+                (McmcStrategy::Batch, "batch"),
+            ] {
+                for sync_period in [1usize, 3] {
+                    let ctx =
+                        format!("{strategy:?} × {ranks} ranks × {mcmc_tag} × sync {sync_period}");
+                    let sdir = temp_dir(&format!(
+                        "sparse_{ranks}_{mcmc_tag}_{sync_period}_{}",
+                        strategy.code()
+                    ));
+                    shard_graph(&g, &sdir, ranks, strategy).unwrap();
+                    let cfg = sparse_regime_cfg(mcmc.clone(), 42);
+                    let sharded = Partitioner::on_sharded(&sdir)
+                        .backend(Backend::Edist { ranks })
+                        .sync_period(sync_period)
+                        .config(cfg.clone())
+                        .run()
+                        .unwrap();
+                    let mono = Partitioner::on(&g)
+                        .backend(Backend::Edist { ranks })
+                        .ownership(strategy)
+                        .sync_period(sync_period)
+                        .config(cfg)
+                        .run()
+                        .unwrap();
+                    assert_bit_identical(&sharded, &mono, &ctx);
+                    assert_sparse_trajectory(&sharded, &g);
+                    std::fs::remove_dir_all(&sdir).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Uncapped run on the sparse fixture: the search descends through the
+/// sparse→dense storage switch into its dense endgame, so sharded and
+/// monolithic replicas must stay bit-identical *across* representation
+/// changes, not just within one.
+#[test]
+fn sharded_edist_bit_identical_crossing_storage_regimes() {
+    let g = clique_ring(SPARSE_RING);
+    for (ranks, strategy, mcmc) in [
+        (
+            2usize,
+            OwnershipStrategy::Modulo,
+            McmcStrategy::MetropolisHastings,
+        ),
+        (
+            4usize,
+            OwnershipStrategy::SortedBalanced,
+            McmcStrategy::Batch,
+        ),
+    ] {
+        let sdir = temp_dir(&format!("mixed_{ranks}_{}", strategy.code()));
+        shard_graph(&g, &sdir, ranks, strategy).unwrap();
+        let cfg = SbpConfig {
+            strategy: mcmc,
+            seed: 7,
+            ..SbpConfig::default()
+        };
+        let sharded = Partitioner::on_sharded(&sdir)
+            .backend(Backend::Edist { ranks })
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let mono = Partitioner::on(&g)
+            .backend(Backend::Edist { ranks })
+            .ownership(strategy)
+            .config(cfg)
+            .run()
+            .unwrap();
+        let ctx = format!("mixed-regime {strategy:?} × {ranks}");
+        assert_bit_identical(&sharded, &mono, &ctx);
+        // The run must actually cross the switch: sparse at the start,
+        // dense at the end — checked against the production predicate.
+        let e = g.total_edge_weight();
+        let first = sharded.iterations.first().unwrap().num_blocks;
+        let last = sharded.iterations.last().unwrap().num_blocks;
+        assert!(!edist::core::auto_picks_dense(first, e), "never saw sparse");
+        assert!(
+            edist::core::auto_picks_dense(last, e),
+            "never reached dense"
         );
         std::fs::remove_dir_all(&sdir).unwrap();
     }
