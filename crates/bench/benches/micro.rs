@@ -128,67 +128,44 @@ fn bench_delta(c: &mut Criterion) {
     group.finish();
 }
 
-/// The canonical-line design decision, kept reproducible: a sorted-vec
-/// line vs a hash-map-with-sorted-snapshot line under the MCMC access
-/// pattern — a handful of cell mutations (an accepted move touching the
-/// line) between full canonical iterations (proposal scans + the ΔS
-/// snapshot + the entropy sum). The snapshot variant must re-sort after
-/// any key-set change, and the pattern changes the key set almost every
-/// round, which is why the sorted vec wins and is what `Blockmodel`
-/// ships (see `sbp_core::line`).
-fn bench_line_variants(c: &mut Criterion) {
-    use sbp_core::line::{CanonicalLine, SnapshotLine};
-    // Line occupancies spanning the sparse regimes the search visits:
-    // adjacency-sized identity lines to populated mid-search rows.
+/// The thread-spawn tax the persistent pool eliminates, measured
+/// directly: dispatching one parallel region (16 chunks at width 4)
+/// through the pooled executor vs spawning scoped OS threads per call —
+/// the old shim's mechanism. The work itself is trivial so the numbers
+/// isolate dispatch cost; multiply by the number of parallel regions per
+/// inference run (one per merge phase + one per Hybrid chunk + one per
+/// Batch sweep + reductions) for the end-to-end tax.
+fn bench_pool_dispatch(c: &mut Criterion) {
+    use rayon::prelude::*;
     let mut group = quick(c);
-    for occupancy in [8usize, 64, 512] {
-        let keys: Vec<u32> = (0..occupancy as u32).map(|i| i * 7 + 3).collect();
-        let mutate_keys: Vec<u32> = (0..8u32).map(|i| i * 31 % (occupancy as u32 * 7)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("line/sorted_vec", occupancy),
-            &occupancy,
-            |b, _| {
-                let mut line =
-                    CanonicalLine::from_unsorted(keys.iter().map(|&k| (k, 2)).collect::<Vec<_>>());
-                b.iter(|| {
-                    for &k in &mutate_keys {
-                        line.add(k, 1);
-                    }
-                    let mut acc = 0i64;
-                    for &(k, w) in line.iter() {
-                        acc += i64::from(k) + w;
-                    }
-                    for &k in &mutate_keys {
-                        line.sub(k, 1);
-                    }
-                    black_box(acc)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("line/snapshot", occupancy),
-            &occupancy,
-            |b, _| {
-                let mut line = SnapshotLine::default();
-                for &k in &keys {
-                    line.add(k, 2);
-                }
-                b.iter(|| {
-                    for &k in &mutate_keys {
-                        line.add(k, 1);
-                    }
-                    let mut acc = 0i64;
-                    for &(k, w) in line.canonical() {
-                        acc += i64::from(k) + w;
-                    }
-                    for &k in &mutate_keys {
-                        line.sub(k, 1);
-                    }
-                    black_box(acc)
-                })
-            },
-        );
-    }
+    let items: Vec<u64> = (0..16).collect();
+    group.bench_function("pool/region_16x4_pooled", |b| {
+        rayon::with_threads(4, || {
+            b.iter(|| {
+                let out: Vec<u64> = items.par_iter().map(|&x| x + 1).collect();
+                black_box(out)
+            })
+        })
+    });
+    group.bench_function("pool/region_16x4_scoped_spawn", |b| {
+        b.iter(|| {
+            // What the pre-pool shim did per call: spawn scoped OS
+            // threads, join, concatenate.
+            let chunks: Vec<&[u64]> = items.chunks(4).collect();
+            let parts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| scope.spawn(move || c.iter().map(|&x| x + 1).collect::<Vec<u64>>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut out = Vec::with_capacity(items.len());
+            for p in parts {
+                out.extend(p);
+            }
+            black_box(out)
+        })
+    });
     group.finish();
 }
 
@@ -245,6 +222,18 @@ fn bench_sweeps(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    // The pooled path: chunk evaluation fans out over the persistent
+    // workers (results are bit-identical to sweep/hybrid by the
+    // determinism contract; only wall time differs). On a single-core
+    // box this measures pure pool overhead vs the serial schedule.
+    group.bench_function("sweep/hybrid_parallel", |b| {
+        let cfg = HybridConfig::default();
+        b.iter_batched(
+            || Blockmodel::from_assignment(&graph, assignment.clone(), nb),
+            |mut bm| black_box(hybrid_sweep(&graph, &mut bm, &vertices, 3.0, &cfg, 5, 0)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
     group.bench_function("sweep/batch", |b| {
         b.iter_batched(
             || Blockmodel::from_assignment(&graph, assignment.clone(), nb),
@@ -293,6 +282,18 @@ fn bench_blockmodel(c: &mut Criterion) {
         let bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
         b.iter(|| black_box(bm.entropy()))
     });
+    // Sparse-regime rebuild + reduction kernels (identity partition,
+    // C = V): the parallel per-line sort-and-fold and the fixed-shape
+    // chunked entropy sum — the two full-matrix passes PR 5 parallelized.
+    let identity: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    let v = graph.num_vertices();
+    group.bench_function("blockmodel/from_assignment_hugeC", |b| {
+        b.iter(|| black_box(Blockmodel::from_assignment(&graph, identity.clone(), v)))
+    });
+    group.bench_function("blockmodel/entropy_hugeC", |b| {
+        let bm = Blockmodel::from_assignment(&graph, identity.clone(), v);
+        b.iter(|| black_box(bm.entropy()))
+    });
     group.bench_function("blockmodel/move_vertex_roundtrip", |b| {
         let mut bm = Blockmodel::from_assignment(&graph, assignment.clone(), nb);
         b.iter(|| {
@@ -328,7 +329,7 @@ fn bench_generator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_delta,
-    bench_line_variants,
+    bench_pool_dispatch,
     bench_propose,
     bench_merge_phase,
     bench_sweeps,

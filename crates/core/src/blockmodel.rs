@@ -47,8 +47,18 @@
 
 use crate::line::CanonicalLine;
 use crate::model_description_length;
+use rayon::prelude::*;
 use sbp_graph::{Graph, Vertex, Weight};
 use std::sync::OnceLock;
+
+/// Rows per chunk of the fixed-shape entropy reduction (see
+/// [`Blockmodel::entropy`]). The chunk layout is a function of the block
+/// count **only** — never of the worker count — so the f64 combination
+/// order, and therefore every entropy/DL bit, is identical at any
+/// `SBP_THREADS`. 64 rows keeps single-chunk (bit-for-bit legacy) sums
+/// for the dense endgame while giving large sparse matrices enough
+/// chunks to parallelize.
+const ENTROPY_CHUNK_ROWS: usize = 64;
 
 /// Block counts at or below this use the flat dense matrix; above it, the
 /// sparse canonical-line rows + transpose. Read once from `SBP_DENSE_THRESHOLD`
@@ -254,10 +264,20 @@ impl StorageBuilder {
     fn finish(self) -> Storage {
         match self {
             StorageBuilder::Dense(storage) => storage,
-            StorageBuilder::Sparse { rows, cols } => Storage::Sparse {
-                rows: rows.into_iter().map(CanonicalLine::from_unsorted).collect(),
-                cols: cols.into_iter().map(CanonicalLine::from_unsorted).collect(),
-            },
+            StorageBuilder::Sparse { rows, cols } => {
+                // Each line's sort-and-fold is independent integer work,
+                // so rebuild boundaries fan the lines out over the pool;
+                // ordered collection keeps the result identical to the
+                // serial build at any thread count.
+                let fold = |lines: Vec<Vec<(u32, Weight)>>| -> Vec<CanonicalLine> {
+                    lines
+                        .into_par_iter()
+                        .map(CanonicalLine::from_unsorted)
+                        .collect()
+                };
+                let (rows, cols) = rayon::join(|| fold(rows), || fold(cols));
+                Storage::Sparse { rows, cols }
+            }
         }
     }
 }
@@ -649,13 +669,36 @@ impl Blockmodel {
     /// The DCSBM entropy `S = −Σ M_ij ln(M_ij/(d_out_i · d_in_j))` — the
     /// negative log-likelihood of Eq. 1. Natural log; minimized.
     ///
-    /// Terms accumulate row-major with each row in canonical (ascending)
-    /// order, so the f64 sum is bit-identical for any two blockmodels
-    /// holding the same integer state — across storage representations
-    /// and move histories alike.
+    /// Computed as a **fixed-shape chunked reduction**: rows are grouped
+    /// into `ENTROPY_CHUNK_ROWS`-row chunks (a function of the block
+    /// count only), each chunk accumulates row-major with every row in
+    /// canonical (ascending) order, and the chunk partials are combined
+    /// left to right. Chunks evaluate on the persistent pool when it has
+    /// more than one worker, but the summation *shape* never depends on
+    /// the worker count, so the f64 sum is bit-identical for any two
+    /// blockmodels holding the same integer state — across storage
+    /// representations, move histories, and `SBP_THREADS` settings alike.
     pub fn entropy(&self) -> f64 {
+        let c = self.num_blocks;
+        if c <= ENTROPY_CHUNK_ROWS {
+            return self.entropy_rows(0, c as u32);
+        }
+        let bounds: Vec<u32> = (0..c)
+            .step_by(ENTROPY_CHUNK_ROWS)
+            .map(|r| r as u32)
+            .collect();
+        let partials: Vec<f64> = bounds
+            .par_iter()
+            .map(|&lo| self.entropy_rows(lo, ((lo as usize + ENTROPY_CHUNK_ROWS).min(c)) as u32))
+            .collect();
+        partials.into_iter().sum()
+    }
+
+    /// Entropy terms of rows `lo..hi`, accumulated row-major in canonical
+    /// order — one chunk of the fixed-shape reduction.
+    fn entropy_rows(&self, lo: u32, hi: u32) -> f64 {
         let mut s = 0.0f64;
-        for r in 0..self.num_blocks as u32 {
+        for r in lo..hi {
             if self.d_out[r as usize] == 0 {
                 continue;
             }

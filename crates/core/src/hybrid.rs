@@ -156,6 +156,12 @@ pub fn hybrid_sweep(
 
 /// One batch sweep (python-reference style): evaluate *all* vertices
 /// against the frozen state, then apply every accepted move.
+///
+/// Evaluation fans out over the persistent pool (each vertex's decision
+/// is a pure function of the frozen state and its `(seed, sweep, vertex)`
+/// stream, and the accepted list is collected in input order), so the
+/// sweep — and every trajectory built on it — is bit-identical to the
+/// serial evaluation at any thread count.
 pub fn batch_sweep(
     graph: &Graph,
     bm: &mut Blockmodel,
@@ -164,15 +170,25 @@ pub fn batch_sweep(
     seed: u64,
     sweep_idx: usize,
 ) -> SweepOutcome {
-    let accepted: Vec<AcceptedMove> = with_scratch(|scratch| {
+    let accepted: Vec<AcceptedMove> = if vertices.len() >= 32 {
         vertices
-            .iter()
+            .par_iter()
             .filter_map(|&v| {
                 let mut rng = vertex_rng(seed, sweep_idx, v);
-                evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch)
+                with_scratch(|scratch| evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch))
             })
             .collect()
-    });
+    } else {
+        with_scratch(|scratch| {
+            vertices
+                .iter()
+                .filter_map(|&v| {
+                    let mut rng = vertex_rng(seed, sweep_idx, v);
+                    evaluate_vertex(graph, &*bm, v, beta, &mut rng, scratch)
+                })
+                .collect()
+        })
+    };
     let mut out = SweepOutcome {
         proposals: vertices.len(),
         ..Default::default()

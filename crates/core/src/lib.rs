@@ -40,6 +40,21 @@
 //! distributed phases are literally these functions run on the owned subset
 //! followed by an allgather.
 //!
+//! ## Shared-memory parallelism and the determinism contract
+//!
+//! Merge-phase proposals, Hybrid chunk evaluation, Batch sweeps, the
+//! naive baseline's batch sweeps, sparse-matrix rebuilds, and the full
+//! entropy/DL reductions all run on the persistent work-stealing pool
+//! behind the `rayon` shim (worker count from `SBP_THREADS`, read once
+//! per process; default: available parallelism). Workers persist, so
+//! each one's thread-local [`DeltaScratch`] is allocated once and reused
+//! across every parallel region. Results are **bit-identical at any
+//! thread count**: parallel collections preserve input order, RNG
+//! streams are keyed by `(seed, sweep, vertex)` or block id (never by
+//! thread or rank), and [`Blockmodel::entropy`] is a fixed-shape chunked
+//! reduction whose f64 summation layout depends only on the block count
+//! — enforced end to end by the root `tests/threads.rs` suite.
+//!
 //! ## Tuning the dense/sparse threshold
 //!
 //! The storage representation switches at `compacted()`/rebuild boundaries

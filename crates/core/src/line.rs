@@ -20,17 +20,18 @@
 //!
 //! ## Why a sorted vector (and not a hash map with a sorted snapshot)
 //!
-//! Two canonical-line designs were benchmarked on the PR 1 ΔS
-//! micro-benchmarks (`cargo bench -p sbp-bench --bench micro -- line`,
-//! recorded in `benchmarks/summary.md`):
+//! Two canonical-line designs were benchmarked before this type shipped
+//! (the `line/*` rows of the PR 4 addendum in `benchmarks/summary.md`
+//! record the numbers; the losing `SnapshotLine` implementation was
+//! retired once the design settled):
 //!
 //! * **sorted vec** (this type): O(log n) point lookups, O(n) memmove
 //!   inserts, contiguous O(n) iteration;
-//! * **hash map + sorted snapshot** ([`SnapshotLine`], kept for the
-//!   comparison benchmark): O(1) lookups/mutations, but iteration must
-//!   rebuild a sorted snapshot whenever the key set changed — and the MCMC
-//!   loop mutates the four affected lines between every pair of scans, so
-//!   the snapshot is nearly always stale and the rebuild dominates.
+//! * **hash map + sorted snapshot**: O(1) lookups/mutations, but
+//!   iteration must rebuild a sorted snapshot whenever the key set
+//!   changed — and the MCMC loop mutates the four affected lines between
+//!   every pair of scans, so the snapshot is nearly always stale and the
+//!   rebuild dominates (3.4× slower at 512-cell lines).
 //!
 //! Sparse lines in SBP are short (`E/C` cells on average; the identity
 //! partition's lines are single-vertex adjacency lists), so the sorted
@@ -155,74 +156,6 @@ impl<'a> IntoIterator for &'a CanonicalLine {
     }
 }
 
-/// The benchmarked alternative: hash-map cells plus a lazily rebuilt
-/// sorted snapshot. Kept (out of the `Blockmodel` hot path) so the
-/// sorted-vec-vs-snapshot comparison in `benches/micro.rs` stays
-/// reproducible; see the module docs for why the sorted vec won.
-///
-/// The snapshot is rebuilt on [`SnapshotLine::canonical`] whenever a
-/// mutation changed the key set since the last rebuild. Value-only
-/// updates patch the snapshot in place (binary search), so a workload of
-/// pure cell-weight churn amortizes; any insert or removal invalidates.
-#[doc(hidden)]
-#[derive(Clone, Debug, Default)]
-pub struct SnapshotLine {
-    map: crate::fxhash::FxHashMap<u32, Weight>,
-    snapshot: Vec<(u32, Weight)>,
-    dirty: bool,
-}
-
-#[doc(hidden)]
-impl SnapshotLine {
-    pub fn get(&self, key: u32) -> Weight {
-        self.map.get(&key).copied().unwrap_or(0)
-    }
-
-    pub fn add(&mut self, key: u32, w: Weight) {
-        match self.map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                *e.get_mut() += w;
-                if !self.dirty {
-                    if let Ok(i) = self.snapshot.binary_search_by_key(&key, |c| c.0) {
-                        self.snapshot[i].1 += w;
-                    }
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(w);
-                self.dirty = true;
-            }
-        }
-    }
-
-    pub fn sub(&mut self, key: u32, w: Weight) {
-        let e = self
-            .map
-            .get_mut(&key)
-            .unwrap_or_else(|| panic!("subtracting from empty cell {key}"));
-        *e -= w;
-        if *e == 0 {
-            self.map.remove(&key);
-            self.dirty = true;
-        } else if !self.dirty {
-            if let Ok(i) = self.snapshot.binary_search_by_key(&key, |c| c.0) {
-                self.snapshot[i].1 -= w;
-            }
-        }
-    }
-
-    /// The canonical (sorted) view, rebuilding the snapshot if stale.
-    pub fn canonical(&mut self) -> &[(u32, Weight)] {
-        if self.dirty {
-            self.snapshot.clear();
-            self.snapshot.extend(self.map.iter().map(|(&k, &w)| (k, w)));
-            self.snapshot.sort_unstable_by_key(|e| e.0);
-            self.dirty = false;
-        }
-        &self.snapshot
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,22 +225,5 @@ mod tests {
                 .copied()
                 .collect::<Vec<_>>()
         );
-    }
-
-    #[test]
-    fn snapshot_line_matches_canonical_line() {
-        let mut canon = CanonicalLine::new();
-        let mut snap = SnapshotLine::default();
-        let script: &[(u32, Weight)] = &[(4, 2), (1, 3), (4, 1), (8, 5), (1, -2), (8, -5), (2, 7)];
-        for &(k, w) in script {
-            if w > 0 {
-                canon.add(k, w);
-                snap.add(k, w);
-            } else {
-                canon.sub(k, -w);
-                snap.sub(k, -w);
-            }
-            assert_eq!(snap.canonical(), canon.as_slice());
-        }
     }
 }

@@ -16,14 +16,25 @@
 //! The *objective*, proposal distribution, and golden-ratio control are
 //! identical, so NMI parity with the optimized engine (Table VI's finding)
 //! is expected — only the runtime differs.
+//!
+//! The batch sweep's frozen-state evaluation fans out over the
+//! persistent pool with the same `(seed, sweep, vertex)`-keyed RNG
+//! streams the optimized engine uses (the python reference's
+//! multiprocessing map likewise evaluated vertices independently), so
+//! the baseline's trajectories are deterministic at any thread count and
+//! the Table VI comparison isolates data-structure asymptotics, not
+//! scheduling noise. The merge phase keeps its single sequential stream.
 
 use crate::golden::{BracketEntry, GoldenBracket, NextStep};
+use crate::hybrid::vertex_rng;
 use crate::mcmc::ConvergenceCheck;
 use crate::model_description_length;
-use crate::sbp::{SbpConfig, SbpResult};
+use crate::sbp::{mcmc_phase_seed, SbpConfig, SbpResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use sbp_graph::{Graph, Vertex, Weight};
+use std::cell::RefCell;
 
 /// Dense blockmodel: row-major `C×C` edge-count matrix.
 pub struct DenseBlockmodel {
@@ -495,7 +506,7 @@ pub fn naive_sbp_from(graph: &Graph, mut assignment: Vec<u32>, cfg: &SbpConfig) 
         dl: start.description_length(),
     });
 
-    for _ in 0..cfg.max_iterations {
+    for iter_idx in 0..cfg.max_iterations {
         match bracket.next() {
             NextStep::Done(best) => {
                 return SbpResult {
@@ -517,7 +528,7 @@ pub fn naive_sbp_from(graph: &Graph, mut assignment: Vec<u32>, cfg: &SbpConfig) 
                 } else {
                     cfg.threshold_pre
                 };
-                naive_mcmc_phase(graph, &mut bm, cfg, threshold, &mut rng);
+                naive_mcmc_phase(graph, &mut bm, cfg, threshold, iter_idx);
                 bracket.record(BracketEntry {
                     assignment: bm.assignment.clone(),
                     num_blocks: bm.c,
@@ -612,37 +623,71 @@ fn naive_merge_phase(
     *bm = DenseBlockmodel::from_assignment(graph, assignment, next as usize);
 }
 
+thread_local! {
+    /// One [`NaiveScratch`] per (pool or caller) thread — with the
+    /// persistent pool this is allocated once per worker and reused
+    /// across every naive batch sweep, like the optimized engine's
+    /// `DeltaScratch`.
+    static TLS_NAIVE_SCRATCH: RefCell<NaiveScratch> = RefCell::new(NaiveScratch::default());
+}
+
+/// Evaluates one vertex of a naive batch sweep against the frozen dense
+/// model: propose, ΔS, Hastings, accept — a pure function of
+/// `(state, seed, sweep, v)`, so the parallel fan-out below cannot
+/// perturb trajectories.
+fn evaluate_naive(
+    graph: &Graph,
+    bm: &DenseBlockmodel,
+    v: Vertex,
+    beta: f64,
+    seed: u64,
+    sweep: usize,
+) -> Option<(Vertex, usize)> {
+    if graph.degree(v) == 0 {
+        return None;
+    }
+    let mut rng = vertex_rng(seed, sweep, v);
+    let s = bm.propose(&mut rng, graph, v)?;
+    let r = bm.assignment[v as usize] as usize;
+    if s == r {
+        return None;
+    }
+    TLS_NAIVE_SCRATCH.with(|cell| {
+        let scratch = &mut cell.borrow_mut();
+        let ds = bm.delta_entropy_move_with(graph, v, s, scratch);
+        let h = bm.hastings(graph, v, r, s, scratch);
+        let p = ((-beta * ds).exp() * h).min(1.0);
+        (rng.random::<f64>() < p).then_some((v, s))
+    })
+}
+
 fn naive_mcmc_phase(
     graph: &Graph,
     bm: &mut DenseBlockmodel,
     cfg: &SbpConfig,
     threshold: f64,
-    rng: &mut SmallRng,
+    iter_idx: usize,
 ) {
     let initial = bm.description_length();
     let mut check = ConvergenceCheck::new(initial, threshold);
-    let mut scratch = NaiveScratch::default();
-    for _ in 0..cfg.max_sweeps {
-        // Batch sweep: evaluate all vertices against frozen state.
-        let mut accepted: Vec<(Vertex, usize)> = Vec::new();
-        for v in 0..graph.num_vertices() as u32 {
-            if graph.degree(v) == 0 {
-                continue;
-            }
-            let Some(s) = bm.propose(rng, graph, v) else {
-                continue;
-            };
-            let r = bm.assignment[v as usize] as usize;
-            if s == r {
-                continue;
-            }
-            let ds = bm.delta_entropy_move_with(graph, v, s, &mut scratch);
-            let h = bm.hastings(graph, v, r, s, &mut scratch);
-            let p = ((-cfg.beta * ds).exp() * h).min(1.0);
-            if rng.random::<f64>() < p {
-                accepted.push((v, s));
-            }
-        }
+    let sweep_seed = mcmc_phase_seed(cfg.seed, iter_idx);
+    let vertices: Vec<Vertex> = (0..graph.num_vertices() as u32).collect();
+    for sweep in 0..cfg.max_sweeps {
+        // Batch sweep: evaluate all vertices against frozen state, fanned
+        // out over the pool with per-vertex keyed streams; ordered
+        // collection keeps the accepted list identical to a serial scan.
+        let frozen: &DenseBlockmodel = bm;
+        let accepted: Vec<(Vertex, usize)> = if vertices.len() >= 32 {
+            vertices
+                .par_iter()
+                .filter_map(|&v| evaluate_naive(graph, frozen, v, cfg.beta, sweep_seed, sweep))
+                .collect()
+        } else {
+            vertices
+                .iter()
+                .filter_map(|&v| evaluate_naive(graph, frozen, v, cfg.beta, sweep_seed, sweep))
+                .collect()
+        };
         // Apply batch and rebuild (the python reference updated rows
         // densely; a rebuild has the same asymptotics at this scale).
         if !accepted.is_empty() {

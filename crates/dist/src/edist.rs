@@ -142,16 +142,21 @@ pub(crate) trait EdistData {
         assignment: Vec<u32>,
         num_blocks: usize,
     ) -> Blockmodel;
-    /// Applies one sync point's gathered move lists to the replica and
-    /// returns the total move count. `prev` holds the globally-agreed
-    /// assignment at the previous sync and must be advanced (the
-    /// replicated plane can ignore it).
-    fn apply_gathered_moves<C: Communicator>(
+    /// Executes one sync point: ships this rank's pending moves (plus
+    /// whatever else the plane needs — the sharded plane piggybacks its
+    /// cell-delta and cut-arc sections onto the same buffer, so every
+    /// sync costs **one** allgather on either plane), applies the
+    /// gathered peer moves to the replica, and returns the total move
+    /// count across ranks. `prev` holds the globally-agreed assignment
+    /// at the previous sync and must be advanced (the replicated plane
+    /// can ignore it). `xstats` records the move-section bytes.
+    fn exchange_moves<C: Communicator>(
         &self,
         comm: &C,
         bm: &mut Blockmodel,
         prev: &mut Vec<u32>,
-        gathered: Vec<Vec<AcceptedMove>>,
+        pending: &[AcceptedMove],
+        xstats: &mut ExchangeStats,
     ) -> usize;
 }
 
@@ -191,13 +196,21 @@ impl EdistData for ReplicatedData<'_> {
         Blockmodel::from_assignment(self.graph, assignment, num_blocks)
     }
 
-    fn apply_gathered_moves<C: Communicator>(
+    fn exchange_moves<C: Communicator>(
         &self,
         comm: &C,
         bm: &mut Blockmodel,
         _prev: &mut Vec<u32>,
-        gathered: Vec<Vec<AcceptedMove>>,
+        pending: &[AcceptedMove],
+        xstats: &mut ExchangeStats,
     ) -> usize {
+        let payload = encode_moves(pending);
+        xstats.record(pending.len(), payload.len());
+        let gathered: Vec<Vec<AcceptedMove>> = comm
+            .allgatherv(payload)
+            .into_iter()
+            .map(|bytes| decode_moves(&bytes))
+            .collect();
         let mut moves = 0usize;
         for (from_rank, peer_moves) in gathered.into_iter().enumerate() {
             moves += peer_moves.len();
@@ -378,11 +391,12 @@ struct DistributedPhase {
     cancelled: bool,
 }
 
-/// One distributed MCMC phase: sweep owned vertices, exchange moves every
-/// `sync_period` sweeps (as delta+varint payloads — see
-/// [`crate::exchange`]; the encoding is lossless, so exactness is
-/// untouched), hand the gathered lists to the data plane's move
-/// application, and stop on the shared convergence rule (or a broadcast
+/// One distributed MCMC phase: sweep owned vertices, sync every
+/// `sync_period` sweeps through the data plane's single-allgather move
+/// exchange (delta+varint payloads — see [`crate::exchange`]; the
+/// encoding is lossless, so exactness is untouched; the sharded plane
+/// concatenates its cell-delta and cut-arc sections onto the same
+/// buffer), and stop on the shared convergence rule (or a broadcast
 /// cancellation decision). Emits a [`ProgressEvent::Sweep`] after every
 /// sync point — rank 0 already holds the broadcast DL there.
 #[allow(clippy::too_many_arguments)]
@@ -429,15 +443,8 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
         sweeps += 1;
 
         if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
-            let payload = encode_moves(&pending);
-            xstats.record(pending.len(), payload.len());
+            moves += data.exchange_moves(comm, bm, &mut prev, &pending, xstats);
             pending.clear();
-            let gathered: Vec<Vec<AcceptedMove>> = comm
-                .allgatherv(payload)
-                .into_iter()
-                .map(|bytes| decode_moves(&bytes))
-                .collect();
-            moves += data.apply_gathered_moves(comm, bm, &mut prev, gathered);
             // One broadcast carries both the convergence value and the
             // cancellation decision, so all ranks agree on both.
             let (new_dl, cancel_now) = comm.broadcast(

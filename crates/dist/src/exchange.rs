@@ -1,7 +1,9 @@
 //! Wire encodings for EDiSt's collective payloads, built on the shared
 //! [`sbp_graph::varint`] codec.
 //!
-//! Two payloads go through the allgathers every sync point:
+//! Three payload kinds exist, and since the single-payload sync they all
+//! travel in **one** allgather per sync point (framed by
+//! `concat_sections` with a tiny varint length header):
 //!
 //! * **Move lists** `(vertex, to)` — delta + zigzag + varint. Vertices
 //!   inside one rank's sweep arrive roughly in ownership order, so the
@@ -10,9 +12,12 @@
 //! * **Cell deltas** `(row, col, ±weight)` — the sharded driver's
 //!   blockmodel synchronization. Sorted by `(row, col)` before encoding,
 //!   so the same delta scheme applies; weights are signed (zigzag).
+//! * **Cut arcs** `(src, dst, weight)` of moved vertices — the sharded
+//!   sync's cross-rank correction inputs (see `sharded.rs`), reusing the
+//!   cell codec (sorted unique pairs, positive weights).
 //!
-//! Both decoders are strict (panicking on malformed internal payloads —
-//! a malformed collective is a driver bug, not user input), and both
+//! All decoders are strict (panicking on malformed internal payloads —
+//! a malformed collective is a driver bug, not user input), and all
 //! roundtrip bit-exactly, which is load-bearing: the move exchange is part
 //! of EDiSt's exactness story, so compression must never be lossy.
 
@@ -120,6 +125,47 @@ pub(crate) fn decode_cells(buf: &[u8]) -> Vec<(u32, u32, Weight)> {
     cells
 }
 
+/// Frames several independently-encoded payloads into one buffer, so a
+/// whole sync point ships in a single allgather: a tiny header holding
+/// the varint byte length of every section but the last, then the
+/// sections back to back (the last runs to the end of the buffer).
+pub(crate) fn concat_sections<const N: usize>(sections: [&[u8]; N]) -> Vec<u8> {
+    let total: usize = sections.iter().map(|s| s.len()).sum();
+    let mut buf = Vec::with_capacity(total + 2 * N);
+    for s in &sections[..N - 1] {
+        write_u64(&mut buf, s.len() as u64);
+    }
+    for s in sections {
+        buf.extend_from_slice(s);
+    }
+    buf
+}
+
+/// Splits a buffer produced by `concat_sections` back into its `N`
+/// sections.
+///
+/// # Panics
+/// Panics on malformed input (driver bug, see [`decode_moves`]).
+pub(crate) fn split_sections<const N: usize>(buf: &[u8]) -> [&[u8]; N] {
+    let mut pos = 0usize;
+    let mut lens = [0usize; N];
+    for l in lens.iter_mut().take(N - 1) {
+        *l = read_u64(buf, &mut pos).expect("sync header truncated") as usize;
+    }
+    let mut out = [&buf[..0]; N];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let end = if i == N - 1 {
+            buf.len()
+        } else {
+            pos.checked_add(lens[i]).expect("sync section overflow")
+        };
+        assert!(end <= buf.len() && pos <= end, "sync section out of bounds");
+        *slot = &buf[pos..end];
+        pos = end;
+    }
+    out
+}
+
 /// Per-rank accounting of the compressed move exchange, summed into
 /// [`sbp_mpi::ClusterReport`] by the solver wrappers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -188,5 +234,30 @@ mod tests {
     fn truncated_move_payload_panics() {
         let buf = encode_moves(&[AcceptedMove { v: 1, to: 1 }]);
         decode_moves(&buf[..buf.len() - 1]);
+    }
+
+    #[test]
+    fn sections_roundtrip_through_one_buffer() {
+        let moves = encode_moves(&[AcceptedMove { v: 9, to: 1 }, AcceptedMove { v: 2, to: 0 }]);
+        let cells = encode_cells(&[(0, 3, -2), (1, 1, 5)]);
+        let cuts = encode_cells(&[]);
+        let framed = concat_sections([&moves, &cells, &cuts]);
+        let [m, ce, cu] = split_sections::<3>(&framed);
+        assert_eq!(m, &moves[..]);
+        assert_eq!(ce, &cells[..]);
+        assert_eq!(cu, &cuts[..]);
+        assert_eq!(decode_moves(m).len(), 2);
+        assert_eq!(decode_cells(ce), vec![(0, 3, -2), (1, 1, 5)]);
+        assert!(decode_cells(cu).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_section_header_panics() {
+        let moves = encode_moves(&[]);
+        let cells = encode_cells(&[]);
+        let mut framed = concat_sections([&moves, &cells, &[][..]]);
+        framed[0] = 200; // claim a longer first section than the buffer holds
+        let _ = split_sections::<3>(&framed);
     }
 }

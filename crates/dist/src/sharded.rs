@@ -20,15 +20,18 @@
 //! * **Peer move application** (`move_vertex` needs the mover's
 //!   adjacency): ranks exchange pre-aggregated matrix **cell deltas**
 //!   instead. With `A_prev` the assignment at the last sync, `own` this
-//!   rank's moves and `A_next` the post-sync assignment, every rank
-//!   computes its arcs' share of `M(A_next) − M(A_prev)` (each arc
-//!   charged to the owner of its source — a partition of the arc set),
-//!   allgathers, sums, and subtracts its locally-known
-//!   `M(A_prev + own) − M(A_prev)` correction, because its replica
-//!   already applied its own moves incrementally mid-sweep. The result
-//!   lands every replica on exactly `M(A_next)` — the same integers the
+//!   rank's moves and `A_next` the post-sync assignment, the ranks
+//!   together reconstruct `M(A_next) − M(A_prev)` exactly, subtract the
+//!   locally-known `M(A_prev + own) − M(A_prev)` correction (each
+//!   replica already applied its own moves incrementally mid-sweep), and
+//!   land every replica on exactly `M(A_next)` — the same integers the
 //!   monolithic driver reaches by replaying peer moves. Block-degree
-//!   updates need only the ghost-degree table.
+//!   updates need only the ghost-degree table. Since the single-payload
+//!   sync, each rank's delta share is phrased so it depends on **its own
+//!   moves only** (see `sharded_sync`'s per-arc decomposition), so the
+//!   moves, the delta share, and the cut arcs needed for the cross-rank
+//!   correction all ship in *one* allgather buffer per sync — half the
+//!   collective latency of the original moves-then-deltas pair.
 //!
 //! Consequently a sharded EDiSt run is **bit-identical** — assignments,
 //! DL, trajectories — to a monolithic EDiSt run with the same seed, rank
@@ -50,7 +53,10 @@
 use crate::dcsbp::{combine_parts, compact_labels, DcsbpConfig, Engine};
 use crate::distgraph::{load_dist_graph, DistGraph, ShardIngestReport};
 use crate::edist::{edist_driver, shared_dl, EdistConfig, EdistData};
-use crate::exchange::{decode_cells, encode_cells, ExchangeStats};
+use crate::exchange::{
+    concat_sections, decode_cells, decode_moves, encode_cells, encode_moves, split_sections,
+    ExchangeStats,
+};
 use crate::mix_seed;
 use crate::solver::{run_cluster_streaming, EventRelay};
 use sbp_core::mcmc::AcceptedMove;
@@ -122,19 +128,128 @@ fn arc_delta(
         .or_insert(0) += w;
 }
 
-/// Applies one sync point's gathered moves to the replica: exchanges
-/// summed cell deltas, subtracts the local own-move correction, relabels
-/// peer-moved vertices, and fixes block degrees from the ghost-degree
-/// table. `prev` is the globally-agreed assignment at the previous sync
-/// and is advanced to the new agreement. Returns the total move count.
-fn apply_sync<C: Communicator>(
+/// One sync point on the sharded plane, in a **single allgather**.
+///
+/// The shipped buffer has three sections (framed by
+/// `concat_sections` with a tiny varint length header): this rank's
+/// chronological moves, its locally-computable share of the matrix
+/// delta, and the cut out-arcs of its net-moved vertices. The matrix
+/// delta `M(A_next) − M(A_prev)` decomposes per arc `s → d` of weight
+/// `w` — writing `p·`/`n·` for the pre-/post-sync labels and `e(r, c)`
+/// for a `+w` charge to cell `(r, c)` — as
+///
+/// ```text
+/// e(ns,nd) − e(ps,pd) = [e(ns,pd) − e(ps,pd)]            source term
+///                     + [e(ps,nd) − e(ps,pd)]            dest term
+///                     + [e(ns,nd) − e(ns,pd)
+///                        − e(ps,nd) + e(ps,pd)]          cross term
+/// ```
+///
+/// An arc with both endpoints on one rank ships its exact delta from
+/// that rank. A cut arc's source term ships from the source owner and
+/// its dest term from the dest owner — each is a pure function of that
+/// rank's **own** moves plus the replicated `A_prev`, which is what lets
+/// the delta share a buffer with the moves instead of being computed
+/// after them. The cross term is nonzero only when *both* endpoints
+/// net-moved (necessarily on different ranks, since a vertex moves only
+/// on its owner); no single rank can precompute it, so the source owner
+/// ships the cut arcs of its moved vertices and *every* rank
+/// reconstructs the identical correction after the gather, when all
+/// endpoint labels are known. Integer cell sums are order-independent,
+/// so the per-cell deltas — and therefore the whole trajectory — are
+/// exactly the original two-allgather scheme's, at half the collective
+/// latency per sync. Relabels of peer-moved vertices and block-degree
+/// fixes come from the move lists and the ghost-degree table as before.
+///
+/// `prev` is the globally-agreed assignment at the previous sync and is
+/// advanced to the new agreement. Returns the total move count.
+fn sharded_sync<C: Communicator>(
     comm: &C,
     dg: &DistGraph,
     bm: &mut Blockmodel,
     prev: &mut Vec<u32>,
-    gathered: Vec<Vec<AcceptedMove>>,
+    pending: &[AcceptedMove],
+    xstats: &mut ExchangeStats,
 ) -> usize {
     let rank = comm.rank();
+    // The replica currently sits at M(A_prev + own): own moves were
+    // applied incrementally mid-sweep, peer moves arrive below.
+    let cur = bm.assignment().to_vec();
+    let mut own_moved: Vec<Vertex> = pending.iter().map(|m| m.v).collect();
+    own_moved.sort_unstable();
+    own_moved.dedup();
+    own_moved.retain(|&v| cur[v as usize] != prev[v as usize]);
+    let is_own_moved = |v: Vertex| dg.owner_of(v) == rank && cur[v as usize] != prev[v as usize];
+
+    // This rank's delta share plus the cut arcs peers will need for the
+    // cross terms — all derived from own moves only (see above).
+    let mut contrib: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    let mut cuts: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    for &v in &own_moved {
+        for &(d, w) in dg.local().out_edges(v) {
+            if dg.owner_of(d) == rank {
+                // Both endpoints' final labels are known locally (a
+                // vertex is only moved by its owner): exact arc delta.
+                arc_delta(&mut contrib, v, d, w, prev, &cur);
+            } else {
+                // Cut arc: source term now, cross term post-gather.
+                *contrib
+                    .entry((cur[v as usize], prev[d as usize]))
+                    .or_insert(0) += w;
+                *contrib
+                    .entry((prev[v as usize], prev[d as usize]))
+                    .or_insert(0) -= w;
+                *cuts.entry((v, d)).or_insert(0) += w;
+            }
+        }
+        for &(s, w) in dg.local().in_edges(v) {
+            if s == v {
+                continue; // self-loop charged once via the out-arc loop
+            }
+            if dg.owner_of(s) == rank {
+                if !is_own_moved(s) {
+                    // Unmoved owned source: the dest term is the exact
+                    // delta (moved sources were charged by their own
+                    // out-arc pass).
+                    arc_delta(&mut contrib, s, v, w, prev, &cur);
+                }
+            } else {
+                // Cut arc owned elsewhere: this side ships the dest term.
+                *contrib
+                    .entry((prev[s as usize], cur[v as usize]))
+                    .or_insert(0) += w;
+                *contrib
+                    .entry((prev[s as usize], prev[v as usize]))
+                    .or_insert(0) -= w;
+            }
+        }
+    }
+    let contrib: Vec<(u32, u32, Weight)> = contrib
+        .into_iter()
+        .filter(|&(_, w)| w != 0)
+        .map(|((r, c), w)| (r, c, w))
+        .collect();
+    let cuts: Vec<(u32, u32, Weight)> = cuts.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+
+    let moves_buf = encode_moves(pending);
+    xstats.record(pending.len(), moves_buf.len());
+    let payload = concat_sections([&moves_buf, &encode_cells(&contrib), &encode_cells(&cuts)]);
+
+    // The sync point's one collective.
+    let payloads = comm.allgatherv(payload);
+
+    let mut gathered: Vec<Vec<AcceptedMove>> = Vec::with_capacity(payloads.len());
+    let mut delta: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
+    let mut all_cuts: Vec<(u32, u32, Weight)> = Vec::new();
+    for p in &payloads {
+        let [moves_sec, cells_sec, cuts_sec] = split_sections::<3>(p);
+        gathered.push(decode_moves(moves_sec));
+        for (r, c, w) in decode_cells(cells_sec) {
+            *delta.entry((r, c)).or_insert(0) += w;
+        }
+        all_cuts.extend(decode_cells(cuts_sec));
+    }
+
     // A vertex is only ever moved by its owner, so applying the per-rank
     // lists in rank order (chronological within a rank) reproduces the
     // final label of every vertex.
@@ -146,69 +261,34 @@ fn apply_sync<C: Communicator>(
             next[m.v as usize] = m.to;
         }
     }
-    let mut moved: Vec<Vertex> = gathered
-        .iter()
-        .flatten()
-        .map(|m| m.v)
-        .filter(|&v| prev[v as usize] != next[v as usize])
-        .collect();
-    moved.sort_unstable();
-    moved.dedup();
-    let is_moved = |v: Vertex| prev[v as usize] != next[v as usize];
 
-    // This rank's share of M(A_next) − M(A_prev): arcs whose source it
-    // owns and which touch a net-moved endpoint. Out-arcs of moved owned
-    // vertices, plus in-arcs of moved vertices whose (owned) source did
-    // not itself move — each qualifying arc charged exactly once.
-    let mut contrib: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
-    for &v in &moved {
-        if dg.owner_of(v) == rank {
-            for &(d, w) in dg.local().out_edges(v) {
-                arc_delta(&mut contrib, v, d, w, prev, &next);
-            }
+    // Cross terms: every rank reconstructs them identically from the
+    // shipped cut arcs plus the now-known global move set.
+    for &(s, d, w) in &all_cuts {
+        let (ps, ns) = (prev[s as usize], next[s as usize]);
+        let (pd, nd) = (prev[d as usize], next[d as usize]);
+        if pd == nd {
+            continue; // dest did not net-move: cross term vanishes
         }
-        // For owned `v` the in-list is complete (filter to own unmoved
-        // sources); for ghost `v` it holds exactly this rank's arcs into
-        // it, which is precisely this rank's share.
-        for &(s, w) in dg.local().in_edges(v) {
-            if dg.owner_of(s) == rank && !is_moved(s) {
-                arc_delta(&mut contrib, s, v, w, prev, &next);
-            }
-        }
-    }
-    let mine: Vec<(u32, u32, Weight)> = contrib
-        .into_iter()
-        .filter(|&(_, w)| w != 0)
-        .map(|((r, c), w)| (r, c, w))
-        .collect();
-    let payloads = comm.allgatherv(encode_cells(&mine));
-    let mut delta: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
-    for payload in payloads {
-        for (r, c, w) in decode_cells(&payload) {
-            *delta.entry((r, c)).or_insert(0) += w;
-        }
+        debug_assert_ne!(ps, ns, "cut arcs ship for net-moved sources only");
+        *delta.entry((ns, nd)).or_insert(0) += w;
+        *delta.entry((ns, pd)).or_insert(0) -= w;
+        *delta.entry((ps, nd)).or_insert(0) -= w;
+        *delta.entry((ps, pd)).or_insert(0) += w;
     }
 
-    // Own-move correction: the replica already applied this rank's own
-    // moves incrementally during the sweep, i.e. it sits at
-    // M(A_prev + own), not M(A_prev). Subtract M(A_prev + own) − M(A_prev)
-    // — computable locally since every arc incident to an owned vertex is
-    // present — so the summed delta lands the matrix exactly on M(A_next).
-    let cur = bm.assignment();
-    let own_moved: Vec<Vertex> = moved
-        .iter()
-        .copied()
-        .filter(|&v| dg.owner_of(v) == rank && cur[v as usize] != prev[v as usize])
-        .collect();
-    let is_own_moved = |v: Vertex| dg.owner_of(v) == rank && cur[v as usize] != prev[v as usize];
+    // Own-move correction: subtract M(A_prev + own) − M(A_prev) —
+    // computable locally since every arc incident to an owned vertex is
+    // present — so the summed delta lands the matrix exactly on
+    // M(A_next).
     let mut corr: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
     for &v in &own_moved {
         for &(d, w) in dg.local().out_edges(v) {
-            arc_delta(&mut corr, v, d, w, prev, cur);
+            arc_delta(&mut corr, v, d, w, prev, &cur);
         }
         for &(s, w) in dg.local().in_edges(v) {
-            if !is_own_moved(s) {
-                arc_delta(&mut corr, s, v, w, prev, cur);
+            if s != v && !is_own_moved(s) {
+                arc_delta(&mut corr, s, v, w, prev, &cur);
             }
         }
     }
@@ -217,6 +297,14 @@ fn apply_sync<C: Communicator>(
     }
 
     // Peer relabels + degree fixes (own moves already applied in-sweep).
+    let mut moved: Vec<Vertex> = gathered
+        .iter()
+        .flatten()
+        .map(|m| m.v)
+        .filter(|&v| prev[v as usize] != next[v as usize])
+        .collect();
+    moved.sort_unstable();
+    moved.dedup();
     let relabels: Vec<(Vertex, u32)> = moved
         .iter()
         .copied()
@@ -285,14 +373,15 @@ impl EdistData for ShardedData<'_> {
         dist_blockmodel(comm, self.dg, assignment, num_blocks)
     }
 
-    fn apply_gathered_moves<C: Communicator>(
+    fn exchange_moves<C: Communicator>(
         &self,
         comm: &C,
         bm: &mut Blockmodel,
         prev: &mut Vec<u32>,
-        gathered: Vec<Vec<AcceptedMove>>,
+        pending: &[AcceptedMove],
+        xstats: &mut ExchangeStats,
     ) -> usize {
-        apply_sync(comm, self.dg, bm, prev, gathered)
+        sharded_sync(comm, self.dg, bm, prev, pending, xstats)
     }
 }
 

@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Guard the ΔS sparse-path micro-benchmarks against BENCH_pr1.json.
+"""Guard the hot-path micro-benchmarks against the recorded baselines.
 
 Usage:
     CRITERION_SUMMARY=target/criterion-summary.json \
-        cargo bench -p sbp-bench --bench micro -- delta_entropy
-    python3 scripts/check_bench_regression.py [summary.json] [baseline.json]
+        cargo bench -p sbp-bench --bench micro
+    python3 scripts/check_bench_regression.py [summary.json] [pr1.json] [pr5.json]
 
-Two checks, from strongest to weakest signal:
+Three checks, from strongest to weakest signal:
 
 1. **Cross-machine ratio guard** (always meaningful): the adaptive ΔS
    kernel must beat the naive dense rescan on the sparse-leaning regimes
@@ -14,12 +14,19 @@ Two checks, from strongest to weakest signal:
    canonical-line regression that gave back the sparse-path wins would
    collapse this ratio long before it reaches the 2x floor asserted here.
 
-2. **Absolute guard vs the PR 1 record**: each sparse-path kernel's mean
-   must stay within BENCH_TOL (default 1.5x, i.e. +50%) of the mean
+2. **Absolute ΔS guard vs the PR 1 record**: each sparse-path kernel's
+   mean must stay within BENCH_TOL (default 1.5x, i.e. +50%) of the mean
    recorded in BENCH_pr1.json. The default is deliberately loose because
    CI machines differ from the recording machine; the PR-acceptance
    tolerance of 10% is checked on the recording machine and documented in
    benchmarks/summary.md. Override with e.g. BENCH_TOL=1.1 locally.
+
+3. **Whole-phase guard vs the PR 5 record** (BENCH_pr5.json): the merge
+   phase, the MH/Hybrid/Batch sweep kernels (including the pooled
+   sweep/hybrid_parallel path), and the sparse rebuild/reduction kernels
+   must stay within BENCH_TOL of the persistent-pool record — this is
+   what catches a reintroduced per-call spawn tax or a serialized
+   reduction, which the ΔS kernels alone would never see.
 
 The `sparse_*` benchmark ids were `hashmap_*` when BENCH_pr1.json was
 recorded (the forced-sparse representation was a hash map then; it is a
@@ -31,7 +38,8 @@ import os
 import sys
 
 SUMMARY = sys.argv[1] if len(sys.argv) > 1 else "target/criterion-summary.json"
-BASELINE = sys.argv[2] if len(sys.argv) > 2 else "BENCH_pr1.json"
+BASELINE_PR1 = sys.argv[2] if len(sys.argv) > 2 else "BENCH_pr1.json"
+BASELINE_PR5 = sys.argv[3] if len(sys.argv) > 3 else "BENCH_pr5.json"
 TOL = float(os.environ.get("BENCH_TOL", "1.5"))
 
 # Current id -> id in the BENCH_pr1.json "pr1" record.
@@ -43,6 +51,19 @@ ID_MAP = {
     "edist/delta_entropy/adaptive_hugeC": "edist/delta_entropy/adaptive_hugeC",
 }
 
+# Whole-phase kernels guarded against the PR 5 (persistent pool) record.
+PR5_GUARD = [
+    "edist/pool/region_16x4_pooled",
+    "edist/merge/propose_all_blocks_x10",
+    "edist/sweep/metropolis_hastings",
+    "edist/sweep/hybrid",
+    "edist/sweep/hybrid_parallel",
+    "edist/sweep/batch",
+    "edist/blockmodel/from_assignment",
+    "edist/blockmodel/from_assignment_hugeC",
+    "edist/blockmodel/entropy_hugeC",
+]
+
 # (numerator, denominator, max allowed ratio): adaptive sparse-path vs
 # the naive dense rescan, same machine, same run.
 RATIO_GUARDS = [
@@ -51,11 +72,39 @@ RATIO_GUARDS = [
 ]
 
 
+def check_absolute(measured, baseline, ids, tag, failures):
+    """Each id's measured mean must stay within TOL of the baseline mean.
+
+    `ids` maps current benchmark id -> baseline id (identity for pr5).
+    """
+    for current_id, base_id in ids.items():
+        if current_id not in measured:
+            failures.append(f"benchmark {current_id} missing from {SUMMARY}")
+            continue
+        if base_id not in baseline:
+            failures.append(f"baseline {base_id} missing from the {tag} record")
+            continue
+        got, ref = measured[current_id], baseline[base_id]["mean_ns"]
+        rel = got / ref
+        verdict = "ok" if rel <= TOL else f"FAIL (> {TOL:.2f}x)"
+        print(
+            f"abs   {current_id}: {got:12.1f} ns vs {tag} {ref:12.1f} ns"
+            f" = {rel:.3f}x  [{verdict}]"
+        )
+        if rel > TOL:
+            failures.append(
+                f"{current_id} mean {got:.0f} ns exceeds {TOL:.2f}x the "
+                f"{tag} record ({ref:.0f} ns)"
+            )
+
+
 def main() -> int:
     with open(SUMMARY) as f:
         measured = {b["id"]: b["mean_ns"] for b in json.load(f)["benchmarks"]}
-    with open(BASELINE) as f:
-        baseline = json.load(f)["pr1"]
+    with open(BASELINE_PR1) as f:
+        pr1 = json.load(f)["pr1"]
+    with open(BASELINE_PR5) as f:
+        pr5 = json.load(f)["pr5"]
 
     failures = []
 
@@ -72,22 +121,8 @@ def main() -> int:
                 f"rescan (needs >= {1 / max_ratio:.1f}x): sparse-path win regressed"
             )
 
-    for current_id, pr1_id in ID_MAP.items():
-        if current_id not in measured:
-            failures.append(f"benchmark {current_id} missing from {SUMMARY}")
-            continue
-        if pr1_id not in baseline:
-            failures.append(f"baseline {pr1_id} missing from {BASELINE}")
-            continue
-        got, ref = measured[current_id], baseline[pr1_id]["mean_ns"]
-        rel = got / ref
-        verdict = "ok" if rel <= TOL else f"FAIL (> {TOL:.2f}x)"
-        print(f"abs   {current_id}: {got:12.1f} ns vs pr1 {ref:12.1f} ns = {rel:.3f}x  [{verdict}]")
-        if rel > TOL:
-            failures.append(
-                f"{current_id} mean {got:.0f} ns exceeds {TOL:.2f}x the "
-                f"BENCH_pr1.json record ({ref:.0f} ns)"
-            )
+    check_absolute(measured, pr1, ID_MAP, "pr1", failures)
+    check_absolute(measured, pr5, {i: i for i in PR5_GUARD}, "pr5", failures)
 
     if failures:
         print("\nbench regression guard FAILED:")
