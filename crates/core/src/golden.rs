@@ -83,6 +83,36 @@ impl GoldenBracket {
         self.mid.as_ref()
     }
 
+    /// The three bracket points `(hi, mid, lo)` — the complete search
+    /// state besides the rate. Exposed for checkpointing: together with
+    /// [`GoldenBracket::from_parts`] this round-trips the bracket
+    /// exactly, which is what makes a resumed golden search bit-identical
+    /// to an uninterrupted one.
+    pub fn parts(
+        &self,
+    ) -> (
+        Option<&BracketEntry>,
+        Option<&BracketEntry>,
+        Option<&BracketEntry>,
+    ) {
+        (self.hi.as_ref(), self.mid.as_ref(), self.lo.as_ref())
+    }
+
+    /// Rebuilds a bracket from checkpointed parts.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `(0, 1)` (same contract as
+    /// [`GoldenBracket::new`]).
+    pub fn from_parts(
+        rate: f64,
+        hi: Option<BracketEntry>,
+        mid: Option<BracketEntry>,
+        lo: Option<BracketEntry>,
+    ) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "reduction rate must be in (0,1)");
+        GoldenBracket { hi, mid, lo, rate }
+    }
+
     /// Records the outcome of an iteration.
     pub fn record(&mut self, entry: BracketEntry) {
         let Some(mid) = self.mid.as_ref() else {

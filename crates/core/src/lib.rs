@@ -72,6 +72,7 @@
 //! (every rank keeps its own replica) or under tight memory.
 
 pub mod blockmodel;
+pub mod checkpoint;
 pub mod delta;
 pub mod fxhash;
 pub mod golden;
@@ -86,6 +87,7 @@ pub mod run;
 pub mod sbp;
 
 pub use blockmodel::{auto_picks_dense, dense_threshold, Blockmodel, LineIter, StorageKind};
+pub use checkpoint::{CheckpointError, CheckpointState};
 pub use delta::{
     delta_entropy, merge_delta, vertex_move_delta, with_scratch, DeltaScratch, LineDelta,
 };
@@ -96,12 +98,12 @@ pub use merge::{apply_merges, propose_merges, MergeCandidate};
 pub use naive::{naive_sbp, naive_sbp_from, NaiveScratch};
 pub use propose::{hastings_correction, propose_for_block, propose_for_vertex};
 pub use run::{
-    Batch, CancelToken, Hybrid, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig,
-    RunOutcome, Sequential, Solver,
+    Batch, CancelToken, CheckpointSpec, DegradedReason, Hybrid, NoProgress, ProgressEvent,
+    ProgressFn, ProgressSink, RunConfig, RunOutcome, Sequential, Solver,
 };
+pub use sbp::{checkpoint_state, solve_sbp, IterationStat, McmcStrategy, SbpConfig, SbpResult};
 #[allow(deprecated)]
 pub use sbp::{sbp, sbp_from};
-pub use sbp::{solve_sbp, IterationStat, McmcStrategy, SbpConfig, SbpResult};
 
 /// `h(x) = (1+x)·ln(1+x) − x·ln(x)`, the model-complexity kernel of the
 /// description length (paper Eq. 2).

@@ -14,10 +14,12 @@
 //! best-so-far bracket entry when cancelled. The `edist` facade crate
 //! builds the `Partitioner` builder on top of this module.
 
+use crate::checkpoint::CheckpointState;
 use crate::hybrid::HybridConfig;
 use crate::sbp::{solve_sbp, IterationStat, McmcStrategy, SbpConfig};
 use sbp_graph::Graph;
 use sbp_mpi::ClusterReport;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -149,10 +151,34 @@ impl<F: FnMut(&ProgressEvent)> ProgressSink for ProgressFn<F> {
 
 // -------------------------------------------------------------- config
 
+/// Where and how often to write `.sbpc` golden-loop checkpoints (see
+/// [`crate::checkpoint`]).
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// The `.sbpc` file to (over)write. Writes are atomic: a temp file
+    /// in the same directory is renamed over `path`, so a crash mid-write
+    /// never leaves a torn checkpoint.
+    pub path: PathBuf,
+    /// Write after every `every`-th golden-loop sync boundary (iteration
+    /// end). `1` checkpoints every iteration; values are clamped to ≥ 1.
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint to `path` at every sync boundary.
+    pub fn every_boundary(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every: 1,
+        }
+    }
+}
+
 /// The backend-independent run configuration: the shared SBP
-/// hyper-parameters plus the cancellation token. Backend-specific knobs
-/// (rank counts, cost models, ownership schemes, sampling fractions)
-/// live on the backend values themselves.
+/// hyper-parameters plus the cancellation token and optional
+/// checkpoint/resume state. Backend-specific knobs (rank counts, cost
+/// models, ownership schemes, sampling fractions) live on the backend
+/// values themselves.
 #[derive(Clone, Debug, Default)]
 pub struct RunConfig {
     /// Hyper-parameters of the underlying SBP search, shared by every
@@ -160,6 +186,15 @@ pub struct RunConfig {
     pub sbp: SbpConfig,
     /// Cooperative cancellation handle; `Default` never cancels.
     pub cancel: CancelToken,
+    /// When set, the golden loop writes a `.sbpc` snapshot at sync
+    /// boundaries (distributed backends: rank 0 writes — every replica
+    /// holds identical state there).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// When set, the golden loop starts from this snapshot instead of
+    /// the identity partition; the run is bit-identical to the
+    /// uninterrupted one because every RNG stream is keyed by the
+    /// (restored) iteration index, never by elapsed state.
+    pub resume: Option<CheckpointState>,
 }
 
 impl RunConfig {
@@ -168,6 +203,8 @@ impl RunConfig {
         RunConfig {
             sbp,
             cancel: CancelToken::new(),
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -181,6 +218,30 @@ impl RunConfig {
 }
 
 // -------------------------------------------------------------- result
+
+/// Why a run returned best-so-far instead of completing: the coarse,
+/// rank-comparable classification of the `DistError` (see `sbp-dist`)
+/// that aborted the schedule. Recorded on [`RunOutcome::degraded`]; the
+/// partition is still the best bracket entry found before the failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// A rank died (injected kill or peer abort observed mid-collective).
+    RankFailure,
+    /// A collective payload failed to decode on this rank.
+    DecodeFailure,
+    /// Distributed shard ingest failed before or during the run.
+    ShardLoadFailure,
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::RankFailure => write!(f, "rank failure"),
+            DegradedReason::DecodeFailure => write!(f, "collective decode failure"),
+            DegradedReason::ShardLoadFailure => write!(f, "shard ingest failure"),
+        }
+    }
+}
 
 /// The unified result shape every [`Solver`] returns.
 #[derive(Clone, Debug)]
@@ -204,6 +265,13 @@ pub struct RunOutcome {
     pub cluster: Option<ClusterReport>,
     /// Vertices actually sampled — `Some` for `Sampled` pipelines.
     pub sampled_vertices: Option<usize>,
+    /// `Some` when a fault degraded the run: the partition is the best
+    /// entry found before the failure, not the converged optimum. Every
+    /// surviving rank reports the same classification (coordinated
+    /// unwind), though the rank that *detected* a decode failure reports
+    /// [`DegradedReason::DecodeFailure`] while its peers observe the
+    /// cascade as [`DegradedReason::RankFailure`].
+    pub degraded: Option<DegradedReason>,
 }
 
 impl RunOutcome {
@@ -218,6 +286,7 @@ impl RunOutcome {
             virtual_seconds: 0.0,
             cluster: None,
             sampled_vertices: None,
+            degraded: None,
         }
     }
 }

@@ -16,6 +16,7 @@
 //! as deprecated shims over it.
 
 use crate::blockmodel::Blockmodel;
+use crate::checkpoint::{strategy_tag, CheckpointState};
 use crate::golden::{BracketEntry, GoldenBracket, NextStep};
 use crate::hybrid::{batch_sweep, hybrid_sweep, HybridConfig};
 use crate::mcmc::{keyed_mh_sweep, mcmc_phase, McmcStats};
@@ -135,6 +136,15 @@ pub fn mcmc_phase_seed(seed: u64, iter_idx: usize) -> u64 {
 /// `cfg.cancel` is polled at iteration boundaries and between MCMC
 /// sweeps, and a cancelled run returns the best-so-far bracket entry
 /// with [`RunOutcome::cancelled`] set.
+///
+/// When `cfg.checkpoint` is set, a `.sbpc` snapshot is written at the
+/// configured sync boundaries (writes are atomic and best-effort: an
+/// unwritable path never kills a multi-hour run — validate the path up
+/// front, as the `Partitioner` facade does). When `cfg.resume` is set,
+/// the golden loop restores the snapshot's bracket, trajectory, and
+/// iteration index and ignores `start`; because every RNG stream is
+/// keyed by `(seed, iteration, sweep, vertex)`, the resumed run is
+/// bit-identical to the uninterrupted one.
 pub fn solve_sbp(
     graph: &Graph,
     start: Option<(Vec<u32>, usize)>,
@@ -147,24 +157,35 @@ pub fn solve_sbp(
         return RunOutcome::empty();
     }
     let scfg = &cfg.sbp;
-    let (assignment, num_blocks) = start.unwrap_or_else(|| ((0..n as u32).collect(), n));
-    let start_bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
-    progress.on_event(&ProgressEvent::Started {
-        num_vertices: n,
-        num_blocks: start_bm.num_blocks(),
-    });
-
-    let mut bracket = GoldenBracket::new(scfg.block_reduction_rate);
-    bracket.seed(BracketEntry {
-        assignment: start_bm.assignment().to_vec(),
-        num_blocks: start_bm.num_blocks(),
-        dl: start_bm.description_length(),
-    });
+    let (mut bracket, mut iterations, first_iter);
+    if let Some(state) = &cfg.resume {
+        bracket = state.bracket(scfg.block_reduction_rate);
+        iterations = state.iterations.clone();
+        first_iter = state.next_iter as usize;
+        progress.on_event(&ProgressEvent::Started {
+            num_vertices: n,
+            num_blocks: bracket.best().map_or(n, |e| e.num_blocks),
+        });
+    } else {
+        let (assignment, num_blocks) = start.unwrap_or_else(|| ((0..n as u32).collect(), n));
+        let start_bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
+        progress.on_event(&ProgressEvent::Started {
+            num_vertices: n,
+            num_blocks: start_bm.num_blocks(),
+        });
+        bracket = GoldenBracket::new(scfg.block_reduction_rate);
+        bracket.seed(BracketEntry {
+            assignment: start_bm.assignment().to_vec(),
+            num_blocks: start_bm.num_blocks(),
+            dl: start_bm.description_length(),
+        });
+        iterations = Vec::new();
+        first_iter = 0;
+    }
     let vertices: Vec<Vertex> = (0..n as u32).collect();
-    let mut iterations = Vec::new();
     let mut cancelled = false;
 
-    for iter_idx in 0..scfg.max_iterations {
+    for iter_idx in first_iter..scfg.max_iterations {
         if cfg.cancel.is_cancelled() {
             cancelled = true;
             progress.on_event(&ProgressEvent::Cancelled {
@@ -217,6 +238,7 @@ pub fn solve_sbp(
                 });
                 iterations.push(stat);
                 bracket.record(entry);
+                maybe_checkpoint(graph, cfg, &bracket, &iterations, iter_idx + 1);
             }
         }
     }
@@ -247,7 +269,52 @@ fn outcome_from(
         virtual_seconds: sbp_mpi::thread_cpu_time() - t0,
         cluster: None,
         sampled_vertices: None,
+        degraded: None,
     }
+}
+
+/// Packs the golden-loop state at a sync boundary into a
+/// [`CheckpointState`]. Shared with the distributed drivers so the
+/// single-node and distributed planes write identical snapshots.
+pub fn checkpoint_state(
+    graph: &Graph,
+    cfg: &RunConfig,
+    bracket: &GoldenBracket,
+    iterations: &[IterationStat],
+    next_iter: usize,
+) -> CheckpointState {
+    let (hi, mid, lo) = bracket.parts();
+    CheckpointState {
+        seed: cfg.sbp.seed,
+        strategy_tag: strategy_tag(&cfg.sbp.strategy),
+        num_vertices: graph.num_vertices() as u64,
+        total_edge_weight: graph.total_edge_weight().max(0) as u64,
+        next_iter: next_iter as u64,
+        iterations: iterations.to_vec(),
+        hi: hi.cloned(),
+        mid: mid.cloned(),
+        lo: lo.cloned(),
+    }
+}
+
+/// Writes a checkpoint if `cfg.checkpoint` asks for one at this
+/// boundary. Best-effort by contract (see [`solve_sbp`] docs): a failed
+/// write must not abort the run it is meant to protect.
+fn maybe_checkpoint(
+    graph: &Graph,
+    cfg: &RunConfig,
+    bracket: &GoldenBracket,
+    iterations: &[IterationStat],
+    next_iter: usize,
+) {
+    let Some(spec) = &cfg.checkpoint else {
+        return;
+    };
+    if !next_iter.is_multiple_of(spec.every.max(1)) {
+        return;
+    }
+    let state = checkpoint_state(graph, cfg, bracket, iterations, next_iter);
+    let _ = state.write_to(&spec.path);
 }
 
 /// Runs full SBP inference from the identity partition (`C = V`).

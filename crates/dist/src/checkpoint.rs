@@ -1,0 +1,70 @@
+//! Distributed checkpoint integration: rank 0 writes the shared
+//! `.sbpc` snapshot (see [`sbp_core::checkpoint`] for the format) at the
+//! golden-loop sync boundaries of the EDiSt driver.
+//!
+//! Only rank 0 touches the filesystem — every rank holds the identical
+//! bracket/trajectory state (the bit-identity contract), so one writer
+//! suffices and the snapshot is valid for resuming at *any* rank count,
+//! monolithic or sharded. Writes are best-effort by the same contract as
+//! the single-node engine: a failed write must not abort the run it is
+//! meant to protect (the API layer pre-validates the path instead).
+
+use sbp_core::checkpoint::{strategy_tag, CheckpointState};
+use sbp_core::run::CheckpointSpec;
+use sbp_core::{GoldenBracket, IterationStat, SbpConfig};
+
+/// Builds the snapshot of the distributed golden loop. Unlike
+/// [`sbp_core::checkpoint_state`] this takes the graph fingerprint as
+/// plain numbers, because the sharded plane has no monolithic
+/// [`sbp_graph::Graph`] to ask — `num_vertices` and `total_edge_weight`
+/// must be the *global* figures (identical on every rank).
+pub(crate) fn dist_checkpoint_state(
+    sbp: &SbpConfig,
+    num_vertices: u64,
+    total_edge_weight: u64,
+    bracket: &GoldenBracket,
+    iterations: &[IterationStat],
+    next_iter: usize,
+) -> CheckpointState {
+    let (hi, mid, lo) = bracket.parts();
+    CheckpointState {
+        seed: sbp.seed,
+        strategy_tag: strategy_tag(&sbp.strategy),
+        num_vertices,
+        total_edge_weight,
+        next_iter: next_iter as u64,
+        iterations: iterations.to_vec(),
+        hi: hi.cloned(),
+        mid: mid.cloned(),
+        lo: lo.cloned(),
+    }
+}
+
+/// Writes a checkpoint if `spec` asks for one at this boundary.
+/// Call on rank 0 only; best-effort (see module docs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn maybe_checkpoint(
+    spec: Option<&CheckpointSpec>,
+    sbp: &SbpConfig,
+    num_vertices: u64,
+    total_edge_weight: u64,
+    bracket: &GoldenBracket,
+    iterations: &[IterationStat],
+    next_iter: usize,
+) {
+    let Some(spec) = spec else {
+        return;
+    };
+    if !next_iter.is_multiple_of(spec.every.max(1)) {
+        return;
+    }
+    let state = dist_checkpoint_state(
+        sbp,
+        num_vertices,
+        total_edge_weight,
+        bracket,
+        iterations,
+        next_iter,
+    );
+    let _ = state.write_to(&spec.path);
+}

@@ -121,6 +121,7 @@ pub(crate) fn dcsbp_run<C: Communicator>(
             let run_cfg = RunConfig {
                 sbp: sub_cfg,
                 cancel: cancel.clone(),
+                ..RunConfig::default()
             };
             solve_sbp(&sub.graph, None, &run_cfg, &mut NoProgress).assignment
         }
@@ -159,6 +160,7 @@ pub(crate) fn dcsbp_run<C: Communicator>(
             let run_cfg = RunConfig {
                 sbp: cfg.sbp.clone(),
                 cancel: cancel.clone(),
+                ..RunConfig::default()
             };
             let mut sink = RelaySink { relay };
             let r = solve_sbp(graph, Some((combined, num_blocks)), &run_cfg, &mut sink);
@@ -198,6 +200,7 @@ pub(crate) fn dcsbp_run<C: Communicator>(
         virtual_seconds: comm.virtual_time(),
         cluster: None,
         sampled_vertices: None,
+        degraded: None,
     }
 }
 

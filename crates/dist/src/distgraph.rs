@@ -27,6 +27,7 @@
 //! counted by the [`Communicator`]'s byte/makespan accounting, so shard
 //! ingest shows up in [`sbp_mpi::ClusterReport`] like any other phase.
 
+use crate::error::DistError;
 use sbp_graph::shard::{shard_paths, ShardError, ShardReader};
 use sbp_graph::{Graph, OwnershipStrategy, Vertex, Weight};
 use sbp_mpi::Communicator;
@@ -151,27 +152,27 @@ impl DistGraph {
 /// must be matched by every rank.
 ///
 /// # Errors
-/// I/O and format problems surface as [`ShardError`]. The shard count
-/// must equal `comm.size()` — validate with
-/// [`sbp_graph::shard::validate_shard_dir`] *before* spawning the cluster
-/// for a friendlier failure path.
-///
-/// # Panics
-/// Panics if the shards disagree with each other (vertex count, strategy,
-/// overlapping ownership) — corrupt directories should be caught by the
-/// per-file checksums first.
-pub fn load_dist_graph<C: Communicator>(comm: &C, dir: &Path) -> Result<DistGraph, ShardError> {
+/// I/O and format problems surface as [`DistError::Shard`]; shards that
+/// disagree on ownership (the same vertex claimed twice, or a vertex no
+/// shard claims) surface as [`DistError::OwnershipOverlap`] /
+/// [`DistError::OwnershipGap`]. The shard count must equal `comm.size()`
+/// — validate with [`sbp_graph::shard::validate_shard_dir`] *before*
+/// spawning the cluster for a friendlier failure path. A failing rank
+/// must abandon the collective schedule afterwards (the sharded runner
+/// poisons its peers — see `crate::error`).
+pub fn load_dist_graph<C: Communicator>(comm: &C, dir: &Path) -> Result<DistGraph, DistError> {
     let (rank, size) = (comm.rank(), comm.size());
-    let paths = shard_paths(dir)?;
+    let paths = shard_paths(dir).map_err(DistError::from)?;
     if paths.len() != size {
         return Err(ShardError::Malformed(format!(
             "{} shards in {} but {} ranks loading",
             paths.len(),
             dir.display(),
             size
-        )));
+        ))
+        .into());
     }
-    let shard = ShardReader::open(&paths[rank])?;
+    let shard = ShardReader::open(&paths[rank]).map_err(DistError::from)?;
     let header = shard.header().clone();
     if header.shard_index != rank || header.shard_count != size {
         return Err(ShardError::Malformed(format!(
@@ -181,7 +182,8 @@ pub fn load_dist_graph<C: Communicator>(comm: &C, dir: &Path) -> Result<DistGrap
             header.shard_count,
             rank,
             size
-        )));
+        ))
+        .into());
     }
     let n = header.num_vertices;
     let (_, owned, edges) = shard.into_parts();
@@ -192,17 +194,15 @@ pub fn load_dist_graph<C: Communicator>(comm: &C, dir: &Path) -> Result<DistGrap
     let mut owner_of = vec![u32::MAX; n];
     for (r, list) in owned_lists.iter().enumerate() {
         for &v in list {
-            assert!(
-                owner_of[v as usize] == u32::MAX,
-                "vertex {v} owned by two shards"
-            );
+            if owner_of[v as usize] != u32::MAX {
+                return Err(DistError::OwnershipOverlap { vertex: v as usize });
+            }
             owner_of[v as usize] = r as u32;
         }
     }
-    assert!(
-        owner_of.iter().all(|&o| o != u32::MAX),
-        "shards do not cover every vertex"
-    );
+    if let Some(v) = owner_of.iter().position(|&o| o == u32::MAX) {
+        return Err(DistError::OwnershipGap { vertex: v });
+    }
 
     // Cut-edge exchange: arc (s, d) lives in owner(s)'s shard; owner(d)
     // needs it as an in-arc. Point-to-point, so no rank sees arcs that are

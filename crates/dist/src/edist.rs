@@ -36,14 +36,20 @@
 //! control flow (that would mismatch the collective schedule), and as
 //! defense in depth for the DL.
 
+use crate::checkpoint::maybe_checkpoint;
+use crate::error::{abort_schedule, guard_collectives, DistError};
 use crate::exchange::{decode_moves, encode_moves, ExchangeStats};
 use crate::ownership::{owned_blocks, OwnershipStrategy};
 use crate::solver::EventRelay;
+use sbp_core::checkpoint::CheckpointState;
 use sbp_core::golden::{BracketEntry, GoldenBracket, NextStep};
 use sbp_core::hybrid::{batch_sweep, hybrid_sweep};
 use sbp_core::mcmc::{keyed_mh_sweep, AcceptedMove, ConvergenceCheck, SweepOutcome};
 use sbp_core::merge::{apply_merges, propose_merges, MergeCandidate};
-use sbp_core::run::{CancelToken, NoProgress, ProgressEvent, RunConfig, RunOutcome, Solver};
+use sbp_core::run::{
+    CancelToken, CheckpointSpec, DegradedReason, NoProgress, ProgressEvent, RunConfig, RunOutcome,
+    Solver,
+};
 use sbp_core::sbp::{mcmc_phase_seed, merge_phase_seed};
 use sbp_core::{Blockmodel, IterationStat, McmcStrategy, SbpConfig};
 use sbp_graph::{Graph, Vertex};
@@ -60,6 +66,13 @@ pub struct EdistConfig {
     /// Sweeps between move exchanges (1 = the paper's every-sweep
     /// allgather; larger values trade staleness for fewer collectives).
     pub sync_period: usize,
+    /// Write an `.sbpc` snapshot (rank 0 only) at matching golden-loop
+    /// boundaries.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from a previously-loaded snapshot instead of the identity
+    /// partition. Must already be validated against this run's graph,
+    /// seed, and strategy (the API layer does this).
+    pub resume: Option<CheckpointState>,
 }
 
 impl Default for EdistConfig {
@@ -68,6 +81,8 @@ impl Default for EdistConfig {
             sbp: SbpConfig::default(),
             ownership: OwnershipStrategy::SortedBalanced,
             sync_period: 1,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -125,6 +140,9 @@ pub fn edist<C: Communicator>(comm: &C, graph: &Graph, cfg: &EdistConfig) -> Edi
 pub(crate) trait EdistData {
     /// Global vertex count.
     fn num_vertices(&self) -> usize;
+    /// Global total edge weight (the checkpoint fingerprint — must match
+    /// what a monolithic view of the graph would report).
+    fn total_edge_weight(&self) -> i64;
     /// Graph used for owned-vertex sweeps and own-move application. The
     /// sharded plane's graph is complete only for owned vertices — the
     /// sweeps never walk further.
@@ -133,15 +151,16 @@ pub(crate) trait EdistData {
     fn my_vertices(&self) -> &[Vertex];
     /// The starting blockmodel (compacted identity partition); identical
     /// on every rank.
-    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Blockmodel;
+    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Result<Blockmodel, DistError>;
     /// The replicated blockmodel implied by `assignment`; identical on
-    /// every rank (a collective on the sharded plane).
+    /// every rank (a collective on the sharded plane, which can fail on
+    /// a corrupted cell payload).
     fn build_blockmodel<C: Communicator>(
         &self,
         comm: &C,
         assignment: Vec<u32>,
         num_blocks: usize,
-    ) -> Blockmodel;
+    ) -> Result<Blockmodel, DistError>;
     /// Executes one sync point: ships this rank's pending moves (plus
     /// whatever else the plane needs — the sharded plane piggybacks its
     /// cell-delta and cut-arc sections onto the same buffer, so every
@@ -149,7 +168,9 @@ pub(crate) trait EdistData {
     /// gathered peer moves to the replica, and returns the total move
     /// count across ranks. `prev` holds the globally-agreed assignment
     /// at the previous sync and must be advanced (the replicated plane
-    /// can ignore it). `xstats` records the move-section bytes.
+    /// can ignore it). `xstats` records the move-section bytes. A
+    /// malformed peer payload surfaces as a [`DistError`] — the driver
+    /// aborts the schedule coordinately rather than panicking.
     fn exchange_moves<C: Communicator>(
         &self,
         comm: &C,
@@ -157,7 +178,7 @@ pub(crate) trait EdistData {
         prev: &mut Vec<u32>,
         pending: &[AcceptedMove],
         xstats: &mut ExchangeStats,
-    ) -> usize;
+    ) -> Result<usize, DistError>;
 }
 
 /// The fully-replicated data plane: every rank holds the whole graph
@@ -172,6 +193,10 @@ impl EdistData for ReplicatedData<'_> {
         self.graph.num_vertices()
     }
 
+    fn total_edge_weight(&self) -> i64 {
+        self.graph.total_edge_weight()
+    }
+
     fn sweep_graph(&self) -> &Graph {
         self.graph
     }
@@ -180,11 +205,14 @@ impl EdistData for ReplicatedData<'_> {
         &self.mine
     }
 
-    fn start_blockmodel<C: Communicator>(&self, _comm: &C) -> Blockmodel {
+    fn start_blockmodel<C: Communicator>(&self, _comm: &C) -> Result<Blockmodel, DistError> {
         // Identical starting point to the single-node engine: the
         // compacted identity partition.
         let n = self.graph.num_vertices();
-        Blockmodel::from_assignment(self.graph, (0..n as u32).collect(), n).compacted(self.graph)
+        Ok(
+            Blockmodel::from_assignment(self.graph, (0..n as u32).collect(), n)
+                .compacted(self.graph),
+        )
     }
 
     fn build_blockmodel<C: Communicator>(
@@ -192,8 +220,10 @@ impl EdistData for ReplicatedData<'_> {
         _comm: &C,
         assignment: Vec<u32>,
         num_blocks: usize,
-    ) -> Blockmodel {
-        Blockmodel::from_assignment(self.graph, assignment, num_blocks)
+    ) -> Result<Blockmodel, DistError> {
+        Ok(Blockmodel::from_assignment(
+            self.graph, assignment, num_blocks,
+        ))
     }
 
     fn exchange_moves<C: Communicator>(
@@ -203,14 +233,14 @@ impl EdistData for ReplicatedData<'_> {
         _prev: &mut Vec<u32>,
         pending: &[AcceptedMove],
         xstats: &mut ExchangeStats,
-    ) -> usize {
+    ) -> Result<usize, DistError> {
         let payload = encode_moves(pending);
         xstats.record(pending.len(), payload.len());
-        let gathered: Vec<Vec<AcceptedMove>> = comm
+        let gathered = comm
             .allgatherv(payload)
             .into_iter()
             .map(|bytes| decode_moves(&bytes))
-            .collect();
+            .collect::<Result<Vec<Vec<AcceptedMove>>, _>>()?;
         let mut moves = 0usize;
         for (from_rank, peer_moves) in gathered.into_iter().enumerate() {
             moves += peer_moves.len();
@@ -221,7 +251,7 @@ impl EdistData for ReplicatedData<'_> {
                 bm.move_vertex(self.graph, m.v, m.to);
             }
         }
-        moves
+        Ok(moves)
     }
 }
 
@@ -244,7 +274,41 @@ pub(crate) fn edist_run<C: Communicator>(
     edist_driver(comm, &data, cfg, cancel, relay)
 }
 
+/// What one guarded golden-loop iteration decided.
+enum IterStep {
+    /// The broadcast cancellation decision fired before the iteration.
+    Cancelled,
+    /// The bracket converged; `best` is the final answer.
+    Finished(BracketEntry),
+    /// A merge+MCMC iteration was recorded into the bracket.
+    Recorded {
+        /// The MCMC phase observed a broadcast cancellation mid-iteration.
+        phase_cancelled: bool,
+    },
+}
+
 /// The shared EDiSt control loop over any [`EdistData`] plane.
+///
+/// ## Coordinated unwind
+///
+/// Every collective region runs under [`guard_collectives`]: a local
+/// failure (malformed peer payload, injected [`crate::fault::RankDeath`])
+/// or an observed peer abort ([`sbp_mpi::PeerAborted`]) surfaces as a
+/// [`DistError`] instead of a panic. The failing rank then poisons its
+/// peers via [`abort_schedule`] — waking anyone blocked in a collective —
+/// and returns its best-so-far bracket entry with
+/// [`RunOutcome::degraded`] set. The rank that *detects* a failure
+/// reports its specific [`DegradedReason`]; ranks that merely observe
+/// the cascade report [`DegradedReason::RankFailure`].
+///
+/// ## Checkpoint / resume
+///
+/// With `cfg.checkpoint` set, rank 0 snapshots the bracket, trajectory
+/// and next-iteration index after every `every`-th recorded iteration
+/// (see [`crate::checkpoint`]). With `cfg.resume` set, the loop starts
+/// from the snapshot instead of the identity partition; because all RNG
+/// streams are keyed by `(seed, iteration, sweep, vertex)`, the resumed
+/// trajectory is bit-identical to the uninterrupted one.
 pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
     comm: &C,
     data: &D,
@@ -258,94 +322,142 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
     }
     let (rank, size) = (comm.rank(), comm.size());
 
-    let start = data.start_blockmodel(comm);
-    let mut bracket = GoldenBracket::new(cfg.sbp.block_reduction_rate);
-    bracket.seed(BracketEntry {
-        assignment: start.assignment().to_vec(),
-        num_blocks: start.num_blocks(),
-        dl: shared_dl(comm, &start),
-    });
-    let mut iterations = Vec::new();
-    let mut cancelled = false;
-
-    for iter_idx in 0..cfg.sbp.max_iterations {
-        if shared_cancelled(comm, cancel) {
-            cancelled = true;
-            relay.emit(ProgressEvent::Cancelled {
-                iteration: iter_idx,
+    let init = guard_collectives(|| {
+        if let Some(state) = &cfg.resume {
+            // The snapshot was validated by the caller; every rank holds
+            // the same one, so no collective is needed here.
+            Ok((
+                state.bracket(cfg.sbp.block_reduction_rate),
+                state.iterations.clone(),
+                state.next_iter as usize,
+            ))
+        } else {
+            let start = data.start_blockmodel(comm)?;
+            let dl = shared_dl(comm, &start);
+            let mut bracket = GoldenBracket::new(cfg.sbp.block_reduction_rate);
+            bracket.seed(BracketEntry {
+                assignment: start.assignment().to_vec(),
+                num_blocks: start.num_blocks(),
+                dl,
             });
-            break;
+            Ok((bracket, Vec::new(), 0))
         }
-        match bracket.next() {
-            NextStep::Done(best) => {
+    });
+    let (mut bracket, mut iterations, first_iter) = match init {
+        Ok(t) => t,
+        Err(err) => {
+            let reason = abort_schedule(comm, &err);
+            let mut out = RunOutcome::empty();
+            out.degraded = Some(reason);
+            out.virtual_seconds = comm.virtual_time();
+            return (out, xstats);
+        }
+    };
+    let mut cancelled = false;
+    let mut degraded: Option<DegradedReason> = None;
+
+    for iter_idx in first_iter..cfg.sbp.max_iterations {
+        let step = guard_collectives(|| {
+            if shared_cancelled(comm, cancel) {
+                return Ok(IterStep::Cancelled);
+            }
+            match bracket.next() {
+                NextStep::Done(best) => Ok(IterStep::Finished(best)),
+                NextStep::Continue {
+                    start,
+                    blocks_to_merge,
+                } => {
+                    let from_blocks = start.num_blocks;
+                    let bm = data.build_blockmodel(comm, start.assignment, start.num_blocks)?;
+
+                    // ---- distributed merge phase (Alg. 4) ----
+                    let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
+                    let merge_seed = merge_phase_seed(cfg.sbp.seed, iter_idx);
+                    let mine = propose_merges(
+                        &bm,
+                        &my_blocks,
+                        cfg.sbp.merge_proposals_per_block,
+                        merge_seed,
+                    );
+                    let candidates: Vec<MergeCandidate> =
+                        comm.allgatherv(mine).into_iter().flatten().collect();
+                    let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
+                    let mut bm = data.build_blockmodel(comm, assignment, num_blocks)?;
+                    relay.emit(ProgressEvent::Merged {
+                        iteration: iter_idx,
+                        from_blocks,
+                        num_blocks: bm.num_blocks(),
+                    });
+
+                    // ---- distributed MCMC phase (Alg. 5) ----
+                    let threshold = if bracket.established() {
+                        cfg.sbp.threshold_post
+                    } else {
+                        cfg.sbp.threshold_pre
+                    };
+                    let phase = mcmc_phase_distributed(
+                        comm,
+                        data,
+                        &mut bm,
+                        cfg,
+                        threshold,
+                        iter_idx,
+                        cancel,
+                        relay,
+                        &mut xstats,
+                    )?;
+
+                    let entry = BracketEntry {
+                        assignment: bm.assignment().to_vec(),
+                        num_blocks: bm.num_blocks(),
+                        dl: phase.dl,
+                    };
+                    let stat = IterationStat {
+                        num_blocks: entry.num_blocks,
+                        dl: entry.dl,
+                        sweeps: phase.sweeps,
+                        moves: phase.moves,
+                    };
+                    relay.emit(ProgressEvent::Iteration {
+                        iteration: iter_idx,
+                        stat: stat.clone(),
+                    });
+                    iterations.push(stat);
+                    bracket.record(entry);
+                    Ok(IterStep::Recorded {
+                        phase_cancelled: phase.cancelled,
+                    })
+                }
+            }
+        });
+        match step {
+            Ok(IterStep::Cancelled) => {
+                cancelled = true;
+                relay.emit(ProgressEvent::Cancelled {
+                    iteration: iter_idx,
+                });
+                break;
+            }
+            Ok(IterStep::Finished(best)) => {
                 relay.emit(ProgressEvent::Finished {
                     num_blocks: best.num_blocks,
                     description_length: best.dl,
                 });
-                return (outcome_from(comm, best, iterations, false), xstats);
+                return (outcome_from(comm, best, iterations, false, None), xstats);
             }
-            NextStep::Continue {
-                start,
-                blocks_to_merge,
-            } => {
-                let from_blocks = start.num_blocks;
-                let bm = data.build_blockmodel(comm, start.assignment, start.num_blocks);
-
-                // ---- distributed merge phase (Alg. 4) ----
-                let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
-                let merge_seed = merge_phase_seed(cfg.sbp.seed, iter_idx);
-                let mine = propose_merges(
-                    &bm,
-                    &my_blocks,
-                    cfg.sbp.merge_proposals_per_block,
-                    merge_seed,
-                );
-                let candidates: Vec<MergeCandidate> =
-                    comm.allgatherv(mine).into_iter().flatten().collect();
-                let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
-                let mut bm = data.build_blockmodel(comm, assignment, num_blocks);
-                relay.emit(ProgressEvent::Merged {
-                    iteration: iter_idx,
-                    from_blocks,
-                    num_blocks: bm.num_blocks(),
-                });
-
-                // ---- distributed MCMC phase (Alg. 5) ----
-                let threshold = if bracket.established() {
-                    cfg.sbp.threshold_post
-                } else {
-                    cfg.sbp.threshold_pre
-                };
-                let phase = mcmc_phase_distributed(
-                    comm,
-                    data,
-                    &mut bm,
-                    cfg,
-                    threshold,
-                    iter_idx,
-                    cancel,
-                    relay,
-                    &mut xstats,
-                );
-
-                let entry = BracketEntry {
-                    assignment: bm.assignment().to_vec(),
-                    num_blocks: bm.num_blocks(),
-                    dl: phase.dl,
-                };
-                let stat = IterationStat {
-                    num_blocks: entry.num_blocks,
-                    dl: entry.dl,
-                    sweeps: phase.sweeps,
-                    moves: phase.moves,
-                };
-                relay.emit(ProgressEvent::Iteration {
-                    iteration: iter_idx,
-                    stat: stat.clone(),
-                });
-                iterations.push(stat);
-                bracket.record(entry);
-                if phase.cancelled {
+            Ok(IterStep::Recorded { phase_cancelled }) => {
+                if rank == 0 {
+                    maybe_checkpoint(
+                        cfg.checkpoint.as_ref(),
+                        &cfg.sbp,
+                        data.num_vertices() as u64,
+                        data.total_edge_weight().max(0) as u64,
+                        &bracket,
+                        &iterations,
+                        iter_idx + 1,
+                    );
+                }
+                if phase_cancelled {
                     cancelled = true;
                     relay.emit(ProgressEvent::Cancelled {
                         iteration: iter_idx,
@@ -353,16 +465,23 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
                     break;
                 }
             }
+            Err(err) => {
+                degraded = Some(abort_schedule(comm, &err));
+                break;
+            }
         }
     }
     let best = bracket.best().expect("bracket was seeded").clone();
-    if !cancelled {
+    if !cancelled && degraded.is_none() {
         relay.emit(ProgressEvent::Finished {
             num_blocks: best.num_blocks,
             description_length: best.dl,
         });
     }
-    (outcome_from(comm, best, iterations, cancelled), xstats)
+    (
+        outcome_from(comm, best, iterations, cancelled, degraded),
+        xstats,
+    )
 }
 
 fn outcome_from<C: Communicator>(
@@ -370,6 +489,7 @@ fn outcome_from<C: Communicator>(
     best: BracketEntry,
     iterations: Vec<IterationStat>,
     cancelled: bool,
+    degraded: Option<DegradedReason>,
 ) -> RunOutcome {
     RunOutcome {
         assignment: best.assignment,
@@ -377,6 +497,7 @@ fn outcome_from<C: Communicator>(
         description_length: best.dl,
         iterations,
         cancelled,
+        degraded,
         virtual_seconds: comm.virtual_time(),
         cluster: None,
         sampled_vertices: None,
@@ -410,7 +531,7 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
     cancel: &CancelToken,
     relay: &EventRelay,
     xstats: &mut ExchangeStats,
-) -> DistributedPhase {
+) -> Result<DistributedPhase, DistError> {
     let beta = cfg.sbp.beta;
     let sync_period = cfg.sync_period.max(1);
     let graph = data.sweep_graph();
@@ -443,7 +564,7 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
         sweeps += 1;
 
         if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
-            moves += data.exchange_moves(comm, bm, &mut prev, &pending, xstats);
+            moves += data.exchange_moves(comm, bm, &mut prev, &pending, xstats)?;
             pending.clear();
             // One broadcast carries both the convergence value and the
             // cancellation decision, so all ranks agree on both.
@@ -466,12 +587,12 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
             }
         }
     }
-    DistributedPhase {
+    Ok(DistributedPhase {
         dl,
         sweeps,
         moves,
         cancelled,
-    }
+    })
 }
 
 /// Runs EDiSt on `n_ranks` simulated ranks; returns the (rank-identical)
@@ -491,6 +612,7 @@ pub fn run_edist_cluster(
         cost,
         ownership: cfg.ownership,
         sync_period: cfg.sync_period,
+        fault: crate::fault::FaultPlan::none(),
     };
     let out = solver.solve(
         graph,

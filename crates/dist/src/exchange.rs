@@ -16,14 +16,26 @@
 //!   sync's cross-rank correction inputs (see `sharded.rs`), reusing the
 //!   cell codec (sorted unique pairs, positive weights).
 //!
-//! All decoders are strict (panicking on malformed internal payloads —
-//! a malformed collective is a driver bug, not user input), and all
-//! roundtrip bit-exactly, which is load-bearing: the move exchange is part
-//! of EDiSt's exactness story, so compression must never be lossy.
+//! All decoders are **strict and fallible**: malformed input returns a
+//! typed [`DecodeError`], never panics, and never allocates beyond the
+//! declared decode limits — every element count is checked against the
+//! bytes actually remaining *before* the output vector is sized, and
+//! section headers are bounds-checked before slicing. A decode failure
+//! in a live cluster (a corrupted frame, a hostile peer once a real
+//! transport exists) aborts the schedule coordinately instead of
+//! crashing the rank — see `crate::error`. All codecs roundtrip
+//! bit-exactly, which is load-bearing: the move exchange is part of
+//! EDiSt's exactness story, so compression must never be lossy.
 
+use crate::error::DecodeError;
 use sbp_core::mcmc::AcceptedMove;
 use sbp_graph::varint::{read_i64, read_u64, write_i64, write_u64};
 use sbp_graph::Weight;
+
+/// Hard ceiling on the section count [`split_sections`] accepts. The
+/// drivers frame at most 3 sections; the ceiling exists so a const
+/// generic can never be used to turn a header walk quadratic.
+pub const MAX_SECTIONS: usize = 64;
 
 /// Bytes a move list would occupy as raw fixed-width pairs — the
 /// uncompressed baseline [`sbp_mpi::ClusterReport::move_bytes_raw`]
@@ -33,7 +45,7 @@ pub(crate) fn raw_move_bytes(count: usize) -> u64 {
 }
 
 /// Encodes a move list (chronological order preserved).
-pub(crate) fn encode_moves(moves: &[AcceptedMove]) -> Vec<u8> {
+pub fn encode_moves(moves: &[AcceptedMove]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(moves.len() * 3 + 4);
     write_u64(&mut buf, moves.len() as u64);
     let (mut prev_v, mut prev_to) = (0i64, 0i64);
@@ -46,31 +58,54 @@ pub(crate) fn encode_moves(moves: &[AcceptedMove]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a move list produced by [`encode_moves`].
-///
-/// # Panics
-/// Panics on malformed input: collective payloads are produced by this
-/// module, so corruption means a driver bug.
-pub(crate) fn decode_moves(buf: &[u8]) -> Vec<AcceptedMove> {
+/// Decodes a move list produced by [`encode_moves`]. Strict: rejects
+/// truncation, out-of-range values, trailing bytes, and counts that
+/// could not fit in the buffer (each move occupies ≥ 2 bytes, checked
+/// before allocating).
+pub fn decode_moves(buf: &[u8]) -> Result<Vec<AcceptedMove>, DecodeError> {
+    const WHAT: &str = "move";
+    let truncated = DecodeError::Truncated { what: WHAT };
     let mut pos = 0usize;
-    let count = read_u64(buf, &mut pos).expect("move payload truncated") as usize;
+    let count = read_u64(buf, &mut pos).ok_or(truncated.clone())? as usize;
+    let max = (buf.len() - pos) / 2;
+    if count > max {
+        return Err(DecodeError::CountExceedsPayload {
+            what: WHAT,
+            declared: count as u64,
+            max: max as u64,
+        });
+    }
     let mut moves = Vec::with_capacity(count);
     let (mut prev_v, mut prev_to) = (0i64, 0i64);
     for _ in 0..count {
-        prev_v += read_i64(buf, &mut pos).expect("move payload truncated");
-        prev_to += read_i64(buf, &mut pos).expect("move payload truncated");
+        prev_v = prev_v
+            .checked_add(read_i64(buf, &mut pos).ok_or(truncated.clone())?)
+            .ok_or(DecodeError::ValueOutOfRange {
+                what: "move vertex",
+            })?;
+        prev_to = prev_to
+            .checked_add(read_i64(buf, &mut pos).ok_or(truncated.clone())?)
+            .ok_or(DecodeError::ValueOutOfRange {
+                what: "move target",
+            })?;
         moves.push(AcceptedMove {
-            v: u32::try_from(prev_v).expect("move vertex out of range"),
-            to: u32::try_from(prev_to).expect("move target out of range"),
+            v: u32::try_from(prev_v).map_err(|_| DecodeError::ValueOutOfRange {
+                what: "move vertex",
+            })?,
+            to: u32::try_from(prev_to).map_err(|_| DecodeError::ValueOutOfRange {
+                what: "move target",
+            })?,
         });
     }
-    assert_eq!(pos, buf.len(), "trailing bytes in move payload");
-    moves
+    if pos != buf.len() {
+        return Err(DecodeError::TrailingBytes { what: WHAT });
+    }
+    Ok(moves)
 }
 
 /// Encodes `(row, col, delta)` cells. Cells must be sorted by
 /// `(row, col)` with unique keys (the aggregation maps guarantee both).
-pub(crate) fn encode_cells(cells: &[(u32, u32, Weight)]) -> Vec<u8> {
+pub fn encode_cells(cells: &[(u32, u32, Weight)]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(cells.len() * 4 + 4);
     write_u64(&mut buf, cells.len() as u64);
     let (mut prev_r, mut prev_c) = (0u64, 0u64);
@@ -94,42 +129,66 @@ pub(crate) fn encode_cells(cells: &[(u32, u32, Weight)]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a cell list produced by [`encode_cells`].
-///
-/// # Panics
-/// Panics on malformed input (driver bug, see [`decode_moves`]).
-pub(crate) fn decode_cells(buf: &[u8]) -> Vec<(u32, u32, Weight)> {
+/// Decodes a cell list produced by [`encode_cells`]. Strict and
+/// allocation-bounded like [`decode_moves`] (each cell occupies ≥ 3
+/// bytes, checked before allocating).
+pub fn decode_cells(buf: &[u8]) -> Result<Vec<(u32, u32, Weight)>, DecodeError> {
+    const WHAT: &str = "cell";
+    let truncated = DecodeError::Truncated { what: WHAT };
     let mut pos = 0usize;
-    let count = read_u64(buf, &mut pos).expect("cell payload truncated") as usize;
+    let count = read_u64(buf, &mut pos).ok_or(truncated.clone())? as usize;
+    let max = (buf.len() - pos) / 3;
+    if count > max {
+        return Err(DecodeError::CountExceedsPayload {
+            what: WHAT,
+            declared: count as u64,
+            max: max as u64,
+        });
+    }
     let mut cells = Vec::with_capacity(count);
     let (mut prev_r, mut prev_c) = (0u64, 0u64);
     for i in 0..count {
-        let dr = read_u64(buf, &mut pos).expect("cell payload truncated");
-        let c_raw = read_u64(buf, &mut pos).expect("cell payload truncated");
+        let dr = read_u64(buf, &mut pos).ok_or(truncated.clone())?;
+        let c_raw = read_u64(buf, &mut pos).ok_or(truncated.clone())?;
+        let out_of_range = |what| DecodeError::ValueOutOfRange { what };
         let (r, c) = if i == 0 {
             (dr, c_raw)
         } else if dr == 0 {
-            (prev_r, prev_c + c_raw + 1)
+            (
+                prev_r,
+                prev_c
+                    .checked_add(c_raw)
+                    .and_then(|c| c.checked_add(1))
+                    .ok_or(out_of_range("cell col"))?,
+            )
         } else {
-            (prev_r + dr, c_raw)
+            (
+                prev_r.checked_add(dr).ok_or(out_of_range("cell row"))?,
+                c_raw,
+            )
         };
-        let w = read_i64(buf, &mut pos).expect("cell payload truncated");
+        let w = read_i64(buf, &mut pos).ok_or(truncated.clone())?;
         cells.push((
-            u32::try_from(r).expect("cell row out of range"),
-            u32::try_from(c).expect("cell col out of range"),
+            u32::try_from(r).map_err(|_| out_of_range("cell row"))?,
+            u32::try_from(c).map_err(|_| out_of_range("cell col"))?,
             w,
         ));
         (prev_r, prev_c) = (r, c);
     }
-    assert_eq!(pos, buf.len(), "trailing bytes in cell payload");
-    cells
+    if pos != buf.len() {
+        return Err(DecodeError::TrailingBytes { what: WHAT });
+    }
+    Ok(cells)
 }
 
 /// Frames several independently-encoded payloads into one buffer, so a
 /// whole sync point ships in a single allgather: a tiny header holding
 /// the varint byte length of every section but the last, then the
 /// sections back to back (the last runs to the end of the buffer).
-pub(crate) fn concat_sections<const N: usize>(sections: [&[u8]; N]) -> Vec<u8> {
+pub fn concat_sections<const N: usize>(sections: [&[u8]; N]) -> Vec<u8> {
+    const {
+        assert!(N >= 1 && N <= MAX_SECTIONS, "section count out of range");
+    }
     let total: usize = sections.iter().map(|s| s.len()).sum();
     let mut buf = Vec::with_capacity(total + 2 * N);
     for s in &sections[..N - 1] {
@@ -142,28 +201,42 @@ pub(crate) fn concat_sections<const N: usize>(sections: [&[u8]; N]) -> Vec<u8> {
 }
 
 /// Splits a buffer produced by `concat_sections` back into its `N`
-/// sections.
-///
-/// # Panics
-/// Panics on malformed input (driver bug, see [`decode_moves`]).
-pub(crate) fn split_sections<const N: usize>(buf: &[u8]) -> [&[u8]; N] {
+/// sections. Strict: every declared length is bounds-checked against
+/// the buffer before slicing (no allocation happens at all — the
+/// sections borrow from `buf`), and `N` is capped at [`MAX_SECTIONS`]
+/// at compile time.
+pub fn split_sections<const N: usize>(buf: &[u8]) -> Result<[&[u8]; N], DecodeError> {
+    const {
+        assert!(N >= 1 && N <= MAX_SECTIONS, "section count out of range");
+    }
     let mut pos = 0usize;
     let mut lens = [0usize; N];
     for l in lens.iter_mut().take(N - 1) {
-        *l = read_u64(buf, &mut pos).expect("sync header truncated") as usize;
+        *l = read_u64(buf, &mut pos).ok_or(DecodeError::Truncated {
+            what: "sync header",
+        })? as usize;
     }
     let mut out = [&buf[..0]; N];
     for (i, slot) in out.iter_mut().enumerate() {
         let end = if i == N - 1 {
             buf.len()
         } else {
-            pos.checked_add(lens[i]).expect("sync section overflow")
+            pos.checked_add(lens[i])
+                .ok_or(DecodeError::SectionOutOfBounds {
+                    declared: lens[i] as u64,
+                    available: buf.len() - pos,
+                })?
         };
-        assert!(end <= buf.len() && pos <= end, "sync section out of bounds");
+        if end > buf.len() || pos > end {
+            return Err(DecodeError::SectionOutOfBounds {
+                declared: lens[i] as u64,
+                available: buf.len() - pos.min(buf.len()),
+            });
+        }
         *slot = &buf[pos..end];
         pos = end;
     }
-    out
+    Ok(out)
 }
 
 /// Per-rank accounting of the compressed move exchange, summed into
@@ -195,8 +268,8 @@ mod tests {
             AcceptedMove { v: 900_000, to: 0 },
             AcceptedMove { v: 0, to: u32::MAX },
         ];
-        assert_eq!(decode_moves(&encode_moves(&moves)), moves);
-        assert_eq!(decode_moves(&encode_moves(&[])), vec![]);
+        assert_eq!(decode_moves(&encode_moves(&moves)).expect("ok"), moves);
+        assert_eq!(decode_moves(&encode_moves(&[])).expect("ok"), vec![]);
     }
 
     #[test]
@@ -225,15 +298,59 @@ mod tests {
             (2, 2, i64::MIN + 1),
             (9, 0, 1),
         ];
-        assert_eq!(decode_cells(&encode_cells(&cells)), cells);
-        assert_eq!(decode_cells(&encode_cells(&[])), vec![]);
+        assert_eq!(decode_cells(&encode_cells(&cells)).expect("ok"), cells);
+        assert_eq!(decode_cells(&encode_cells(&[])).expect("ok"), vec![]);
     }
 
     #[test]
-    #[should_panic(expected = "truncated")]
-    fn truncated_move_payload_panics() {
+    fn truncated_move_payload_errors() {
         let buf = encode_moves(&[AcceptedMove { v: 1, to: 1 }]);
-        decode_moves(&buf[..buf.len() - 1]);
+        for cut in 0..buf.len() {
+            let r = decode_moves(&buf[..cut]);
+            assert!(r.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn crafted_move_count_is_rejected_before_allocation() {
+        // Header declares u64::MAX moves over a 1-byte body: the count
+        // check must reject it without sizing a vector from it.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.push(0);
+        match decode_moves(&buf) {
+            Err(DecodeError::CountExceedsPayload { declared, .. }) => {
+                assert_eq!(declared, u64::MAX);
+            }
+            other => panic!("expected CountExceedsPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crafted_cell_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 60);
+        buf.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            decode_cells(&buf),
+            Err(DecodeError::CountExceedsPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = encode_moves(&[AcceptedMove { v: 1, to: 1 }]);
+        buf.push(0);
+        assert!(matches!(
+            decode_moves(&buf),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+        let mut buf = encode_cells(&[(1, 2, 3)]);
+        buf.push(7);
+        assert!(matches!(
+            decode_cells(&buf),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
     }
 
     #[test]
@@ -242,22 +359,45 @@ mod tests {
         let cells = encode_cells(&[(0, 3, -2), (1, 1, 5)]);
         let cuts = encode_cells(&[]);
         let framed = concat_sections([&moves, &cells, &cuts]);
-        let [m, ce, cu] = split_sections::<3>(&framed);
+        let [m, ce, cu] = split_sections::<3>(&framed).expect("well-formed");
         assert_eq!(m, &moves[..]);
         assert_eq!(ce, &cells[..]);
         assert_eq!(cu, &cuts[..]);
-        assert_eq!(decode_moves(m).len(), 2);
-        assert_eq!(decode_cells(ce), vec![(0, 3, -2), (1, 1, 5)]);
-        assert!(decode_cells(cu).is_empty());
+        assert_eq!(decode_moves(m).expect("ok").len(), 2);
+        assert_eq!(decode_cells(ce).expect("ok"), vec![(0, 3, -2), (1, 1, 5)]);
+        assert!(decode_cells(cu).expect("ok").is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn oversized_section_header_panics() {
+    fn oversized_section_header_errors() {
         let moves = encode_moves(&[]);
         let cells = encode_cells(&[]);
         let mut framed = concat_sections([&moves, &cells, &[][..]]);
         framed[0] = 200; // claim a longer first section than the buffer holds
-        let _ = split_sections::<3>(&framed);
+        assert!(matches!(
+            split_sections::<3>(&framed),
+            Err(DecodeError::SectionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_section_header_errors() {
+        assert!(matches!(
+            split_sections::<3>(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_section_header_errors() {
+        // A header whose declared length wraps pos + len past usize::MAX.
+        let mut framed = Vec::new();
+        write_u64(&mut framed, u64::MAX);
+        write_u64(&mut framed, 0);
+        framed.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            split_sections::<3>(&framed),
+            Err(DecodeError::SectionOutOfBounds { .. })
+        ));
     }
 }

@@ -22,11 +22,32 @@
 //! return the unified [`sbp_core::RunOutcome`] with a [`ClusterReport`]
 //! attached. The legacy [`run_dcsbp_cluster`] / [`run_edist_cluster`]
 //! free functions remain as deprecated shims over them.
+//!
+//! ## Coordinated unwind
+//!
+//! Failures never panic the cluster or deadlock a collective. Every
+//! matched-collective region runs under `error::guard_collectives`; a
+//! rank that fails — shard ingest error, malformed peer payload, an
+//! injected [`fault::RankDeath`] — poisons its peers through
+//! `error::abort_schedule` (waking anyone blocked in a collective)
+//! and returns its best-so-far partition with
+//! [`sbp_core::RunOutcome::degraded`] set. Peers observe the poison as
+//! a typed [`DistError::PeerAborted`] and unwind the same way, so all
+//! ranks return. The detecting rank reports the specific
+//! [`sbp_core::DegradedReason`]; cascade observers report
+//! `RankFailure`. [`fault::FaultComm`] injects deterministic,
+//! seed-keyed faults (kill / mangle / delay, counted in collective
+//! sync points) to exercise the protocol in tests, and
+//! [`checkpoint`] gives rank 0 `.sbpc` snapshots for bit-identical
+//! resume after a crash.
 
+pub mod checkpoint;
 pub mod dcsbp;
 pub mod distgraph;
 pub mod edist;
+pub mod error;
 pub mod exchange;
+pub mod fault;
 pub mod ownership;
 pub mod sharded;
 pub mod solver;
@@ -38,7 +59,9 @@ pub use distgraph::{load_dist_graph, DistGraph, ShardIngestReport};
 #[allow(deprecated)]
 pub use edist::run_edist_cluster;
 pub use edist::{edist, EdistConfig, EdistResult};
+pub use error::{DecodeError, DistError};
 pub use exchange::ExchangeStats;
+pub use fault::{Fault, FaultComm, FaultPlan, RankDeath};
 pub use ownership::{balanced_ownership, modulo_ownership, owned_blocks, OwnershipStrategy};
 pub use sbp_mpi::ClusterReport;
 pub use sharded::{dcsbp_sharded, edist_sharded, run_sharded, ShardedBackend};

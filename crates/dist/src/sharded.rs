@@ -53,10 +53,12 @@
 use crate::dcsbp::{combine_parts, compact_labels, DcsbpConfig, Engine};
 use crate::distgraph::{load_dist_graph, DistGraph, ShardIngestReport};
 use crate::edist::{edist_driver, shared_dl, EdistConfig, EdistData};
+use crate::error::{abort_schedule, guard_collectives, DistError};
 use crate::exchange::{
     concat_sections, decode_cells, decode_moves, encode_cells, encode_moves, split_sections,
     ExchangeStats,
 };
+use crate::fault::{FaultComm, FaultPlan};
 use crate::mix_seed;
 use crate::solver::{run_cluster_streaming, EventRelay};
 use sbp_core::mcmc::AcceptedMove;
@@ -91,22 +93,22 @@ fn dist_blockmodel<C: Communicator>(
     dg: &DistGraph,
     assignment: Vec<u32>,
     num_blocks: usize,
-) -> Blockmodel {
+) -> Result<Blockmodel, DistError> {
     let mine = encode_cells(&local_cells(dg, &assignment));
     let payloads = comm.allgatherv(mine);
     let mut total: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
     for payload in payloads {
-        for (r, c, w) in decode_cells(&payload) {
+        for (r, c, w) in decode_cells(&payload)? {
             *total.entry((r, c)).or_insert(0) += w;
         }
     }
-    Blockmodel::from_parts(
+    Ok(Blockmodel::from_parts(
         dg.num_vertices(),
         dg.total_edge_weight(),
         assignment,
         num_blocks,
         total.into_iter().map(|((r, c), w)| (r, c, w)),
-    )
+    ))
 }
 
 // ------------------------------------------------------------- move sync
@@ -170,7 +172,7 @@ fn sharded_sync<C: Communicator>(
     prev: &mut Vec<u32>,
     pending: &[AcceptedMove],
     xstats: &mut ExchangeStats,
-) -> usize {
+) -> Result<usize, DistError> {
     let rank = comm.rank();
     // The replica currently sits at M(A_prev + own): own moves were
     // applied incrementally mid-sweep, peer moves arrive below.
@@ -242,12 +244,12 @@ fn sharded_sync<C: Communicator>(
     let mut delta: BTreeMap<(u32, u32), Weight> = BTreeMap::new();
     let mut all_cuts: Vec<(u32, u32, Weight)> = Vec::new();
     for p in &payloads {
-        let [moves_sec, cells_sec, cuts_sec] = split_sections::<3>(p);
-        gathered.push(decode_moves(moves_sec));
-        for (r, c, w) in decode_cells(cells_sec) {
+        let [moves_sec, cells_sec, cuts_sec] = split_sections::<3>(p)?;
+        gathered.push(decode_moves(moves_sec)?);
+        for (r, c, w) in decode_cells(cells_sec)? {
             *delta.entry((r, c)).or_insert(0) += w;
         }
-        all_cuts.extend(decode_cells(cuts_sec));
+        all_cuts.extend(decode_cells(cuts_sec)?);
     }
 
     // A vertex is only ever moved by its owner, so applying the per-rank
@@ -328,7 +330,7 @@ fn sharded_sync<C: Communicator>(
         degree_deltas.into_iter().map(|(b, (o, i))| (b, o, i)),
     );
     *prev = next;
-    moves
+    Ok(moves)
 }
 
 // ---------------------------------------------------------- EDiSt driver
@@ -348,6 +350,10 @@ impl EdistData for ShardedData<'_> {
         self.dg.num_vertices()
     }
 
+    fn total_edge_weight(&self) -> i64 {
+        self.dg.total_edge_weight()
+    }
+
     fn sweep_graph(&self) -> &sbp_graph::Graph {
         self.dg.local()
     }
@@ -356,7 +362,7 @@ impl EdistData for ShardedData<'_> {
         self.dg.owned()
     }
 
-    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Blockmodel {
+    fn start_blockmodel<C: Communicator>(&self, comm: &C) -> Result<Blockmodel, DistError> {
         // Identity start, like the monolithic driver (identity is already
         // compact: every vertex occupies its own block, so the monolithic
         // plane's compaction pass is the identity relabeling here).
@@ -369,7 +375,7 @@ impl EdistData for ShardedData<'_> {
         comm: &C,
         assignment: Vec<u32>,
         num_blocks: usize,
-    ) -> Blockmodel {
+    ) -> Result<Blockmodel, DistError> {
         dist_blockmodel(comm, self.dg, assignment, num_blocks)
     }
 
@@ -380,7 +386,7 @@ impl EdistData for ShardedData<'_> {
         prev: &mut Vec<u32>,
         pending: &[AcceptedMove],
         xstats: &mut ExchangeStats,
-    ) -> usize {
+    ) -> Result<usize, DistError> {
         sharded_sync(comm, self.dg, bm, prev, pending, xstats)
     }
 }
@@ -448,63 +454,80 @@ pub(crate) fn dcsbp_sharded_run<C: Communicator>(
     if n == 0 {
         return RunOutcome::empty();
     }
-    let sub = induced_subgraph(dg.local(), dg.owned());
+    // The whole collective region runs guarded (coordinated unwind, see
+    // `crate::error`): a corrupted cell payload or a peer abort degrades
+    // the run instead of crashing the cluster.
+    let result = guard_collectives(|| {
+        let sub = induced_subgraph(dg.local(), dg.owned());
 
-    relay.emit(ProgressEvent::PhaseStarted { phase: "local-sbp" });
-    let mut sub_cfg = cfg.sbp.clone();
-    sub_cfg.seed = mix_seed(cfg.sbp.seed, 0xDC00 + rank as u64);
-    let local_assignment: Vec<u32> = match cfg.engine {
-        Engine::Optimized => {
-            let run_cfg = RunConfig {
-                sbp: sub_cfg,
-                cancel: cancel.clone(),
-            };
-            solve_sbp(&sub.graph, None, &run_cfg, &mut NoProgress).assignment
+        relay.emit(ProgressEvent::PhaseStarted { phase: "local-sbp" });
+        let mut sub_cfg = cfg.sbp.clone();
+        sub_cfg.seed = mix_seed(cfg.sbp.seed, 0xDC00 + rank as u64);
+        let local_assignment: Vec<u32> = match cfg.engine {
+            Engine::Optimized => {
+                let run_cfg = RunConfig {
+                    sbp: sub_cfg,
+                    cancel: cancel.clone(),
+                    ..RunConfig::default()
+                };
+                solve_sbp(&sub.graph, None, &run_cfg, &mut NoProgress).assignment
+            }
+            Engine::Naive if cancel.is_cancelled() => vec![0; sub.graph.num_vertices()],
+            Engine::Naive => naive_sbp(&sub.graph, &sub_cfg).assignment,
+        };
+
+        let payload: Vec<(u32, u32)> = local_assignment
+            .iter()
+            .enumerate()
+            .map(|(v, &b)| (sub.to_global(v as u32), b))
+            .collect();
+        let gathered = comm.gatherv(0, payload);
+
+        // Root: offset label spaces and compact — pure assignment
+        // arithmetic, shared with the monolithic driver so the combine
+        // semantics cannot drift (`compact_labels` reproduces exactly the
+        // relabeling `Blockmodel::compacted` would apply).
+        let root_result = gathered.map(|parts| {
+            relay.emit(ProgressEvent::PhaseStarted { phase: "combine" });
+            let (combined, width) = combine_parts(parts, n);
+            let (compacted, num_blocks) = compact_labels(combined, width);
+            (compacted, num_blocks, cancel.is_cancelled())
+        });
+        let (assignment, num_blocks, cancelled): (Vec<u32>, usize, bool) =
+            comm.broadcast(0, root_result);
+
+        // Exact DL of the combined partition, computed distributively.
+        let bm = dist_blockmodel(comm, dg, assignment, num_blocks)?;
+        let description_length = shared_dl(comm, &bm);
+        if cancelled {
+            relay.emit(ProgressEvent::Cancelled { iteration: 0 });
+        } else {
+            relay.emit(ProgressEvent::Finished {
+                num_blocks,
+                description_length,
+            });
         }
-        Engine::Naive if cancel.is_cancelled() => vec![0; sub.graph.num_vertices()],
-        Engine::Naive => naive_sbp(&sub.graph, &sub_cfg).assignment,
-    };
-
-    let payload: Vec<(u32, u32)> = local_assignment
-        .iter()
-        .enumerate()
-        .map(|(v, &b)| (sub.to_global(v as u32), b))
-        .collect();
-    let gathered = comm.gatherv(0, payload);
-
-    // Root: offset label spaces and compact — pure assignment
-    // arithmetic, shared with the monolithic driver so the combine
-    // semantics cannot drift (`compact_labels` reproduces exactly the
-    // relabeling `Blockmodel::compacted` would apply).
-    let root_result = gathered.map(|parts| {
-        relay.emit(ProgressEvent::PhaseStarted { phase: "combine" });
-        let (combined, width) = combine_parts(parts, n);
-        let (compacted, num_blocks) = compact_labels(combined, width);
-        (compacted, num_blocks, cancel.is_cancelled())
-    });
-    let (assignment, num_blocks, cancelled): (Vec<u32>, usize, bool) =
-        comm.broadcast(0, root_result);
-
-    // Exact DL of the combined partition, computed distributively.
-    let bm = dist_blockmodel(comm, dg, assignment, num_blocks);
-    let description_length = shared_dl(comm, &bm);
-    if cancelled {
-        relay.emit(ProgressEvent::Cancelled { iteration: 0 });
-    } else {
-        relay.emit(ProgressEvent::Finished {
+        Ok(RunOutcome {
+            assignment: bm.into_assignment(),
             num_blocks,
             description_length,
-        });
-    }
-    RunOutcome {
-        assignment: bm.into_assignment(),
-        num_blocks,
-        description_length,
-        iterations: Vec::new(),
-        cancelled,
-        virtual_seconds: comm.virtual_time(),
-        cluster: None,
-        sampled_vertices: None,
+            iterations: Vec::new(),
+            cancelled,
+            degraded: None,
+            virtual_seconds: comm.virtual_time(),
+            cluster: None,
+            sampled_vertices: None,
+        })
+    });
+    match result {
+        Ok(out) => out,
+        Err(err) => {
+            let reason = abort_schedule(comm, &err);
+            let mut out = RunOutcome::empty();
+            out.degraded = Some(reason);
+            out.virtual_seconds = comm.virtual_time();
+            out
+        }
     }
 }
 
@@ -538,9 +561,15 @@ pub enum ShardedBackend {
 /// the same `dir` —
 /// callers always need it anyway (to pick rank counts and reject backend
 /// mismatches before spawning anything), so the directory is scanned
-/// exactly once per run instead of once per layer. Shard files that
-/// disappear or mutate *between* validation and the per-rank load panic
-/// the cluster.
+/// exactly once per run instead of once per layer. A shard file that
+/// disappears or mutates *between* validation and the per-rank load
+/// degrades the run ([`sbp_core::run::DegradedReason::ShardLoadFailure`]
+/// on the detecting rank) via the coordinated unwind in [`crate::error`]
+/// — it never panics the cluster.
+///
+/// `fault` injects a deterministic fault plan (see [`crate::fault`]) by
+/// decorating every rank's communicator with [`FaultComm`]; pass
+/// [`FaultPlan::none`] for a clean run.
 ///
 /// Returns the rank-identical outcome plus the ingest report.
 pub fn run_sharded(
@@ -549,6 +578,7 @@ pub fn run_sharded(
     backend: ShardedBackend,
     cost: CostModel,
     cfg: &RunConfig,
+    fault: &FaultPlan,
     progress: &mut dyn ProgressSink,
 ) -> (RunOutcome, ShardIngestReport) {
     let ranks = header.shard_count;
@@ -559,42 +589,85 @@ pub fn run_sharded(
     progress.on_event(&ProgressEvent::ClusterStarted { ranks });
     let cancel = cfg.cancel.clone();
     let out = run_cluster_streaming(ranks, cost, progress, |comm, relay| {
-        let dg = load_dist_graph(comm, dir)
-            .unwrap_or_else(|e| panic!("rank {} failed to load shard: {e}", comm.rank()));
-        let report = *dg.report();
-        let (outcome, xstats) = match backend {
-            ShardedBackend::Edist { sync_period } => {
-                let ecfg = EdistConfig {
-                    sbp: cfg.sbp.clone(),
-                    ownership: dg.strategy(),
-                    sync_period,
-                };
-                edist_sharded_run(comm, &dg, &ecfg, &cancel, relay)
-            }
-            ShardedBackend::DcSbp { engine } => {
-                let dcfg = DcsbpConfig {
-                    sbp: cfg.sbp.clone(),
-                    engine,
-                    skip_finetune: true,
-                };
-                (
-                    dcsbp_sharded_run(comm, &dg, &dcfg, &cancel, relay),
-                    ExchangeStats::default(),
-                )
-            }
-        };
-        (outcome, xstats, report)
+        if fault.is_empty() {
+            sharded_rank_body(comm, dir, backend, cfg, &cancel, relay)
+        } else {
+            let fc = FaultComm::new(comm, fault.clone());
+            sharded_rank_body(&fc, dir, backend, cfg, &cancel, relay)
+        }
     });
     let mut report = ClusterReport::from_outcome(&out);
     for rank in &out.ranks {
         report.move_bytes_raw += rank.result.1.move_bytes_raw;
         report.move_bytes_encoded += rank.result.1.move_bytes_encoded;
     }
+    // Decorated-communicator clock skew and degraded peers are
+    // cluster-wide facts (see `finish_outcome` in `crate::solver`).
+    let driver_makespan = out
+        .ranks
+        .iter()
+        .map(|r| r.result.0.virtual_seconds)
+        .fold(0.0, f64::max);
+    report.makespan = report.makespan.max(driver_makespan);
+    let cascade = out.ranks.iter().find_map(|r| r.result.0.degraded);
     let rank0 = out.ranks.into_iter().next().expect("at least one rank");
     let (mut outcome, _, ingest) = rank0.result;
+    outcome.degraded = outcome.degraded.or(cascade);
     outcome.virtual_seconds = report.makespan;
     outcome.cluster = Some(report);
     (outcome, ingest)
+}
+
+/// One rank's whole sharded run: guarded ingest, then the backend driver.
+/// Generic over the communicator so [`run_sharded`] can interpose
+/// [`FaultComm`] without a second copy of the body.
+fn sharded_rank_body<C: Communicator>(
+    comm: &C,
+    dir: &Path,
+    backend: ShardedBackend,
+    cfg: &RunConfig,
+    cancel: &CancelToken,
+    relay: &EventRelay,
+) -> (RunOutcome, ExchangeStats, ShardIngestReport) {
+    // The ingest itself runs guarded: a rank whose shard file fails to
+    // read (or that observes a peer's ingest failure) poisons the
+    // schedule and returns a degraded empty outcome instead of
+    // panicking the cluster.
+    let dg = match guard_collectives(|| load_dist_graph(comm, dir)) {
+        Ok(dg) => dg,
+        Err(err) => {
+            let reason = abort_schedule(comm, &err);
+            let mut out = RunOutcome::empty();
+            out.degraded = Some(reason);
+            out.virtual_seconds = comm.virtual_time();
+            return (out, ExchangeStats::default(), ShardIngestReport::default());
+        }
+    };
+    let report = *dg.report();
+    let (outcome, xstats) = match backend {
+        ShardedBackend::Edist { sync_period } => {
+            let ecfg = EdistConfig {
+                sbp: cfg.sbp.clone(),
+                ownership: dg.strategy(),
+                sync_period,
+                checkpoint: cfg.checkpoint.clone(),
+                resume: cfg.resume.clone(),
+            };
+            edist_sharded_run(comm, &dg, &ecfg, cancel, relay)
+        }
+        ShardedBackend::DcSbp { engine } => {
+            let dcfg = DcsbpConfig {
+                sbp: cfg.sbp.clone(),
+                engine,
+                skip_finetune: true,
+            };
+            (
+                dcsbp_sharded_run(comm, &dg, &dcfg, cancel, relay),
+                ExchangeStats::default(),
+            )
+        }
+    };
+    (outcome, xstats, report)
 }
 
 #[cfg(test)]
@@ -627,6 +700,7 @@ mod tests {
             backend,
             CostModel::zero(),
             cfg,
+            &FaultPlan::none(),
             &mut NoProgress,
         )
     }
@@ -668,6 +742,7 @@ mod tests {
                     cost: CostModel::zero(),
                     ownership: strategy,
                     sync_period: 1,
+                    fault: crate::fault::FaultPlan::none(),
                 }
                 .solve(&g, &RunConfig::seeded(42), &mut NoProgress);
                 assert_eq!(sharded.assignment, mono.assignment, "{strategy:?}×{ranks}");
@@ -728,6 +803,7 @@ mod tests {
         let cfg = RunConfig {
             sbp: SbpConfig::default(),
             cancel: CancelToken::new(),
+            ..RunConfig::default()
         };
         cfg.cancel.cancel();
         let (out, _) = run(&dir, ShardedBackend::Edist { sync_period: 1 }, &cfg);

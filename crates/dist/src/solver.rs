@@ -11,6 +11,7 @@
 
 use crate::dcsbp::{dcsbp_run, DcsbpConfig, Engine};
 use crate::edist::{edist_run, EdistConfig};
+use crate::fault::{FaultComm, FaultPlan};
 use crate::ownership::OwnershipStrategy;
 use sbp_core::run::{ProgressEvent, ProgressSink, RunConfig, RunOutcome, Solver};
 use sbp_graph::Graph;
@@ -85,9 +86,22 @@ fn finish_outcome<R>(
     out: sbp_mpi::ClusterOutcome<R>,
     extract: impl Fn(R) -> RunOutcome,
 ) -> RunOutcome {
-    let report = ClusterReport::from_outcome(&out);
-    let rank0 = out.ranks.into_iter().next().expect("at least one rank");
-    let mut outcome = extract(rank0.result);
+    let mut report = ClusterReport::from_outcome(&out);
+    let mut outcomes: Vec<RunOutcome> = out.ranks.into_iter().map(|r| extract(r.result)).collect();
+    // The drivers read their clocks through the (possibly decorated)
+    // communicator, so injected skew shows up in the per-rank outcomes
+    // and not in the raw cluster records.
+    let driver_makespan = outcomes
+        .iter()
+        .map(|o| o.virtual_seconds)
+        .fold(0.0, f64::max);
+    report.makespan = report.makespan.max(driver_makespan);
+    // A degraded peer is a cluster-wide fact even when rank 0's own
+    // schedule happened to complete before the failure could reach it
+    // (the tail of a schedule can be all root-side broadcasts).
+    let cascade = outcomes.iter().find_map(|o| o.degraded);
+    let mut outcome = outcomes.swap_remove(0);
+    outcome.degraded = outcome.degraded.or(cascade);
     outcome.virtual_seconds = report.makespan;
     outcome.cluster = Some(report);
     outcome
@@ -95,7 +109,7 @@ fn finish_outcome<R>(
 
 /// The EDiSt backend (paper Algs. 4–5): full replication, partitioned
 /// work, exact inference at any rank count.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Edist {
     /// Simulated MPI ranks.
     pub ranks: usize,
@@ -106,6 +120,11 @@ pub struct Edist {
     /// Sweeps between move exchanges (1 = the paper's every-sweep
     /// allgather).
     pub sync_period: usize,
+    /// Deterministic fault injection ([`crate::fault`]); empty = none.
+    /// Each rank's communicator is decorated with [`FaultComm`], so an
+    /// injected kill/mangle degrades the run coordinately (all survivors
+    /// return best-so-far with `degraded` set) instead of crashing it.
+    pub fault: FaultPlan,
 }
 
 impl Edist {
@@ -117,6 +136,7 @@ impl Edist {
             cost: CostModel::hdr100(),
             ownership: OwnershipStrategy::default(),
             sync_period: 1,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -143,10 +163,18 @@ impl Solver for Edist {
             sbp: cfg.sbp.clone(),
             ownership: self.ownership,
             sync_period: self.sync_period,
+            checkpoint: cfg.checkpoint.clone(),
+            resume: cfg.resume.clone(),
         };
         let cancel = cfg.cancel.clone();
+        let fault = self.fault.clone();
         let out = run_cluster_streaming(n, self.cost, progress, |comm, relay| {
-            edist_run(comm, graph, &ecfg, &cancel, relay)
+            if fault.is_empty() {
+                edist_run(comm, graph, &ecfg, &cancel, relay)
+            } else {
+                let fc = FaultComm::new(comm, fault.clone());
+                edist_run(&fc, graph, &ecfg, &cancel, relay)
+            }
         });
         // Move-exchange accounting is summed over every rank, like the
         // byte counters the report already carries.
@@ -299,6 +327,7 @@ mod tests {
                 ..Default::default()
             },
             cancel: CancelToken::new(),
+            ..RunConfig::default()
         };
         let token = cfg.cancel.clone();
         let mut sink = ProgressFn(move |e: &ProgressEvent| {

@@ -331,14 +331,26 @@ impl ShardReader {
         if owned.last().is_some_and(|&v| v as usize >= num_vertices) {
             return Err(malformed("owned vertex out of range"));
         }
-        let mut owned_mask = vec![false; num_vertices];
-        for &v in &owned {
-            owned_mask[v as usize] = true;
-        }
         let edge_count = next("truncated edge_count", &mut pos)? as usize;
-        let mut edges = Vec::with_capacity(edge_count.min(1 << 24));
+        // Every edge costs at least 3 varint bytes (src delta, dst,
+        // weight), so a declared count the remaining payload could never
+        // encode is a crafted length — reject it *before* sizing the edge
+        // vector, so a few hostile header bytes cannot demand a
+        // multi-gigabyte allocation.
+        if edge_count > bytes.len().saturating_sub(pos) / 3 {
+            return Err(malformed(format!(
+                "edge count {edge_count} exceeds what the remaining {} payload bytes could hold",
+                bytes.len() - pos
+            )));
+        }
+        let mut edges = Vec::with_capacity(edge_count);
         let mut prev: Option<(Vertex, Vertex)> = None;
         let mut checksum = 0u64;
+        // Ownership is checked against the sorted owned list (memoized —
+        // the stream is src-sorted) rather than a num_vertices-sized
+        // mask: the header's vertex count is attacker-controlled, and the
+        // mask would let a 40-byte file allocate gigabytes.
+        let mut last_owned: Option<Vertex> = None;
         for i in 0..edge_count {
             let src_delta = next("truncated edge src", &mut pos)?;
             let dst_raw = next("truncated edge dst", &mut pos)?;
@@ -365,8 +377,11 @@ impl ShardReader {
                 return Err(malformed(format!("edge {i} endpoint out of range")));
             }
             let (src, dst) = (src as Vertex, dst as Vertex);
-            if !owned_mask[src as usize] {
-                return Err(malformed(format!("edge {i} src {src} not owned by shard")));
+            if last_owned != Some(src) {
+                if owned.binary_search(&src).is_err() {
+                    return Err(malformed(format!("edge {i} src {src} not owned by shard")));
+                }
+                last_owned = Some(src);
             }
             let weight = w_raw
                 .checked_add(1)
@@ -782,6 +797,43 @@ mod tests {
         write_u64(&mut b, 1 << 50); // num_vertices
         write_u64(&mut b, 0);
         write_u64(&mut b, 1);
+        assert!(ShardReader::decode(&b).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_crafted_edge_count_before_allocating() {
+        // A header promising u64::MAX/8 edges followed by a near-empty
+        // payload must be rejected by the count-vs-remaining-bytes check
+        // (each edge is ≥ 3 varint bytes), not by an OOM in with_capacity.
+        use crate::varint::{write_ascending_ids, write_u64};
+        let mut b = Vec::new();
+        b.extend_from_slice(&SHARD_MAGIC);
+        b.push(SHARD_VERSION);
+        b.push(0); // modulo
+        write_u64(&mut b, 4); // num_vertices
+        write_u64(&mut b, 0); // shard_index
+        write_u64(&mut b, 1); // shard_count
+        write_ascending_ids(&mut b, &[0, 1, 2, 3]);
+        write_u64(&mut b, u64::MAX / 8); // edge_count: crafted
+        write_u64(&mut b, 0); // a few bytes of "payload"
+        let err = ShardReader::decode(&b).unwrap_err();
+        assert!(err.to_string().contains("edge count"), "{err}");
+    }
+
+    #[test]
+    fn reader_rejects_crafted_owned_count_before_allocating() {
+        // Same attack on the owned-id list: the declared count must be
+        // bounded by the remaining payload before the vector is sized.
+        use crate::varint::write_u64;
+        let mut b = Vec::new();
+        b.extend_from_slice(&SHARD_MAGIC);
+        b.push(SHARD_VERSION);
+        b.push(0);
+        write_u64(&mut b, 4); // num_vertices
+        write_u64(&mut b, 0); // shard_index
+        write_u64(&mut b, 1); // shard_count
+        write_u64(&mut b, u64::MAX / 2); // owned count: crafted
+        write_u64(&mut b, 0);
         assert!(ShardReader::decode(&b).is_err());
     }
 

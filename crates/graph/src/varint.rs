@@ -100,7 +100,14 @@ pub fn write_ascending_ids(buf: &mut Vec<u8>, ids: &[u32]) {
 /// truncation, delta overflow, or if any id exceeds `u32::MAX`.
 pub fn read_ascending_ids(buf: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
     let count = read_u64(buf, pos)? as usize;
-    let mut out = Vec::with_capacity(count.min(1 << 20));
+    // Every id costs at least one varint byte, so a declared count larger
+    // than the remaining payload could ever hold is a crafted length —
+    // reject it *before* sizing the vector, so a handful of hostile bytes
+    // cannot demand an arbitrarily large allocation.
+    if count > buf.len().saturating_sub(*pos) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
     let mut prev = 0u64;
     for i in 0..count {
         let delta = read_u64(buf, pos)?;

@@ -59,6 +59,16 @@ pub trait Communicator {
 
     /// Communication statistics so far.
     fn stats(&self) -> CommStats;
+
+    /// Notifies every peer that this rank is abandoning the collective
+    /// schedule (coordinated-unwind protocol). Peers blocked in — or later
+    /// entering — a collective observe the notice as a typed
+    /// [`PeerAborted`](crate::thread::PeerAborted) unwind instead of
+    /// deadlocking. A rank MUST call this before returning early from a
+    /// matched-collective region, and MUST NOT issue further collectives
+    /// afterwards. The default is a no-op, which is correct for
+    /// single-rank communicators (there are no peers to wake).
+    fn poison(&self) {}
 }
 
 /// The single-rank communicator: all collectives are identities and the

@@ -30,4 +30,4 @@ pub use comm::{CommStats, Communicator, SelfComm};
 pub use cost::CostModel;
 pub use cputime::thread_cpu_time;
 pub use report::ClusterReport;
-pub use thread::{ClusterOutcome, RankOutcome, ThreadCluster};
+pub use thread::{ClusterOutcome, PeerAborted, RankOutcome, ThreadCluster};

@@ -17,8 +17,29 @@ enum Envelope {
         bytes: usize,
         payload: Box<dyn Any + Send>,
     },
-    /// A peer rank panicked; unwind this rank too instead of deadlocking.
-    Poison,
+    /// A peer rank abandoned the collective schedule (panic or typed
+    /// abort); unwind this rank too instead of deadlocking.
+    Poison { from: usize },
+}
+
+/// Panic payload raised when a collective observes a peer's poison
+/// notice. Fault-aware drivers `catch_unwind` around their collective
+/// regions and downcast to this type to convert peer death into a typed
+/// error (returning best-so-far instead of crashing); payloads of any
+/// other type are genuine bugs and must be re-raised via
+/// `resume_unwind`.
+#[derive(Clone, Copy)]
+pub struct PeerAborted {
+    /// The rank whose poison notice this rank observed. With cascading
+    /// aborts this is the *nearest* aborted peer, not necessarily the
+    /// originating failure.
+    pub from: usize,
+}
+
+impl std::fmt::Debug for PeerAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer rank {} aborted the collective schedule", self.from)
+    }
 }
 
 /// A buffered incoming message: (virtual clock, payload bytes, payload).
@@ -77,14 +98,17 @@ impl ThreadComm {
     }
 
     fn send_to(&self, dest: usize, t: f64, bytes: usize, payload: Box<dyn Any + Send>) {
-        self.senders[dest]
-            .send(Envelope::Data {
-                from: self.rank,
-                t,
-                bytes,
-                payload,
-            })
-            .expect("peer rank channel closed unexpectedly");
+        // A closed peer channel means that rank already abandoned the
+        // schedule (coordinated unwind) and its thread returned; its
+        // poison notice is necessarily in our queue already, so the next
+        // recv unwinds this rank. Dropping the send instead of panicking
+        // keeps the abort race-free.
+        let _ = self.senders[dest].send(Envelope::Data {
+            from: self.rank,
+            t,
+            bytes,
+            payload,
+        });
     }
 
     /// Receives the next matched envelope from rank `from`, buffering
@@ -110,8 +134,12 @@ impl ThreadComm {
                     }
                     self.pending.borrow_mut()[f].push_back((t, bytes, payload));
                 }
-                Envelope::Poison => {
-                    panic!("peer rank panicked during a collective");
+                Envelope::Poison { from } => {
+                    // `resume_unwind` skips the panic hook: the poison
+                    // is part of the coordinated-unwind protocol and is
+                    // always caught at the rank boundary, so a backtrace
+                    // would be pure noise.
+                    std::panic::resume_unwind(Box::new(PeerAborted { from }));
                 }
             }
         }
@@ -128,7 +156,7 @@ impl ThreadComm {
     fn poison_peers(&self) {
         for (i, s) in self.senders.iter().enumerate() {
             if i != self.rank {
-                let _ = s.send(Envelope::Poison);
+                let _ = s.send(Envelope::Poison { from: self.rank });
             }
         }
     }
@@ -337,6 +365,10 @@ impl Communicator for ThreadComm {
 
     fn stats(&self) -> CommStats {
         self.stats.get()
+    }
+
+    fn poison(&self) {
+        self.poison_peers();
     }
 }
 

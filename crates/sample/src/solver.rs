@@ -151,6 +151,7 @@ impl<S: Solver> Solver for Sampled<S> {
             virtual_seconds: (sbp_mpi::thread_cpu_time() - t0) + inner_out.virtual_seconds,
             cluster: inner_out.cluster,
             sampled_vertices: Some(sampled.len()),
+            degraded: inner_out.degraded,
         }
     }
 }

@@ -22,11 +22,11 @@
 //! distributed backends — the [`ClusterReport`].
 
 use sbp_core::run::{
-    Batch, CancelToken, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome,
-    Sequential, Solver,
+    Batch, CancelToken, CheckpointSpec, DegradedReason, NoProgress, ProgressEvent, ProgressFn,
+    ProgressSink, RunConfig, RunOutcome, Sequential, Solver,
 };
-use sbp_core::{HybridConfig, IterationStat, SbpConfig};
-use sbp_dist::{run_sharded, DcSbp, Edist, Engine, OwnershipStrategy, ShardedBackend};
+use sbp_core::{CheckpointState, HybridConfig, IterationStat, McmcStrategy, SbpConfig};
+use sbp_dist::{run_sharded, DcSbp, Edist, Engine, FaultPlan, OwnershipStrategy, ShardedBackend};
 use sbp_eval::normalized_dl;
 use sbp_graph::Graph;
 use sbp_mpi::{ClusterReport, CostModel};
@@ -107,6 +107,22 @@ pub enum PartitionError {
         /// Shards present in the directory.
         shards: usize,
     },
+    /// Checkpointing or resume was configured for a run with no golden
+    /// loop to snapshot (sampling pipelines, the DC-SBP backend).
+    CheckpointUnsupported(String),
+    /// The [`Partitioner::resume_from`] snapshot could not be read or is
+    /// not a well-formed `.sbpc` file.
+    CheckpointLoad(String),
+    /// The resume snapshot is well-formed but belongs to a different run
+    /// (seed, strategy, or graph fingerprint disagree).
+    CheckpointMismatch(String),
+    /// The [`Partitioner::checkpoint_to`] path can never be written
+    /// (its parent directory is missing), detected before the run starts
+    /// so hours of work are not silently unprotected.
+    CheckpointPath(String),
+    /// A fault plan was configured for a backend with no simulated
+    /// cluster to inject into (single-node backends, in-memory DC-SBP).
+    FaultUnsupported(String),
 }
 
 impl fmt::Display for PartitionError {
@@ -136,6 +152,17 @@ impl fmt::Display for PartitionError {
                 "backend wants {ranks} ranks but the directory holds {shards} shards \
                  (one rank loads exactly one shard)"
             ),
+            PartitionError::CheckpointUnsupported(what) => write!(f, "{what}"),
+            PartitionError::CheckpointLoad(reason) => {
+                write!(f, "resume checkpoint load failed: {reason}")
+            }
+            PartitionError::CheckpointMismatch(reason) => {
+                write!(f, "resume checkpoint rejected: {reason}")
+            }
+            PartitionError::CheckpointPath(reason) => {
+                write!(f, "checkpoint path is not writable: {reason}")
+            }
+            PartitionError::FaultUnsupported(what) => write!(f, "{what}"),
         }
     }
 }
@@ -171,6 +198,11 @@ pub struct Run {
     /// Shard-ingest report — `Some` when the run loaded `.sbps` shards
     /// via [`Partitioner::on_sharded`] instead of an in-memory graph.
     pub ingest: Option<ShardIngestReport>,
+    /// `Some` when a fault degraded a distributed run: the partition is
+    /// the best bracket entry found before the failure, not the converged
+    /// optimum. See [`DegradedReason`] for what every surviving rank
+    /// agrees on.
+    pub degraded: Option<DegradedReason>,
 }
 
 impl Run {
@@ -227,13 +259,17 @@ pub struct Partitioner<'a> {
     finetune_sweeps: usize,
     cancel: CancelToken,
     progress: Option<ProgressCallback<'a>>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume_path: Option<PathBuf>,
+    fault: FaultPlan,
 }
 
 impl<'a> Partitioner<'a> {
     /// Starts a builder for `graph` with default hyper-parameters. With
     /// no explicit [`backend`](Partitioner::backend) call, the
     /// single-node backend matching the configured
-    /// [`McmcStrategy`](sbp_core::McmcStrategy) runs — sequential MH by
+    /// [`McmcStrategy`] runs — sequential MH by
     /// default.
     pub fn on(graph: &'a Graph) -> Self {
         Self::with_source(Source::Graph(graph))
@@ -266,6 +302,10 @@ impl<'a> Partitioner<'a> {
             finetune_sweeps: 3,
             cancel: CancelToken::new(),
             progress: None,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_path: None,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -361,17 +401,88 @@ impl<'a> Partitioner<'a> {
         self
     }
 
+    /// Writes a `.sbpc` golden-loop snapshot to `path` at sync
+    /// boundaries (atomically: temp file + rename, so a crash mid-write
+    /// never leaves a torn checkpoint). Distributed backends write from
+    /// rank 0, where every replica holds identical state. Combine with
+    /// [`checkpoint_every`](Partitioner::checkpoint_every) to thin the
+    /// cadence; resume with [`resume_from`](Partitioner::resume_from).
+    /// The path's parent directory is validated at
+    /// [`run`](Partitioner::run) — a run that could never write its
+    /// protection fails fast instead of silently running bare.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Checkpoints every `every`-th sync boundary instead of every one
+    /// (values are clamped to ≥ 1). Only meaningful together with
+    /// [`checkpoint_to`](Partitioner::checkpoint_to).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes the golden loop from a `.sbpc` snapshot written by an
+    /// earlier [`checkpoint_to`](Partitioner::checkpoint_to) run. The
+    /// snapshot is loaded and validated against this run's seed,
+    /// strategy, and graph fingerprint at [`run`](Partitioner::run); a
+    /// resumed run is bit-identical to the uninterrupted one because
+    /// every RNG stream is keyed by the (restored) iteration index,
+    /// never by elapsed state. The snapshot's backend does not need to
+    /// match: a sequential checkpoint resumes under EDiSt at any rank
+    /// count, and vice versa, as long as the MCMC strategy agrees.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_path = Some(path.into());
+        self
+    }
+
+    /// Injects a deterministic fault plan (see [`FaultPlan::parse`])
+    /// into the simulated cluster: every rank's communicator is wrapped
+    /// in `sbp_dist::FaultComm`, which kills ranks, mangles payloads, or
+    /// delays collectives at exact sync points. Supported by the `Edist`
+    /// backend and every sharded run; rejected elsewhere at
+    /// [`run`](Partitioner::run).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// The backend an in-memory run will actually use: an unspecified
+    /// backend follows the configured MCMC strategy, so `.config(cfg)`
+    /// alone reproduces the legacy `sbp(&g, &cfg)`.
+    fn effective_backend(&self) -> Backend {
+        match (self.backend, &self.sbp.strategy) {
+            (Some(backend), _) => backend,
+            (None, McmcStrategy::MetropolisHastings) => Backend::Sequential,
+            (None, McmcStrategy::Hybrid(hcfg)) => Backend::Hybrid(*hcfg),
+            (None, McmcStrategy::Batch) => Backend::Batch,
+        }
+    }
+
+    /// The MCMC strategy the run's golden loop executes — what a resume
+    /// snapshot must agree with. Single-node backends *are* their
+    /// strategy (they override `sbp.strategy`); the distributed backends
+    /// honour the configured one for their intra-rank sweeps.
+    fn effective_strategy(&self) -> McmcStrategy {
+        match self.effective_backend() {
+            Backend::Sequential => McmcStrategy::MetropolisHastings,
+            Backend::Hybrid(hcfg) => McmcStrategy::Hybrid(hcfg),
+            Backend::Batch => McmcStrategy::Batch,
+            Backend::DcSbp { .. } | Backend::Edist { .. } => self.sbp.strategy.clone(),
+        }
+    }
+
     /// Builds the configured [`Solver`] without running it — useful for
     /// harnesses that drive the trait directly.
     pub fn solver(&self) -> Result<Box<dyn Solver>, PartitionError> {
-        // An unspecified backend follows the configured MCMC strategy,
-        // so `.config(cfg)` alone reproduces the legacy `sbp(&g, &cfg)`.
-        let backend = match (self.backend, &self.sbp.strategy) {
-            (Some(backend), _) => backend,
-            (None, sbp_core::McmcStrategy::MetropolisHastings) => Backend::Sequential,
-            (None, sbp_core::McmcStrategy::Hybrid(hcfg)) => Backend::Hybrid(*hcfg),
-            (None, sbp_core::McmcStrategy::Batch) => Backend::Batch,
-        };
+        let backend = self.effective_backend();
+        if !self.fault.is_empty() && !matches!(backend, Backend::Edist { .. }) {
+            return Err(PartitionError::FaultUnsupported(format!(
+                "the {backend} backend cannot inject faults (only Edist and \
+                 sharded runs carry a fault-decorated communicator)"
+            )));
+        }
         let base: Box<dyn Solver> = match backend {
             Backend::Sequential => Box::new(Sequential),
             Backend::Hybrid(hcfg) => Box::new(sbp_core::run::Hybrid(hcfg)),
@@ -399,6 +510,7 @@ impl<'a> Partitioner<'a> {
                     cost: self.cost,
                     ownership: self.ownership.unwrap_or_default(),
                     sync_period: self.sync_period,
+                    fault: self.fault.clone(),
                 })
             }
         };
@@ -420,15 +532,88 @@ impl<'a> Partitioner<'a> {
         }
     }
 
+    /// Resolves the builder's checkpoint/resume requests into the
+    /// [`RunConfig`] fields, validating everything that can fail before
+    /// the run starts: backend support, the checkpoint path's parent
+    /// directory, and the resume snapshot (loaded here, and checked
+    /// against the run's seed, strategy, and graph fingerprint).
+    /// `total_edge_weight` is `None` on the sharded path, where the
+    /// global weight is not known until ingest — there the snapshot's
+    /// own figure is accepted and only seed/strategy/vertex-count are
+    /// cross-checked.
+    fn checkpoint_cfg(
+        &self,
+        num_vertices: usize,
+        total_edge_weight: Option<u64>,
+    ) -> Result<(Option<CheckpointSpec>, Option<CheckpointState>), PartitionError> {
+        if self.checkpoint_path.is_none() && self.resume_path.is_none() {
+            return Ok((None, None));
+        }
+        if self.sample.is_some() {
+            return Err(PartitionError::CheckpointUnsupported(
+                "sampling pipelines cannot checkpoint or resume (the snapshot would \
+                 capture the sample's golden loop, not the full run; checkpoint an \
+                 unsampled run instead)"
+                    .into(),
+            ));
+        }
+        if matches!(self.effective_backend(), Backend::DcSbp { .. }) {
+            return Err(PartitionError::CheckpointUnsupported(
+                "DC-SBP cannot checkpoint or resume (its per-rank solves share no \
+                 golden loop to snapshot; use Edist for a resumable distributed run)"
+                    .into(),
+            ));
+        }
+        let checkpoint = match &self.checkpoint_path {
+            None => None,
+            Some(path) => {
+                // The golden loop writes best-effort (a transient write
+                // failure must not abort the run it protects), so a path
+                // that can *never* be written is rejected up front.
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    if !parent.is_dir() {
+                        return Err(PartitionError::CheckpointPath(format!(
+                            "parent directory {} does not exist",
+                            parent.display()
+                        )));
+                    }
+                }
+                Some(CheckpointSpec {
+                    path: path.clone(),
+                    every: self.checkpoint_every.max(1),
+                })
+            }
+        };
+        let resume = match &self.resume_path {
+            None => None,
+            Some(path) => {
+                let state = CheckpointState::read_from(path)
+                    .map_err(|e| PartitionError::CheckpointLoad(e.to_string()))?;
+                let tew = total_edge_weight.unwrap_or(state.total_edge_weight);
+                state
+                    .validate_against(self.sbp.seed, &self.effective_strategy(), num_vertices, tew)
+                    .map_err(|e| PartitionError::CheckpointMismatch(e.to_string()))?;
+                Some(state)
+            }
+        };
+        Ok((checkpoint, resume))
+    }
+
     /// Runs inference and returns the unified [`Run`] result.
     pub fn run(mut self) -> Result<Run, PartitionError> {
         match &self.source {
             Source::Graph(graph) => {
                 let graph = *graph;
                 let solver = self.solver()?;
+                let (checkpoint, resume) = self.checkpoint_cfg(
+                    graph.num_vertices(),
+                    Some(graph.total_edge_weight().max(0) as u64),
+                )?;
                 let cfg = RunConfig {
                     sbp: self.sbp.clone(),
                     cancel: self.cancel.clone(),
+                    checkpoint,
+                    resume,
                 };
                 let wall = Instant::now();
                 let outcome = match self.progress.as_mut() {
@@ -523,18 +708,22 @@ impl<'a> Partitioner<'a> {
                 )));
             }
         };
+        let (checkpoint, resume) = self.checkpoint_cfg(header.num_vertices, None)?;
         let cfg = RunConfig {
             sbp: self.sbp.clone(),
             cancel: self.cancel.clone(),
+            checkpoint,
+            resume,
         };
         let cost = self.cost;
+        let fault = self.fault.clone();
         let wall = Instant::now();
         let (outcome, ingest) = match self.progress.as_mut() {
             Some(callback) => {
                 let mut sink = ProgressFn(|event: &ProgressEvent| callback(event));
-                run_sharded(dir, &header, sharded, cost, &cfg, &mut sink)
+                run_sharded(dir, &header, sharded, cost, &cfg, &fault, &mut sink)
             }
-            None => run_sharded(dir, &header, sharded, cost, &cfg, &mut NoProgress),
+            None => run_sharded(dir, &header, sharded, cost, &cfg, &fault, &mut NoProgress),
         };
         Ok(finish(
             name,
@@ -563,6 +752,7 @@ fn finish(
         cluster: outcome.cluster,
         sampled_vertices: outcome.sampled_vertices,
         ingest,
+        degraded: outcome.degraded,
     }
 }
 

@@ -9,6 +9,8 @@
 //!                     [--backend sequential|hybrid|batch|dcsbp|edist]
 //!                     [--ranks N] [--seed N] [--sample F]
 //!                     [--strategy uniform|degree|edge|fire|snowball]
+//!                     [--checkpoint s.sbpc] [--checkpoint-every N]
+//!                     [--resume s.sbpc] [--fault-plan SPEC]
 //!                     [--progress true] [--out assignment.txt]
 //! edist-cli sample    --graph g.mtx --fraction F [--strategy uniform|degree|edge|fire|snowball]
 //!                     [--seed N] [--out assignment.txt]
@@ -27,6 +29,13 @@
 //! graph never materializes. Long `partition` runs handle Ctrl-C: the
 //! first interrupt cancels cooperatively and writes the best partition
 //! found so far, a second one kills the process.
+//!
+//! `--checkpoint s.sbpc` snapshots the golden loop at sync boundaries
+//! (`--checkpoint-every N` thins the cadence); `--resume s.sbpc` restarts
+//! from a snapshot bit-identically. `--fault-plan
+//! "seed:7,kill:1@3,mangle:0@2,delay:2@5:1.5"` injects deterministic
+//! faults into the simulated cluster (testing/chaos harness; degraded
+//! runs still write the best partition found before the failure).
 //!
 //! Graphs load by extension: `.mtx` = Matrix Market, anything else =
 //! `src dst [weight]` edge list. Assignments are one label per line.
@@ -168,7 +177,9 @@ subcommands:
   generate   synthesize a dataset-family graph (writes .mtx/.txt + truth)
   shard      split a graph into per-rank binary .sbps shards
   partition  infer communities (--backend sequential|hybrid|batch|dcsbp|edist;
-             --sharded DIR runs distributed backends over .sbps shards)
+             --sharded DIR runs distributed backends over .sbps shards;
+             --checkpoint/--resume snapshot and restore the golden loop;
+             --fault-plan injects deterministic faults for testing)
   sample     sampling-based inference (sample -> infer -> extend)
   evaluate   score a predicted labeling against ground truth
   islands    island-vertex census under round-robin distribution
@@ -384,6 +395,17 @@ fn run_partitioner(
         let strategy = parse_strategy(args.get("strategy").unwrap_or("snowball"))?;
         partitioner = partitioner.sample(strategy, fraction);
     }
+    if let Some(path) = args.get("checkpoint") {
+        partitioner = partitioner.checkpoint_to(path);
+    }
+    partitioner = partitioner.checkpoint_every(args.num("checkpoint-every", 1usize)?.max(1));
+    if let Some(path) = args.get("resume") {
+        partitioner = partitioner.resume_from(path);
+    }
+    if let Some(spec) = args.get("fault-plan") {
+        let plan = FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        partitioner = partitioner.fault_plan(plan);
+    }
     let token = CancelToken::new();
     if sigint::install(token.clone()) {
         partitioner = partitioner.cancel_token(token);
@@ -405,6 +427,9 @@ fn run_partitioner(
     let run = partitioner.run().map_err(|e| e.to_string())?;
     if run.cancelled {
         eprintln!("cancelled: writing the best partition found so far");
+    }
+    if let Some(reason) = run.degraded {
+        eprintln!("degraded ({reason}): writing the best partition found before the failure");
     }
     if let Some(ingest) = &run.ingest {
         eprintln!(

@@ -68,6 +68,20 @@
 //! Sampling-based data reduction (paper §V-F) composes with every
 //! backend via `.sample(strategy, fraction)`.
 //!
+//! ## Robustness: checkpoints and fault injection
+//!
+//! Long runs snapshot the golden loop at sync boundaries with
+//! `.checkpoint_to(path)` / `.checkpoint_every(n)` and restart
+//! **bit-identically** with `.resume_from(path)` (every RNG stream is a
+//! pure function of `(seed, iteration, sweep, vertex)`, so nothing is
+//! lost by the interruption). Distributed failures degrade instead of
+//! crashing: a dead rank or corrupted collective frame unwinds every
+//! rank coordinately and the run returns best-so-far with
+//! [`api::Run::degraded`] set. `.fault_plan(...)` injects
+//! deterministic, seed-keyed faults (kill / mangle / delay) into the
+//! simulated cluster to rehearse exactly that — see
+//! [`dist::fault`].
+//!
 //! ## Sharded graph ingest (paper-scale IO)
 //!
 //! At paper scale no machine can hold the whole edge list, so graphs can
@@ -151,17 +165,19 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use sbp_core::{sbp, sbp_from};
     pub use sbp_core::{
-        solve_sbp, Blockmodel, CancelToken, GoldenBracket, HybridConfig, IterationStat,
-        McmcStrategy, NoProgress, ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome,
-        SbpConfig, SbpResult, Solver,
+        solve_sbp, Blockmodel, CancelToken, CheckpointError, CheckpointSpec, CheckpointState,
+        DegradedReason, GoldenBracket, HybridConfig, IterationStat, McmcStrategy, NoProgress,
+        ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome, SbpConfig, SbpResult,
+        Solver,
     };
     pub use sbp_graph::shard::{shard_graph, ShardPlan, ShardReader, ShardWriter};
     // The raw `dcsbp`/`edist` phase functions are available as
     // `edist::dist::{dcsbp, edist}`; re-exporting them here would make the
     // names collide with the crate itself under glob imports.
     pub use sbp_dist::{
-        load_dist_graph, run_sharded, DcSbp, DcsbpConfig, DcsbpResult, DistGraph, Edist,
-        EdistConfig, EdistResult, Engine, OwnershipStrategy, ShardIngestReport, ShardedBackend,
+        load_dist_graph, run_sharded, DcSbp, DcsbpConfig, DcsbpResult, DistError, DistGraph, Edist,
+        EdistConfig, EdistResult, Engine, Fault, FaultComm, FaultPlan, OwnershipStrategy,
+        ShardIngestReport, ShardedBackend,
     };
     #[allow(deprecated)]
     pub use sbp_dist::{run_dcsbp_cluster, run_edist_cluster};

@@ -1,0 +1,282 @@
+//! Hostile-input wall: every decoder that ever touches bytes from disk
+//! or from a peer — the `.sbps` shard reader, the shared varint codec,
+//! the collective payload codecs, and the `.sbpc` checkpoint format —
+//! is fed pure noise, mutated valid encodings, and crafted length
+//! prefixes. The contract under fire: **a typed error or a valid value,
+//! never a panic, never an allocation sized by attacker bytes.**
+//!
+//! Two generators drive the wall:
+//!
+//! * `proptest`-style properties over random byte soup (fixed
+//!   deterministic case count);
+//! * a seeded byte-mangler loop over *valid* corpus entries — bit
+//!   flips, truncations, zeroed and spliced ranges, and huge varint
+//!   counts stamped over the length prefix. The iteration count comes
+//!   from `FUZZ_ITERS` (default 512; CI runs 10 000), so the same
+//!   binary serves as both a fast local check and a deeper CI sweep.
+//!
+//! No `catch_unwind` anywhere: a panic in any decoder fails the test
+//! run directly.
+
+use edist::core::golden::BracketEntry;
+use edist::core::mcmc::AcceptedMove;
+use edist::core::{CheckpointState, IterationStat};
+use edist::dist::exchange::{
+    concat_sections, decode_cells, decode_moves, encode_cells, encode_moves, split_sections,
+};
+use edist::graph::fixtures::two_cliques;
+use edist::graph::shard::{shard_file_name, shard_graph, ShardReader};
+use edist::graph::varint::{read_ascending_ids, read_u64, write_u64};
+use edist::prelude::OwnershipStrategy;
+use proptest::prelude::*;
+
+fn fuzz_iters() -> usize {
+    std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512)
+}
+
+// ------------------------------------------------- seeded byte mangler
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_bytes(rng: &mut u64, max_len: usize) -> Vec<u8> {
+    let len = (splitmix(rng) as usize) % (max_len + 1);
+    (0..len).map(|_| splitmix(rng) as u8).collect()
+}
+
+/// One deterministic mutation of a valid encoding: flip bits, truncate,
+/// zero a range, splice noise, or stamp a huge varint count over the
+/// prefix (the classic crafted-length attack).
+fn mutate(bytes: &[u8], rng: &mut u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match splitmix(rng) % 5 {
+        0 => {
+            for _ in 0..=(splitmix(rng) % 4) {
+                if out.is_empty() {
+                    break;
+                }
+                let i = (splitmix(rng) as usize) % out.len();
+                out[i] ^= 1 << (splitmix(rng) % 8);
+            }
+        }
+        1 => {
+            if !out.is_empty() {
+                let cut = (splitmix(rng) as usize) % out.len();
+                out.truncate(cut);
+            }
+        }
+        2 => {
+            if !out.is_empty() {
+                let start = (splitmix(rng) as usize) % out.len();
+                let end = (start + 1 + (splitmix(rng) as usize) % 16).min(out.len());
+                out[start..end].fill(0);
+            }
+        }
+        3 => {
+            let at = if out.is_empty() {
+                0
+            } else {
+                (splitmix(rng) as usize) % out.len()
+            };
+            let noise = random_bytes(rng, 8);
+            for (i, b) in noise.into_iter().enumerate() {
+                out.insert(at + i, b);
+            }
+        }
+        _ => {
+            let mut prefix = Vec::new();
+            write_u64(&mut prefix, splitmix(rng)); // usually astronomically large
+            for (i, b) in prefix.into_iter().enumerate() {
+                if i < out.len() {
+                    out[i] = b;
+                } else {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------ valid corpora
+
+fn move_corpus() -> Vec<u8> {
+    let moves: Vec<AcceptedMove> = (0..40u32)
+        .map(|i| AcceptedMove {
+            v: i * 3 % 97,
+            to: i % 7,
+        })
+        .collect();
+    encode_moves(&moves)
+}
+
+fn cell_corpus() -> Vec<u8> {
+    let cells: Vec<(u32, u32, i64)> = (0..30u32)
+        .map(|i| (i / 5, i % 5, i64::from(i) - 12))
+        .collect();
+    encode_cells(&cells)
+}
+
+fn section_corpus() -> Vec<u8> {
+    concat_sections([&move_corpus()[..], &cell_corpus()[..], &[1, 2, 3]])
+}
+
+fn shard_corpus() -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("fuzz_it_shard_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    shard_graph(&two_cliques(8), &dir, 2, OwnershipStrategy::SortedBalanced)
+        .expect("shard fixture");
+    let bytes = std::fs::read(dir.join(shard_file_name(0, 2))).expect("read shard");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn checkpoint_corpus() -> Vec<u8> {
+    let entry = |blocks: usize| BracketEntry {
+        assignment: (0..16u32).map(|v| v % blocks as u32).collect(),
+        num_blocks: blocks,
+        dl: 1234.5 + blocks as f64,
+    };
+    CheckpointState {
+        seed: 33,
+        strategy_tag: 0,
+        num_vertices: 16,
+        total_edge_weight: 48,
+        next_iter: 3,
+        iterations: vec![
+            IterationStat {
+                num_blocks: 8,
+                dl: 1300.0,
+                sweeps: 4,
+                moves: 11,
+            },
+            IterationStat {
+                num_blocks: 4,
+                dl: 1250.0,
+                sweeps: 3,
+                moves: 7,
+            },
+        ],
+        hi: Some(entry(8)),
+        mid: Some(entry(4)),
+        lo: Some(entry(2)),
+    }
+    .encode()
+}
+
+/// Feeds one buffer to every decoder under test. Only panics (or
+/// runaway allocations, which surface as OOM aborts) can fail this —
+/// both `Ok` and typed `Err` results are in-contract.
+fn exercise_decoders(bytes: &[u8]) {
+    let _ = ShardReader::decode(bytes);
+    let _ = decode_moves(bytes);
+    let _ = decode_cells(bytes);
+    let _ = split_sections::<1>(bytes);
+    let _ = split_sections::<3>(bytes);
+    let _ = CheckpointState::decode(bytes);
+    let mut pos = 0;
+    while read_u64(bytes, &mut pos).is_some() && pos < bytes.len() {}
+    let mut pos = 0;
+    let _ = read_ascending_ids(bytes, &mut pos);
+}
+
+// -------------------------------------------------------- the wall
+
+/// Mutated valid encodings, round-robined across all corpora. Each
+/// mutant is fed to *every* decoder — a shard prefix landing in the
+/// checkpoint decoder is exactly the kind of confusion a hostile input
+/// produces.
+#[test]
+fn mutated_valid_encodings_never_panic_any_decoder() {
+    let corpora = [
+        move_corpus(),
+        cell_corpus(),
+        section_corpus(),
+        shard_corpus(),
+        checkpoint_corpus(),
+    ];
+    // Mutating valid bytes must start from decodable corpora, or the
+    // wall silently tests nothing but the error paths.
+    assert!(decode_moves(&corpora[0]).is_ok());
+    assert!(decode_cells(&corpora[1]).is_ok());
+    assert!(split_sections::<3>(&corpora[2]).is_ok());
+    assert!(ShardReader::decode(&corpora[3]).is_ok());
+    assert!(CheckpointState::decode(&corpora[4]).is_ok());
+
+    let mut rng = 0x5EED_F00D_u64;
+    for i in 0..fuzz_iters() {
+        let base = &corpora[i % corpora.len()];
+        let mutant = mutate(base, &mut rng);
+        exercise_decoders(&mutant);
+    }
+}
+
+/// Pure byte soup — no valid structure at all.
+#[test]
+fn random_byte_soup_never_panics_any_decoder() {
+    let mut rng = 0xBAD5_EED5_u64;
+    for _ in 0..fuzz_iters() {
+        let bytes = random_bytes(&mut rng, 300);
+        exercise_decoders(&bytes);
+    }
+}
+
+/// Crafted length prefixes: a tiny buffer declaring an enormous element
+/// count must be rejected by the count-vs-remaining-payload check, not
+/// trusted into `Vec::with_capacity`.
+#[test]
+fn crafted_length_prefixes_are_rejected_without_allocating() {
+    let mut rng = 0xC0FF_EE00_u64;
+    for _ in 0..fuzz_iters() {
+        let declared = splitmix(&mut rng) | (1 << 40); // always huge
+        let mut buf = Vec::new();
+        write_u64(&mut buf, declared);
+        buf.extend_from_slice(&random_bytes(&mut rng, 16));
+        assert!(decode_moves(&buf).is_err(), "count {declared} accepted");
+        assert!(decode_cells(&buf).is_err(), "count {declared} accepted");
+        let mut pos = 0;
+        assert!(
+            read_ascending_ids(&buf, &mut pos).is_none(),
+            "count {declared} accepted"
+        );
+    }
+}
+
+// --------------------------------------- proptest-driven random soup
+
+proptest! {
+    /// The same no-panic contract under the proptest generator, which
+    /// explores a different corner of input space than the mangler.
+    #[test]
+    fn decoders_survive_proptest_byte_soup(
+        bytes in proptest::collection::vec(0u64..256, 0..200)
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        exercise_decoders(&bytes);
+    }
+
+    /// Round-trip sanity rides along: whatever the mangler says about
+    /// hostile bytes, honest encodings must still decode exactly.
+    #[test]
+    fn honest_move_lists_roundtrip(
+        raw in proptest::collection::vec(0u64..1u64 << 32, 0..64)
+    ) {
+        let moves: Vec<AcceptedMove> = raw
+            .iter()
+            .map(|&x| AcceptedMove {
+                v: (x & 0xFFFF) as u32,
+                to: (x >> 16) as u32 & 0xFFFF,
+            })
+            .collect();
+        let decoded = decode_moves(&encode_moves(&moves)).expect("honest bytes");
+        prop_assert_eq!(decoded, moves);
+    }
+}
