@@ -83,6 +83,7 @@ pub mod mcmc;
 pub mod merge;
 pub mod naive;
 pub mod propose;
+pub mod registry;
 pub mod run;
 pub mod sbp;
 
@@ -97,9 +98,10 @@ pub use mcmc::{keyed_mh_sweep, mcmc_phase, mh_sweep, AcceptedMove, McmcStats};
 pub use merge::{apply_merges, propose_merges, MergeCandidate};
 pub use naive::{naive_sbp, naive_sbp_from, NaiveScratch};
 pub use propose::{hastings_correction, propose_for_block, propose_for_vertex};
+pub use registry::{RegistryError, SolverRegistry, SolverSpec};
 pub use run::{
     Batch, CancelToken, CheckpointSpec, DegradedReason, Hybrid, NoProgress, ProgressEvent,
-    ProgressFn, ProgressSink, RunConfig, RunOutcome, Sequential, Solver,
+    ProgressFn, ProgressSink, RunConfig, RunOutcome, Sequential, Solver, WarmStart,
 };
 pub use sbp::{checkpoint_state, solve_sbp, IterationStat, McmcStrategy, SbpConfig, SbpResult};
 #[allow(deprecated)]

@@ -17,7 +17,7 @@
 use crate::checkpoint::CheckpointState;
 use crate::hybrid::HybridConfig;
 use crate::sbp::{solve_sbp, IterationStat, McmcStrategy, SbpConfig};
-use sbp_graph::Graph;
+use sbp_graph::{Graph, Vertex};
 use sbp_mpi::ClusterReport;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -174,11 +174,55 @@ impl CheckpointSpec {
     }
 }
 
+/// Seeds the golden search from an existing partition instead of the
+/// identity partition at `C = V` — the incremental re-partitioning entry
+/// point used by `sbp-serve` after edge-delta ingest.
+///
+/// The bracket is seeded at the warm partition's block count, so the
+/// search agglomerates down from there rather than re-halving from `V`.
+/// When `dirty` is set, only those vertices re-enter MCMC sweeps (the
+/// subset-sweep determinism contract makes this exact: a vertex's
+/// proposal stream is keyed by `(seed, iteration, sweep, vertex)`, never
+/// by which other vertices sweep). The description length is still
+/// computed over the full blockmodel, so bracket decisions stay exact.
+///
+/// Contract: `assignment.len()` must equal the graph's vertex count and
+/// every label must be `< num_blocks` — the `Partitioner` facade and the
+/// server validate this before building a config.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// Dense starting assignment (labels `0..num_blocks`).
+    pub assignment: Vec<u32>,
+    /// Block count of the starting assignment.
+    pub num_blocks: usize,
+    /// When `Some`, only these vertices are swept in MCMC phases
+    /// (out-of-range ids are ignored; order and duplicates don't matter).
+    /// `None` sweeps every vertex, as a cold run does.
+    pub dirty: Option<Vec<Vertex>>,
+}
+
+impl WarmStart {
+    /// A warm start that sweeps every vertex.
+    pub fn new(assignment: Vec<u32>, num_blocks: usize) -> Self {
+        WarmStart {
+            assignment,
+            num_blocks,
+            dirty: None,
+        }
+    }
+
+    /// Restricts MCMC sweeps to the given vertices.
+    pub fn with_dirty(mut self, dirty: Vec<Vertex>) -> Self {
+        self.dirty = Some(dirty);
+        self
+    }
+}
+
 /// The backend-independent run configuration: the shared SBP
 /// hyper-parameters plus the cancellation token and optional
-/// checkpoint/resume state. Backend-specific knobs (rank counts, cost
-/// models, ownership schemes, sampling fractions) live on the backend
-/// values themselves.
+/// checkpoint/resume/warm-start state. Backend-specific knobs (rank
+/// counts, cost models, ownership schemes, sampling fractions) live on
+/// the backend values themselves.
 #[derive(Clone, Debug, Default)]
 pub struct RunConfig {
     /// Hyper-parameters of the underlying SBP search, shared by every
@@ -195,6 +239,12 @@ pub struct RunConfig {
     /// uninterrupted one because every RNG stream is keyed by the
     /// (restored) iteration index, never by elapsed state.
     pub resume: Option<CheckpointState>,
+    /// When set (and `resume` is not), the golden loop seeds its bracket
+    /// from this partition instead of the identity partition. Only
+    /// honoured by backends whose [`Solver::supports_warm_start`] is
+    /// true; others must be rejected by the caller, never silently run
+    /// cold.
+    pub warm: Option<WarmStart>,
 }
 
 impl RunConfig {
@@ -205,6 +255,7 @@ impl RunConfig {
             cancel: CancelToken::new(),
             checkpoint: None,
             resume: None,
+            warm: None,
         }
     }
 
@@ -214,6 +265,12 @@ impl RunConfig {
             seed,
             ..SbpConfig::default()
         })
+    }
+
+    /// Seeds the golden search from `warm` (builder-style).
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
     }
 }
 
@@ -307,6 +364,13 @@ pub trait Solver {
 
     /// Runs inference on `graph`, reporting progress to `progress`.
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome;
+
+    /// Whether this backend honours [`RunConfig::warm_start`]. Defaults
+    /// to `false`; callers must reject a warm config for a backend that
+    /// returns false rather than let it silently run cold.
+    fn supports_warm_start(&self) -> bool {
+        false
+    }
 }
 
 impl<S: Solver + ?Sized> Solver for &S {
@@ -317,6 +381,10 @@ impl<S: Solver + ?Sized> Solver for &S {
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
         (**self).solve(graph, cfg, progress)
     }
+
+    fn supports_warm_start(&self) -> bool {
+        (**self).supports_warm_start()
+    }
 }
 
 impl<S: Solver + ?Sized> Solver for Box<S> {
@@ -326,6 +394,10 @@ impl<S: Solver + ?Sized> Solver for Box<S> {
 
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
         (**self).solve(graph, cfg, progress)
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        (**self).supports_warm_start()
     }
 }
 
@@ -355,6 +427,10 @@ impl Solver for Sequential {
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
         solve_with_strategy(graph, cfg, McmcStrategy::MetropolisHastings, progress)
     }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
 }
 
 /// Hybrid SBP: sequential high-degree head + chunked asynchronous-Gibbs
@@ -369,6 +445,10 @@ impl Solver for Hybrid {
 
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
         solve_with_strategy(graph, cfg, McmcStrategy::Hybrid(self.0), progress)
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
     }
 }
 
@@ -386,6 +466,10 @@ impl Solver for Batch {
 
     fn solve(&self, graph: &Graph, cfg: &RunConfig, progress: &mut dyn ProgressSink) -> RunOutcome {
         solve_with_strategy(graph, cfg, McmcStrategy::Batch, progress)
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
     }
 }
 

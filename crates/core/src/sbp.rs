@@ -145,6 +145,11 @@ pub fn mcmc_phase_seed(seed: u64, iter_idx: usize) -> u64 {
 /// iteration index and ignores `start`; because every RNG stream is
 /// keyed by `(seed, iteration, sweep, vertex)`, the resumed run is
 /// bit-identical to the uninterrupted one.
+///
+/// When `cfg.warm` is set (and neither `start` nor `cfg.resume` is —
+/// both take precedence), the bracket is seeded from the warm partition
+/// and, if a dirty set is given, MCMC phases sweep only those vertices.
+/// See [`crate::run::WarmStart`] for the exactness argument.
 pub fn solve_sbp(
     graph: &Graph,
     start: Option<(Vec<u32>, usize)>,
@@ -157,6 +162,31 @@ pub fn solve_sbp(
         return RunOutcome::empty();
     }
     let scfg = &cfg.sbp;
+    // Warm starts yield to an explicit `start` (DC-SBP fine-tuning) and
+    // to resume snapshots; mixing them is rejected upstream.
+    let warm = if start.is_none() && cfg.resume.is_none() {
+        cfg.warm.as_ref()
+    } else {
+        None
+    };
+    // Dirty-set filtering: a warm start may restrict MCMC sweeps to the
+    // vertices near changed edges. The subset is sanitized here (sorted,
+    // deduped, clamped to range) so sweep order is canonical; the
+    // per-vertex RNG keying makes the restricted sweep propose exactly
+    // what a full sweep would for the same vertices.
+    let vertices: Vec<Vertex> = match warm.and_then(|w| w.dirty.as_ref()) {
+        Some(dirty) => {
+            let mut vs: Vec<Vertex> = dirty
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < n)
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        }
+        None => (0..n as u32).collect(),
+    };
     let (mut bracket, mut iterations, first_iter);
     if let Some(state) = &cfg.resume {
         bracket = state.bracket(scfg.block_reduction_rate);
@@ -167,22 +197,49 @@ pub fn solve_sbp(
             num_blocks: bracket.best().map_or(n, |e| e.num_blocks),
         });
     } else {
-        let (assignment, num_blocks) = start.unwrap_or_else(|| ((0..n as u32).collect(), n));
-        let start_bm = Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
+        let (assignment, num_blocks) = start
+            .or_else(|| warm.map(|w| (w.assignment.clone(), w.num_blocks)))
+            .unwrap_or_else(|| ((0..n as u32).collect(), n));
+        let mut start_bm =
+            Blockmodel::from_assignment(graph, assignment, num_blocks).compacted(graph);
         progress.on_event(&ProgressEvent::Started {
             num_vertices: n,
             num_blocks: start_bm.num_blocks(),
         });
+        iterations = Vec::new();
+        if warm.is_some() {
+            // Polish the warm partition at its own block count before
+            // seeding the bracket. The golden loop only sweeps after a
+            // merge, so without this pass the seed entry — which may
+            // remain `mid` to the very end when the warm C is already
+            // optimal — would never be repaired after edge deltas. The
+            // refine phase uses the iteration index the loop itself never
+            // reaches, so its RNG streams collide with no loop phase.
+            let refine_idx = scfg.max_iterations;
+            let stats = run_mcmc(
+                graph,
+                &mut start_bm,
+                &vertices,
+                cfg,
+                scfg.threshold_pre,
+                refine_idx,
+                progress,
+            );
+            iterations.push(IterationStat {
+                num_blocks: start_bm.num_blocks(),
+                dl: start_bm.description_length(),
+                sweeps: stats.sweeps,
+                moves: stats.moves,
+            });
+        }
         bracket = GoldenBracket::new(scfg.block_reduction_rate);
         bracket.seed(BracketEntry {
             assignment: start_bm.assignment().to_vec(),
             num_blocks: start_bm.num_blocks(),
             dl: start_bm.description_length(),
         });
-        iterations = Vec::new();
         first_iter = 0;
     }
-    let vertices: Vec<Vertex> = (0..n as u32).collect();
     let mut cancelled = false;
 
     for iter_idx in first_iter..scfg.max_iterations {
@@ -593,6 +650,92 @@ mod tests {
         assert_eq!(res.assignment.len(), 20);
         let bm = Blockmodel::from_assignment(&g, res.assignment.clone(), res.num_blocks);
         assert!((bm.description_length() - res.description_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_reaches_cold_quality() {
+        use crate::run::WarmStart;
+        let (g, truth) = planted_two_cliques(8);
+        let cold = solve_sbp(&g, None, &RunConfig::seeded(2), &mut NoProgress);
+        // Warm-start from a 4-block over-segmentation of the truth.
+        let start: Vec<u32> = (0..16u32).map(|v| truth[v as usize] * 2 + v % 2).collect();
+        let warm_cfg = RunConfig::seeded(2).warm_start(WarmStart::new(start, 4));
+        let warm = solve_sbp(&g, None, &warm_cfg, &mut NoProgress);
+        assert_eq!(warm.num_blocks, 2);
+        assert!(
+            warm.description_length <= cold.description_length + 1e-9,
+            "warm DL {} vs cold DL {}",
+            warm.description_length,
+            cold.description_length
+        );
+        // Warm search starts at C=4, so it does far less work than from C=V.
+        assert!(warm.iterations.len() <= cold.iterations.len());
+    }
+
+    #[test]
+    fn warm_start_dirty_subset_only_moves_dirty_vertices() {
+        use crate::run::WarmStart;
+        let (g, truth) = planted_two_cliques(8);
+        // Truth with two vertices misassigned; only those (and neighbors)
+        // are dirty. The clean vertices must keep their labels because
+        // they never enter a sweep and the bracket never merges below 2.
+        let mut start = truth.clone();
+        start[3] = 1 - start[3];
+        start[12] = 1 - start[12];
+        let dirty: Vec<Vertex> = (0..16u32)
+            .filter(|&v| {
+                v == 3
+                    || v == 12
+                    || g.out_edges(3).iter().any(|&(d, _)| d == v)
+                    || g.out_edges(12).iter().any(|&(d, _)| d == v)
+            })
+            .collect();
+        let cfg = RunConfig::seeded(7).warm_start(WarmStart::new(start, 2).with_dirty(dirty));
+        let res = solve_sbp(&g, None, &cfg, &mut NoProgress);
+        assert_eq!(res.num_blocks, 2);
+        // Recovered the planted truth up to relabeling.
+        let flip = res.assignment[0];
+        for v in 0..16usize {
+            let expect = if truth[v] == truth[0] { flip } else { 1 - flip };
+            assert_eq!(res.assignment[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn warm_start_empty_dirty_set_returns_warm_partition() {
+        use crate::run::WarmStart;
+        let (g, truth) = planted_two_cliques(6);
+        let cfg =
+            RunConfig::seeded(1).warm_start(WarmStart::new(truth.clone(), 2).with_dirty(vec![]));
+        let res = solve_sbp(&g, None, &cfg, &mut NoProgress);
+        // Nothing can move; the DL is the warm partition's (or a merge
+        // that the bracket rejected), so the assignment survives.
+        assert_eq!(res.num_blocks, 2);
+        assert_eq!(res.assignment, truth);
+    }
+
+    #[test]
+    fn explicit_start_takes_precedence_over_warm() {
+        use crate::run::WarmStart;
+        let (g, _) = planted_two_cliques(6);
+        let start: Vec<u32> = (0..12u32).map(|v| v % 3).collect();
+        let plain = solve_sbp(
+            &g,
+            Some((start.clone(), 3)),
+            &RunConfig::seeded(4),
+            &mut NoProgress,
+        );
+        let with_warm = solve_sbp(
+            &g,
+            Some((start, 3)),
+            &RunConfig::seeded(4).warm_start(WarmStart::new(vec![0; 12], 1)),
+            &mut NoProgress,
+        );
+        assert_eq!(plain.assignment, with_warm.assignment);
+        assert_eq!(
+            plain.description_length.to_bits(),
+            with_warm.description_length.to_bits()
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use fault::{Fault, FaultComm, FaultPlan, RankDeath};
 pub use ownership::{balanced_ownership, modulo_ownership, owned_blocks, OwnershipStrategy};
 pub use sbp_mpi::ClusterReport;
 pub use sharded::{dcsbp_sharded, edist_sharded, run_sharded, ShardedBackend};
-pub use solver::{DcSbp, Edist};
+pub use solver::{register_solvers, DcSbp, Edist};
 
 /// SplitMix64-style mixing used to derive per-rank / per-phase RNG streams
 /// from the master seed, so simulated rank counts never share a stream.

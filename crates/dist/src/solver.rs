@@ -249,9 +249,34 @@ impl Solver for DcSbp {
     }
 }
 
+/// Registers the distributed backends (`edist`, `dcsbp`) into a
+/// name-keyed [`SolverRegistry`](sbp_core::registry::SolverRegistry), so
+/// the CLI and the `sbp-serve` daemon can resolve them by name alongside
+/// the single-node ones.
+pub fn register_solvers(reg: &mut sbp_core::registry::SolverRegistry) {
+    reg.register("edist", |spec| {
+        if spec.ranks == 0 {
+            return Err("ranks must be >= 1".into());
+        }
+        if spec.sync_period == 0 {
+            return Err("sync period must be >= 1".into());
+        }
+        let mut solver = Edist::new(spec.ranks);
+        solver.sync_period = spec.sync_period;
+        Ok(Box::new(solver))
+    });
+    reg.register("dcsbp", |spec| {
+        if spec.ranks == 0 {
+            return Err("ranks must be >= 1".into());
+        }
+        Ok(Box::new(DcSbp::new(spec.ranks)))
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbp_core::registry::{SolverRegistry, SolverSpec};
     use sbp_core::run::{CancelToken, NoProgress, ProgressFn};
     use sbp_core::McmcStrategy;
     use sbp_graph::fixtures::two_cliques;
@@ -313,6 +338,34 @@ mod tests {
         // Nothing ran: the seeded identity bracket entry comes back,
         // consistently on every rank (no collective mismatch / deadlock).
         assert_eq!(out.num_blocks, 12);
+    }
+
+    #[test]
+    fn registry_resolves_distributed_backends() {
+        let mut reg = SolverRegistry::with_core_backends();
+        register_solvers(&mut reg);
+        let spec = SolverSpec {
+            ranks: 3,
+            sync_period: 2,
+        };
+        let edist = reg.build("edist", &spec).unwrap();
+        assert_eq!(edist.name(), "edist(ranks=3)");
+        assert!(!edist.supports_warm_start());
+        let dcsbp = reg.build("dcsbp", &spec).unwrap();
+        assert_eq!(dcsbp.name(), "dcsbp(ranks=3)");
+        // Registry-built EDiSt actually solves.
+        let g = two_cliques(8);
+        let out = edist.solve(&g, &RunConfig::seeded(7), &mut NoProgress);
+        assert_eq!(out.num_blocks, 2);
+        assert!(reg
+            .build(
+                "edist",
+                &SolverSpec {
+                    ranks: 0,
+                    sync_period: 1
+                }
+            )
+            .is_err());
     }
 
     #[test]

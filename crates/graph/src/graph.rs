@@ -2,6 +2,78 @@
 
 use crate::{Vertex, Weight};
 
+/// A signed change to one arc's weight: `delta > 0` adds weight (creating
+/// the arc if absent), `delta < 0` removes weight (deleting the arc when
+/// the result reaches zero). Used by [`Graph::apply_edge_deltas`] and the
+/// `sbp-serve` ingest path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Source endpoint.
+    pub src: Vertex,
+    /// Destination endpoint.
+    pub dst: Vertex,
+    /// Signed weight change; must be non-zero.
+    pub delta: Weight,
+}
+
+/// Why a batch of [`EdgeDelta`]s was rejected. The graph is left untouched
+/// on error — deltas are validated against the merged result before any
+/// mutation happens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphDeltaError {
+    /// An endpoint is `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: Vertex,
+        /// The graph's vertex count.
+        num_vertices: usize,
+    },
+    /// A delta has `delta == 0`, which is meaningless and almost certainly
+    /// an encoding bug upstream.
+    ZeroDelta {
+        /// Source endpoint of the offending delta.
+        src: Vertex,
+        /// Destination endpoint of the offending delta.
+        dst: Vertex,
+    },
+    /// Applying the batch would drive an arc's weight below zero.
+    NegativeWeight {
+        /// Source endpoint of the offending arc.
+        src: Vertex,
+        /// Destination endpoint of the offending arc.
+        dst: Vertex,
+        /// The (negative) weight the arc would end up with.
+        resulting: Weight,
+    },
+}
+
+impl std::fmt::Display for GraphDeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphDeltaError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for {num_vertices} vertices"
+            ),
+            GraphDeltaError::ZeroDelta { src, dst } => {
+                write!(f, "zero-weight delta on arc ({src}, {dst})")
+            }
+            GraphDeltaError::NegativeWeight {
+                src,
+                dst,
+                resulting,
+            } => write!(
+                f,
+                "arc ({src}, {dst}) would end up with negative weight {resulting}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphDeltaError {}
+
 /// A directed, integer-weighted graph in compressed sparse row form.
 ///
 /// Both the forward (out-edge) and the reverse (in-edge) adjacency are
@@ -187,6 +259,101 @@ impl Graph {
         vs
     }
 
+    /// Applies a batch of signed arc-weight deltas in place, rebuilding the
+    /// CSR arrays and degree vectors. Deltas on the same arc accumulate;
+    /// an arc whose merged weight reaches exactly zero is removed.
+    ///
+    /// Validation is all-or-nothing: the batch is checked against the merged
+    /// result first, and on any error the graph is left exactly as it was.
+    pub fn apply_edge_deltas(&mut self, deltas: &[EdgeDelta]) -> Result<(), GraphDeltaError> {
+        let n = self.num_vertices;
+        for d in deltas {
+            for v in [d.src, d.dst] {
+                if (v as usize) >= n {
+                    return Err(GraphDeltaError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices: n,
+                    });
+                }
+            }
+            if d.delta == 0 {
+                return Err(GraphDeltaError::ZeroDelta {
+                    src: d.src,
+                    dst: d.dst,
+                });
+            }
+        }
+        // Collapse the batch to one net delta per arc.
+        let mut net: Vec<(Vertex, Vertex, Weight)> =
+            deltas.iter().map(|d| (d.src, d.dst, d.delta)).collect();
+        net.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        net.dedup_by(|cur, acc| {
+            if acc.0 == cur.0 && acc.1 == cur.1 {
+                acc.2 += cur.2;
+                true
+            } else {
+                false
+            }
+        });
+        net.retain(|&(_, _, w)| w != 0);
+        if net.is_empty() {
+            return Ok(());
+        }
+        // Merge with the existing sorted arc stream, checking signs before
+        // touching `self`.
+        let mut merged: Vec<(Vertex, Vertex, Weight)> =
+            Vec::with_capacity(self.num_arcs() + net.len());
+        let mut di = net.iter().peekable();
+        for (s, d, w) in self.arcs() {
+            while let Some(&&(ds, dd, dw)) = di.peek() {
+                if (ds, dd) < (s, d) {
+                    // Pure insertion: the arc does not exist yet.
+                    if dw < 0 {
+                        return Err(GraphDeltaError::NegativeWeight {
+                            src: ds,
+                            dst: dd,
+                            resulting: dw,
+                        });
+                    }
+                    merged.push((ds, dd, dw));
+                    di.next();
+                } else {
+                    break;
+                }
+            }
+            let w = match di.peek() {
+                Some(&&(ds, dd, dw)) if (ds, dd) == (s, d) => {
+                    di.next();
+                    let new_w = w + dw;
+                    if new_w < 0 {
+                        return Err(GraphDeltaError::NegativeWeight {
+                            src: s,
+                            dst: d,
+                            resulting: new_w,
+                        });
+                    }
+                    new_w
+                }
+                _ => w,
+            };
+            if w > 0 {
+                merged.push((s, d, w));
+            }
+        }
+        for &(ds, dd, dw) in di {
+            if dw < 0 {
+                return Err(GraphDeltaError::NegativeWeight {
+                    src: ds,
+                    dst: dd,
+                    resulting: dw,
+                });
+            }
+            merged.push((ds, dd, dw));
+        }
+        *self = Self::from_sorted_dedup_edges(n, merged);
+        Ok(())
+    }
+
     /// Checks every structural invariant; returns a description of the first
     /// violation. Intended for tests and debug assertions.
     pub fn validate(&self) -> Result<(), String> {
@@ -336,5 +503,85 @@ mod tests {
         let g = Graph::from_edges(4, vec![(3, 0, 1), (1, 0, 1), (2, 0, 1)]);
         assert_eq!(g.in_edges(0), &[(1, 1), (2, 1), (3, 1)]);
         g.validate().unwrap();
+    }
+
+    fn delta(src: Vertex, dst: Vertex, delta: Weight) -> EdgeDelta {
+        EdgeDelta { src, dst, delta }
+    }
+
+    #[test]
+    fn deltas_add_remove_and_adjust_arcs() {
+        let mut g = triangle();
+        g.apply_edge_deltas(&[
+            delta(0, 2, 4),  // new arc
+            delta(1, 2, -2), // remove arc (weight 2 → 0)
+            delta(2, 0, -1), // adjust arc (weight 3 → 2)
+        ])
+        .unwrap();
+        assert_eq!(g.out_edges(0), &[(1, 1), (2, 4)]);
+        assert!(g.out_edges(1).is_empty());
+        assert_eq!(g.out_edges(2), &[(0, 2)]);
+        assert_eq!(g.total_edge_weight(), 7);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(2), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deltas_on_same_arc_accumulate() {
+        let mut g = Graph::from_edges(2, vec![(0, 1, 1)]);
+        g.apply_edge_deltas(&[
+            delta(0, 1, 3),
+            delta(0, 1, -2),
+            delta(1, 0, 1),
+            delta(1, 0, -1),
+        ])
+        .unwrap();
+        assert_eq!(g.out_edges(0), &[(1, 2)]);
+        assert!(g.out_edges(1).is_empty());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn delta_errors_leave_graph_untouched() {
+        let mut g = triangle();
+        let before = g.clone();
+        assert_eq!(
+            g.apply_edge_deltas(&[delta(0, 3, 1)]),
+            Err(GraphDeltaError::VertexOutOfRange {
+                vertex: 3,
+                num_vertices: 3
+            })
+        );
+        assert_eq!(
+            g.apply_edge_deltas(&[delta(0, 1, 0)]),
+            Err(GraphDeltaError::ZeroDelta { src: 0, dst: 1 })
+        );
+        assert_eq!(
+            g.apply_edge_deltas(&[delta(0, 1, 5), delta(1, 2, -3)]),
+            Err(GraphDeltaError::NegativeWeight {
+                src: 1,
+                dst: 2,
+                resulting: -1
+            })
+        );
+        assert_eq!(
+            g.apply_edge_deltas(&[delta(0, 0, -1)]),
+            Err(GraphDeltaError::NegativeWeight {
+                src: 0,
+                dst: 0,
+                resulting: -1
+            })
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn deltas_rebuild_matches_from_edges() {
+        let mut g = Graph::from_edges(5, vec![(0, 1, 2), (1, 2, 1), (4, 0, 3)]);
+        g.apply_edge_deltas(&[delta(2, 3, 1), delta(4, 0, -3), delta(0, 1, 1)])
+            .unwrap();
+        let rebuilt = Graph::from_edges(5, vec![(0, 1, 3), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(g, rebuilt);
     }
 }

@@ -61,7 +61,7 @@ pub mod subgraph;
 pub mod varint;
 
 pub use builder::GraphBuilder;
-pub use graph::Graph;
+pub use graph::{EdgeDelta, Graph, GraphDeltaError};
 pub use islands::{island_count, island_fraction_round_robin, IslandReport};
 pub use ownership::{balanced_ownership, modulo_ownership, OwnershipStrategy};
 pub use shard::{shard_graph, ShardPlan, ShardReader, ShardWriter};

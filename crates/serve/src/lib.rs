@@ -1,0 +1,40 @@
+//! `sbp-serve` — a resident partition server for SBP with incremental
+//! re-partitioning over a strict binary wire protocol.
+//!
+//! The one-shot CLI re-solves from `C = V` on every invocation, which
+//! is the wrong shape for a graph that changes a little at a time. This
+//! crate keeps the solved state resident:
+//!
+//! - [`server::Server`] loads a graph once (monolithic edge list or a
+//!   `.sbps` shard directory, via the binary), solves it cold — or
+//!   restores a PR 6 `.sbpc` checkpoint — and then holds the best
+//!   partition warm in memory.
+//! - [`protocol`] defines the length-prefixed, checksummed frame format
+//!   and the six request types (`Ingest`, `Repartition`, `Membership`,
+//!   `Stats`, `Checkpoint`, `Shutdown`). Every decoder is strict:
+//!   explicit size limits, canonical encodings, typed [`protocol::WireError`]s,
+//!   and no panics on arbitrary bytes — the same hostile-input contract
+//!   the rest of the workspace holds itself to.
+//! - [`client::Client`] is the blocking counterpart used by
+//!   `edist-cli connect` and the test suites, including a raw-bytes
+//!   escape hatch for malformed-frame probes.
+//!
+//! Incremental re-partitioning is the point: `Ingest` queues signed
+//! edge-weight deltas without touching the warm partition (membership
+//! queries keep answering), and a warm `Repartition` applies the batch,
+//! seeds the golden-ratio bracket from the current assignment and block
+//! count via [`sbp_core::WarmStart`], and confines MCMC sweeps to the
+//! vertices within one hop of the changed edges ([`server::dirty_set`])
+//! while description length stays exact over the full blockmodel. A
+//! cold `Repartition` falls back to the full `C = V` search. Backends
+//! resolve by name through [`sbp_core::SolverRegistry`], so downstream
+//! crates can serve their own solvers; warm mode is refused with a
+//! typed error for backends that do not support it.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Response, WireError};
+pub use server::{dirty_set, serve, Listen, ServeError, Server, ServerOptions};

@@ -1,0 +1,148 @@
+//! `sbp-serve` — standalone daemon binary.
+//!
+//! ```text
+//! sbp-serve --graph g.txt --listen unix:/tmp/sbp.sock [--backend NAME]
+//!           [--ranks N] [--sync-period P] [--seed S]
+//!           [--resume state.sbpc] [--checkpoint final.sbpc]
+//! sbp-serve --sharded dir.sbps --listen tcp:127.0.0.1:7171 ...
+//! ```
+//!
+//! The daemon prints `listening on ...` once the socket is bound and
+//! accepting — scripts poll for that line before connecting.
+
+use sbp_core::registry::{SolverRegistry, SolverSpec};
+use sbp_serve::server::{serve, Listen, Server, ServerOptions};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "sbp-serve: resident SBP partition server
+
+USAGE:
+  sbp-serve --graph FILE | --sharded DIR  --listen unix:PATH|tcp:ADDR
+            [--backend NAME] [--ranks N] [--sync-period P] [--seed S]
+            [--resume FILE.sbpc] [--checkpoint FILE.sbpc]
+
+OPTIONS:
+  --graph FILE        edge-list or matrix-market graph to load
+  --sharded DIR       .sbps shard directory to load instead of --graph
+  --listen ADDR       unix:/path/to.sock or tcp:host:port (required)
+  --backend NAME      default solver backend (default: sequential)
+  --ranks N           simulated ranks for distributed backends (default: 1)
+  --sync-period P     sync period for edist (default: 1)
+  --seed S            master seed for every solve (default: 0)
+  --resume FILE       restore state from a .sbpc snapshot at startup
+  --checkpoint FILE   write a .sbpc snapshot on graceful shutdown
+  --help              print this help
+";
+
+fn parse_args(argv: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = &argv[i];
+        if !key.starts_with("--") {
+            return Err(format!(
+                "unexpected argument '{key}' (flags are --key value)"
+            ));
+        }
+        if key == "--help" {
+            map.insert("help".to_string(), String::new());
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("flag '{key}' is missing its value"))?;
+        map.insert(key[2..].to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+    if args.contains_key("help") {
+        print!("{HELP}");
+        return Ok(());
+    }
+
+    let listen = Listen::parse(
+        args.get("listen")
+            .ok_or("--listen unix:PATH or tcp:ADDR is required")?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let graph = match (args.get("graph"), args.get("sharded")) {
+        (Some(path), None) => sbp_graph::io::load_graph(std::path::Path::new(path))
+            .map_err(|e| format!("loading '{path}': {e}"))?,
+        (None, Some(dir)) => sbp_graph::shard::unshard_graph(std::path::Path::new(dir))
+            .map_err(|e| format!("loading shard dir '{dir}': {e}"))?,
+        (Some(_), Some(_)) => return Err("--graph and --sharded are mutually exclusive".into()),
+        (None, None) => return Err("one of --graph or --sharded is required".into()),
+    };
+
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match args.get(key) {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("--{key} must be a non-negative integer, got '{v}'")),
+            None => Ok(default),
+        }
+    };
+    let seed = match args.get("seed") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--seed must be a non-negative integer, got '{v}'"))?,
+        None => 0,
+    };
+
+    let options = ServerOptions {
+        backend: args
+            .get("backend")
+            .cloned()
+            .unwrap_or_else(|| "sequential".to_string()),
+        spec: SolverSpec {
+            ranks: parse_usize("ranks", 1)?,
+            sync_period: parse_usize("sync-period", 1)?,
+        },
+        seed,
+        resume: args.get("resume").map(PathBuf::from),
+        checkpoint_on_shutdown: args.get("checkpoint").map(PathBuf::from),
+    };
+
+    let mut registry = SolverRegistry::with_core_backends();
+    sbp_dist::register_solvers(&mut registry);
+
+    eprintln!(
+        "sbp-serve: loaded graph with {} vertices, solving with backend '{}'...",
+        graph.num_vertices(),
+        options.backend
+    );
+    let mut server = Server::new(graph, options, registry).map_err(|e| e.to_string())?;
+    eprintln!(
+        "sbp-serve: warm partition ready ({} blocks, DL {:.4})",
+        server.num_blocks(),
+        server.description_length()
+    );
+
+    serve(&mut server, &listen, |l| {
+        let where_ = match l {
+            Listen::Unix(p) => format!("unix:{}", p.display()),
+            Listen::Tcp(a) => format!("tcp:{a}"),
+        };
+        println!("listening on {where_}");
+    })
+    .map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sbp-serve: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -138,10 +138,16 @@ mod sigint {
     }
 }
 
+/// Exit code for a run that completed but degraded (a rank died, a
+/// collective frame failed to decode, …) when `--fail-on-degraded` is
+/// set. Distinct from 1 (hard error) so scripts can tell "no answer"
+/// from "best-effort answer you asked to be warned about".
+const EXIT_DEGRADED: u8 = 3;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `edist-cli help` for usage");
@@ -150,22 +156,26 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+/// Dispatches a parsed command line; `Ok(code)` is the process exit
+/// code (0, or [`EXIT_DEGRADED`] under `--fail-on-degraded`).
+fn run(argv: &[String]) -> Result<u8, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
-        "generate" => cmd_generate(&args),
-        "shard" => cmd_shard(&args),
+        "generate" => cmd_generate(&args).map(|()| 0),
+        "shard" => cmd_shard(&args).map(|()| 0),
         "partition" => cmd_partition(&args),
         "sample" => cmd_sample(&args),
-        "evaluate" => cmd_evaluate(&args),
-        "islands" => cmd_islands(&args),
-        "stats" => cmd_stats(&args),
+        "evaluate" => cmd_evaluate(&args).map(|()| 0),
+        "islands" => cmd_islands(&args).map(|()| 0),
+        "stats" => cmd_stats(&args).map(|()| 0),
+        "serve" => cmd_serve(&args).map(|()| 0),
+        "connect" => cmd_connect(&args),
         "help" | "--help" | "-h" => {
             println!("{}", HELP);
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -184,7 +194,20 @@ subcommands:
   evaluate   score a predicted labeling against ground truth
   islands    island-vertex census under round-robin distribution
   stats      basic graph statistics
-  help       this message";
+  serve      run the resident partition daemon in-process
+             (--graph FILE | --sharded DIR, --listen unix:PATH|tcp:ADDR,
+              [--backend NAME] [--seed N] [--resume s.sbpc] [--checkpoint s.sbpc])
+  connect    one request against a running daemon (--to unix:PATH|tcp:ADDR, then
+             one of --ingest \"s,d,w;s,d,w\" | --repartition warm|cold
+             | --membership \"v,v,...\" | --stats true | --checkpoint PATH
+             | --shutdown true | --badframe true)
+  help       this message
+
+partition/sample exit codes: 0 ok; 1 error; 3 when the run degraded and
+--fail-on-degraded true was passed (default keeps the historical 0).
+Unknown --backend names fall back to the name-keyed solver registry
+(edist::api::default_registry), so downstream-registered backends work
+from the CLI without a code change here.";
 
 /// Minimal `--key value` argument map (flags must all take values).
 struct Args {
@@ -381,7 +404,7 @@ fn run_partitioner(
     source: &GraphSource,
     backend: Option<Backend>,
     sample: Option<f64>,
-) -> Result<(), String> {
+) -> Result<u8, String> {
     let seed: u64 = args.num("seed", 0u64)?;
     let mut partitioner = match source {
         GraphSource::Mem(graph) => Partitioner::on(graph),
@@ -469,10 +492,26 @@ fn run_partitioner(
         "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
         run.backend, run.num_blocks, run.description_length, dl_norm, run.wall_seconds
     );
-    write_assignment(args.get("out"), &run.assignment)
+    write_assignment(args.get("out"), &run.assignment)?;
+    Ok(degraded_exit_code(args, run.degraded.is_some()))
 }
 
-fn cmd_partition(args: &Args) -> Result<(), String> {
+/// Exit code for a completed run: [`EXIT_DEGRADED`] only when the run
+/// degraded AND `--fail-on-degraded true` was passed. The default stays
+/// 0 — degraded runs still wrote their best partition, and existing
+/// scripts depend on that.
+fn degraded_exit_code(args: &Args, degraded: bool) -> u8 {
+    let fail = args
+        .get("fail-on-degraded")
+        .is_some_and(|v| v != "false" && v != "0");
+    if degraded && fail {
+        EXIT_DEGRADED
+    } else {
+        0
+    }
+}
+
+fn cmd_partition(args: &Args) -> Result<u8, String> {
     let ranks: usize = args.num("ranks", 4usize)?;
     let name = match (args.get("backend"), args.get("algo")) {
         (Some(b), _) => Some(b),
@@ -509,7 +548,21 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
             Some(parse_backend(name, header.shard_count)?)
         }
         (GraphSource::Mem(_), None, _) => Some(Backend::Sequential),
-        (GraphSource::Mem(_), Some(name), _) => Some(parse_backend(name, ranks.max(1))?),
+        (GraphSource::Mem(graph), Some(name), _) => match parse_backend(name, ranks.max(1)) {
+            Ok(backend) => Some(backend),
+            // Unknown names fall back to the name-keyed registry, so a
+            // backend registered by a downstream crate is reachable from
+            // the CLI without touching `parse_backend`.
+            Err(_) if default_registry().contains(name) => {
+                return run_registry_backend(args, graph, name, ranks.max(1));
+            }
+            Err(_) => {
+                return Err(format!(
+                    "unknown backend '{name}' (known: {})",
+                    default_registry().names().join(", ")
+                ));
+            }
+        },
     };
     let sample = match args.get("sample") {
         Some(_) => Some(args.num("sample", 0.5f64)?),
@@ -518,7 +571,53 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     run_partitioner(args, &source, backend, sample)
 }
 
-fn cmd_sample(args: &Args) -> Result<(), String> {
+/// The registry path for `partition --backend NAME` when NAME is not
+/// one of the built-in [`Backend`] spellings: build the solver by name
+/// through [`default_registry`] and drive it with [`run_solver`].
+/// Supports `--seed`, `--ranks`, `--sync-period`, `--out`, and
+/// `--fail-on-degraded`; the checkpoint/resume/sample/fault decorations
+/// stay with the typed builder path.
+fn run_registry_backend(
+    args: &Args,
+    graph: &Graph,
+    name: &str,
+    ranks: usize,
+) -> Result<u8, String> {
+    for unsupported in ["checkpoint", "resume", "sample", "fault-plan"] {
+        if args.get(unsupported).is_some() {
+            return Err(format!(
+                "--{unsupported} is not supported with a registry-resolved backend \
+                 (use one of the built-in --backend names)"
+            ));
+        }
+    }
+    let spec = SolverSpec {
+        ranks,
+        sync_period: args.num("sync-period", 1usize)?,
+    };
+    let solver = solver_by_name(name, &spec).map_err(|e| e.to_string())?;
+    let seed: u64 = args.num("seed", 0u64)?;
+    let cfg = RunConfig::from_sbp(SbpConfig {
+        seed,
+        ..SbpConfig::default()
+    });
+    let run = run_solver(solver.as_ref(), graph, &cfg, &mut NoProgress);
+    if let Some(reason) = run.degraded {
+        eprintln!("degraded ({reason}): writing the best partition found before the failure");
+    }
+    eprintln!(
+        "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
+        run.backend,
+        run.num_blocks,
+        run.description_length,
+        run.dl_norm(graph),
+        run.wall_seconds
+    );
+    write_assignment(args.get("out"), &run.assignment)?;
+    Ok(degraded_exit_code(args, run.degraded.is_some()))
+}
+
+fn cmd_sample(args: &Args) -> Result<u8, String> {
     let graph = load(args)?;
     let fraction: f64 = args.num("fraction", 0.5f64)?;
     run_partitioner(
@@ -595,6 +694,179 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         (0..n as u32).filter(|&v| g.degree(v) == 0).count()
     );
     Ok(())
+}
+
+/// `edist-cli serve`: run the resident partition daemon in-process.
+/// Thin wrapper over `sbp-serve` — same flags, same wire protocol, so
+/// one binary covers both the one-shot and the resident workflow.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = edist::serve::Listen::parse(args.require("listen")?).map_err(|e| e.to_string())?;
+    let graph = match (args.get("graph"), args.get("sharded")) {
+        (Some(_), Some(_)) => return Err("pass either --graph or --sharded, not both".into()),
+        (Some(path), None) => {
+            load_graph(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?
+        }
+        (None, Some(dir)) => edist::graph::shard::unshard_graph(Path::new(dir))
+            .map_err(|e| format!("loading shard dir {dir}: {e}"))?,
+        (None, None) => return Err("one of --graph or --sharded is required".into()),
+    };
+    let options = ServerOptions {
+        backend: args.get("backend").unwrap_or("sequential").to_string(),
+        spec: SolverSpec {
+            ranks: args.num("ranks", 1usize)?,
+            sync_period: args.num("sync-period", 1usize)?,
+        },
+        seed: args.num("seed", 0u64)?,
+        resume: args.get("resume").map(std::path::PathBuf::from),
+        checkpoint_on_shutdown: args.get("checkpoint").map(std::path::PathBuf::from),
+    };
+    eprintln!(
+        "serve: loaded graph with {} vertices, solving with backend '{}'...",
+        graph.num_vertices(),
+        options.backend
+    );
+    let mut server = Server::new(graph, options, default_registry()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serve: warm partition ready ({} blocks, DL {:.4})",
+        server.num_blocks(),
+        server.description_length()
+    );
+    edist::serve::serve(&mut server, &listen, |l| {
+        let addr = match l {
+            edist::serve::Listen::Unix(p) => format!("unix:{}", p.display()),
+            edist::serve::Listen::Tcp(a) => format!("tcp:{a}"),
+        };
+        println!("listening on {addr}");
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Parses `--ingest "src,dst,delta;src,dst,delta;..."`.
+fn parse_deltas(spec: &str) -> Result<Vec<edist::graph::EdgeDelta>, String> {
+    spec.split(';')
+        .filter(|t| !t.trim().is_empty())
+        .map(|triple| {
+            let parts: Vec<&str> = triple.split(',').map(str::trim).collect();
+            let [src, dst, delta] = parts.as_slice() else {
+                return Err(format!("bad delta '{triple}' (want src,dst,delta)"));
+            };
+            Ok(edist::graph::EdgeDelta {
+                src: src.parse().map_err(|_| format!("bad src '{src}'"))?,
+                dst: dst.parse().map_err(|_| format!("bad dst '{dst}'"))?,
+                delta: delta.parse().map_err(|_| format!("bad delta '{delta}'"))?,
+            })
+        })
+        .collect()
+}
+
+/// `edist-cli connect`: one request against a running daemon, result on
+/// stdout. An `Error` reply from the daemon exits 1 with its code and
+/// message; `--badframe true` expects an error reply (that is the test)
+/// and exits 0 on receiving one.
+fn cmd_connect(args: &Args) -> Result<u8, String> {
+    let listen = edist::serve::Listen::parse(args.require("to")?).map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&listen).map_err(|e| format!("connecting: {e}"))?;
+    if args.get("badframe").is_some_and(|v| v != "false") {
+        // Deliberately hostile bytes: correct magic + tiny declared
+        // length, then garbage. The daemon must answer with a typed
+        // error frame and keep running — never die.
+        let reply = client
+            .send_raw(b"SF\x04\x00\x00\x00garbage-bytes")
+            .map_err(|e| format!("badframe probe: {e}"))?;
+        return match reply {
+            Response::Error { code, message } => {
+                println!("daemon survived the bad frame: error code {code}: {message}");
+                Ok(0)
+            }
+            other => Err(format!("expected an error frame, got {other:?}")),
+        };
+    }
+    let request = if let Some(spec) = args.get("ingest") {
+        Request::Ingest(parse_deltas(spec)?)
+    } else if let Some(mode) = args.get("repartition") {
+        let mode = match mode {
+            "warm" => edist::serve::protocol::RepartitionMode::Warm,
+            "cold" => edist::serve::protocol::RepartitionMode::Cold,
+            other => return Err(format!("--repartition must be warm or cold, got '{other}'")),
+        };
+        Request::Repartition {
+            mode,
+            backend: args.get("backend").unwrap_or("").to_string(),
+        }
+    } else if let Some(ids) = args.get("membership") {
+        let mut vs: Vec<u32> = ids
+            .split(',')
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| t.trim().parse().map_err(|_| format!("bad vertex '{t}'")))
+            .collect::<Result<_, _>>()?;
+        vs.sort_unstable();
+        vs.dedup();
+        Request::Membership(vs)
+    } else if args.get("stats").is_some_and(|v| v != "false") {
+        Request::Stats
+    } else if let Some(path) = args.get("checkpoint") {
+        Request::Checkpoint(path.to_string())
+    } else if args.get("shutdown").is_some_and(|v| v != "false") {
+        Request::Shutdown
+    } else {
+        return Err(
+            "pass one of --ingest, --repartition, --membership, --stats true, \
+             --checkpoint PATH, --shutdown true, --badframe true"
+                .into(),
+        );
+    };
+    let ids_echo = match &request {
+        Request::Membership(ids) => ids.clone(),
+        _ => Vec::new(),
+    };
+    let reply = client
+        .request(&request)
+        .map_err(|e| format!("request failed: {e}"))?;
+    match reply {
+        Response::Error { code, message } => Err(format!("daemon error {code}: {message}")),
+        Response::IngestAck { pending_deltas } => {
+            println!("ingested: {pending_deltas} deltas pending");
+            Ok(0)
+        }
+        Response::RepartitionDone {
+            num_blocks,
+            dl,
+            iterations,
+            swept_vertices,
+        } => {
+            println!(
+                "repartitioned: {num_blocks} blocks  DL {dl:.2}  \
+                 ({iterations} iterations, {swept_vertices} vertices swept)"
+            );
+            Ok(0)
+        }
+        Response::Membership(labels) => {
+            for (v, label) in ids_echo.iter().zip(&labels) {
+                println!("{v} {label}");
+            }
+            Ok(0)
+        }
+        Response::Stats(stats) => {
+            println!("vertices:       {}", stats.num_vertices);
+            println!("blocks:         {}", stats.num_blocks);
+            println!("DL:             {:.2}", stats.dl);
+            println!("pending deltas: {}", stats.pending_deltas);
+            println!("degraded:       {}", stats.degraded);
+            println!("backend:        {}", stats.backend);
+            for p in &stats.trajectory_tail {
+                println!("  trajectory: {} blocks  DL {:.2}", p.num_blocks, p.dl);
+            }
+            Ok(0)
+        }
+        Response::CheckpointDone { bytes } => {
+            println!("checkpoint written ({bytes} bytes)");
+            Ok(0)
+        }
+        Response::ShutdownAck => {
+            println!("daemon shut down");
+            Ok(0)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,7 @@
 //! | [`dist`] | `sbp-dist` | DC-SBP (Alg. 3) and EDiSt (Algs. 4–5) solver backends, distributed shard loader + sharded drivers |
 //! | [`eval`] | `sbp-eval` | NMI, ARI, normalized description length |
 //! | [`sample`] | `sbp-sample` | sampling strategies + the `Sampled` solver decorator |
+//! | [`serve`] | `sbp-serve` | resident partition daemon: binary wire protocol, edge-delta ingest, warm (incremental) re-partitioning |
 //!
 //! See `DESIGN.md` for the system inventory and the substitutions made to
 //! run the paper's cluster-scale evaluation on a single machine, and
@@ -156,21 +157,25 @@ pub use sbp_gen as gen;
 pub use sbp_graph as graph;
 pub use sbp_mpi as mpi;
 pub use sbp_sample as sample;
+pub use sbp_serve as serve;
 
 pub use api::{Backend, PartitionError, Partitioner, Run};
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::api::{run_solver, Backend, PartitionError, Partitioner, Run};
+    pub use crate::api::{
+        default_registry, run_solver, solver_by_name, Backend, PartitionError, Partitioner, Run,
+    };
     #[allow(deprecated)]
     pub use sbp_core::{sbp, sbp_from};
     pub use sbp_core::{
         solve_sbp, Blockmodel, CancelToken, CheckpointError, CheckpointSpec, CheckpointState,
         DegradedReason, GoldenBracket, HybridConfig, IterationStat, McmcStrategy, NoProgress,
         ProgressEvent, ProgressFn, ProgressSink, RunConfig, RunOutcome, SbpConfig, SbpResult,
-        Solver,
+        Solver, SolverRegistry, SolverSpec, WarmStart,
     };
     pub use sbp_graph::shard::{shard_graph, ShardPlan, ShardReader, ShardWriter};
+    pub use sbp_serve::{Client, Listen, Request, Response, ServeError, Server, ServerOptions};
     // The raw `dcsbp`/`edist` phase functions are available as
     // `edist::dist::{dcsbp, edist}`; re-exporting them here would make the
     // names collide with the crate itself under glob imports.

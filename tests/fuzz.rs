@@ -27,7 +27,12 @@ use edist::dist::exchange::{
 use edist::graph::fixtures::two_cliques;
 use edist::graph::shard::{shard_file_name, shard_graph, ShardReader};
 use edist::graph::varint::{read_ascending_ids, read_u64, write_u64};
+use edist::graph::EdgeDelta;
 use edist::prelude::OwnershipStrategy;
+use edist::serve::protocol::{
+    decode_frame, encode_frame, RepartitionMode, StatsReply, TrajectoryPoint,
+};
+use edist::serve::{Request, Response};
 use proptest::prelude::*;
 
 fn fuzz_iters() -> usize {
@@ -172,6 +177,50 @@ fn checkpoint_corpus() -> Vec<u8> {
     .encode()
 }
 
+/// A framed wire request exercising every payload shape the `sbp-serve`
+/// request decoder has: deltas, strings, ascending id runs.
+fn wire_request_corpus() -> Vec<u8> {
+    let deltas: Vec<EdgeDelta> = (0..24u32)
+        .map(|i| EdgeDelta {
+            src: i * 7 % 61,
+            dst: i * 11 % 61,
+            delta: i64::from(i % 5) - 2,
+        })
+        .filter(|d| d.delta != 0)
+        .collect();
+    encode_frame(&Request::Ingest(deltas).encode())
+}
+
+/// A framed wire response with the deepest nested payload (`Stats`).
+fn wire_response_corpus() -> Vec<u8> {
+    let stats = StatsReply {
+        num_vertices: 1000,
+        num_blocks: 12,
+        dl: 54321.75,
+        pending_deltas: 7,
+        degraded: 1,
+        trajectory_tail: (0..5u64)
+            .map(|i| TrajectoryPoint {
+                num_blocks: 40 - i * 6,
+                dl: 60000.0 - i as f64 * 1000.0,
+            })
+            .collect(),
+        backend: "edist".into(),
+    };
+    encode_frame(&Response::Stats(stats).encode())
+}
+
+/// A second request shape: strings and the ascending-id codec.
+fn wire_misc_corpus() -> Vec<u8> {
+    encode_frame(
+        &Request::Repartition {
+            mode: RepartitionMode::Warm,
+            backend: "hybrid".into(),
+        }
+        .encode(),
+    )
+}
+
 /// Feeds one buffer to every decoder under test. Only panics (or
 /// runaway allocations, which surface as OOM aborts) can fail this —
 /// both `Ok` and typed `Err` results are in-contract.
@@ -186,6 +235,16 @@ fn exercise_decoders(bytes: &[u8]) {
     while read_u64(bytes, &mut pos).is_some() && pos < bytes.len() {}
     let mut pos = 0;
     let _ = read_ascending_ids(bytes, &mut pos);
+    // The sbp-serve wire stack: the frame layer, then both payload
+    // decoders on the raw bytes AND on whatever payload a valid-enough
+    // frame yields (a mutant can have a correct checksum over mutated
+    // payload bytes).
+    if let Ok((payload, _)) = decode_frame(bytes) {
+        let _ = Request::decode(payload);
+        let _ = Response::decode(payload);
+    }
+    let _ = Request::decode(bytes);
+    let _ = Response::decode(bytes);
 }
 
 // -------------------------------------------------------- the wall
@@ -202,6 +261,9 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
         section_corpus(),
         shard_corpus(),
         checkpoint_corpus(),
+        wire_request_corpus(),
+        wire_response_corpus(),
+        wire_misc_corpus(),
     ];
     // Mutating valid bytes must start from decodable corpora, or the
     // wall silently tests nothing but the error paths.
@@ -210,6 +272,12 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
     assert!(split_sections::<3>(&corpora[2]).is_ok());
     assert!(ShardReader::decode(&corpora[3]).is_ok());
     assert!(CheckpointState::decode(&corpora[4]).is_ok());
+    let (req_payload, _) = decode_frame(&corpora[5]).expect("request corpus frames");
+    assert!(Request::decode(req_payload).is_ok());
+    let (resp_payload, _) = decode_frame(&corpora[6]).expect("response corpus frames");
+    assert!(Response::decode(resp_payload).is_ok());
+    let (misc_payload, _) = decode_frame(&corpora[7]).expect("misc corpus frames");
+    assert!(Request::decode(misc_payload).is_ok());
 
     let mut rng = 0x5EED_F00D_u64;
     for i in 0..fuzz_iters() {
@@ -278,5 +346,28 @@ proptest! {
             .collect();
         let decoded = decode_moves(&encode_moves(&moves)).expect("honest bytes");
         prop_assert_eq!(decoded, moves);
+    }
+
+    /// Honest wire frames round-trip through the strict decoder: frame →
+    /// payload → the same request, for generated ingest batches.
+    #[test]
+    fn honest_wire_frames_roundtrip(
+        raw in proptest::collection::vec(0u64..1u64 << 48, 0..48)
+    ) {
+        let deltas: Vec<EdgeDelta> = raw
+            .iter()
+            .map(|&x| EdgeDelta {
+                src: (x & 0xFFFF) as u32,
+                dst: (x >> 16) as u32 & 0xFFFF,
+                delta: ((x >> 32) as i64 & 0xFF) - 128,
+            })
+            .filter(|d| d.delta != 0)
+            .collect();
+        let req = Request::Ingest(deltas);
+        let frame = encode_frame(&req.encode());
+        let (payload, consumed) = decode_frame(&frame).expect("honest frame");
+        prop_assert_eq!(consumed, frame.len());
+        let decoded = Request::decode(payload).expect("honest payload");
+        prop_assert_eq!(decoded, req);
     }
 }

@@ -1,0 +1,483 @@
+//! Incremental-equivalence suite for the resident partition server.
+//!
+//! The contract under test: after a batch of random edge deltas, a
+//! **warm** repartition (seeded from the pre-delta partition, sweeping
+//! only the dirty one-hop neighborhood) must reach a description length
+//! no worse than a **cold** run over the same mutated graph, and must
+//! recover the planted communities just as well — while the daemon's
+//! `Membership`/`Stats` replies stay exactly consistent with an
+//! equivalent in-process run. The socket layer is tested end-to-end
+//! over a real unix socket, including a malformed-frame probe that the
+//! daemon must survive.
+
+use edist::graph::fixtures::{clique_ring, clique_ring_truth, two_cliques};
+use edist::graph::{EdgeDelta, Graph};
+use edist::prelude::*;
+use edist::serve::protocol::RepartitionMode;
+use edist::serve::{dirty_set, Client, Listen, Request, Response, Server, ServerOptions};
+use std::path::PathBuf;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A valid batch of `count` random deltas for `graph`: additions of
+/// fresh weight anywhere, removals only from arcs that exist (so the
+/// batch always applies cleanly).
+fn random_deltas(graph: &Graph, count: usize, seed: u64) -> Vec<EdgeDelta> {
+    let n = graph.num_vertices() as u64;
+    let arcs: Vec<(u32, u32, i64)> = graph.arcs().collect();
+    let mut rng = seed;
+    let mut deltas = Vec::with_capacity(count);
+    for _ in 0..count {
+        if splitmix(&mut rng).is_multiple_of(3) && !arcs.is_empty() {
+            let (src, dst, w) = arcs[(splitmix(&mut rng) as usize) % arcs.len()];
+            deltas.push(EdgeDelta {
+                src,
+                dst,
+                delta: -w.min(1),
+            });
+        } else {
+            let src = (splitmix(&mut rng) % n) as u32;
+            let dst = (splitmix(&mut rng) % n) as u32;
+            deltas.push(EdgeDelta { src, dst, delta: 1 });
+        }
+    }
+    // Collapse duplicate arcs to one net delta so a removal sampled
+    // twice cannot over-remove; drop zero nets.
+    deltas.sort_unstable_by_key(|d| (d.src, d.dst));
+    deltas.dedup_by(|next, acc| {
+        if next.src == acc.src && next.dst == acc.dst {
+            acc.delta += next.delta;
+            true
+        } else {
+            false
+        }
+    });
+    deltas.retain(|d| d.delta != 0);
+    deltas
+}
+
+/// Weight-only perturbations (±1) on arcs that already exist, never
+/// draining an arc's last unit — the support of the graph is unchanged.
+///
+/// This is the incremental serving regime the warm path is specified
+/// for: the community structure (and so the optimal block count) is
+/// preserved, and the warm search — which agglomerates *down* from its
+/// seed but never splits above it — can always reach the mutated
+/// optimum. A batch that rewrites the structure wholesale (new
+/// communities appearing) is what `Repartition cold` is for.
+fn weight_deltas(graph: &Graph, count: usize, seed: u64) -> Vec<EdgeDelta> {
+    let arcs: Vec<(u32, u32, i64)> = graph.arcs().collect();
+    let mut rng = seed;
+    let mut deltas = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (src, dst, w) = arcs[(splitmix(&mut rng) as usize) % arcs.len()];
+        let delta = if splitmix(&mut rng).is_multiple_of(2) && w > 1 {
+            -1
+        } else {
+            1
+        };
+        deltas.push(EdgeDelta { src, dst, delta });
+    }
+    deltas.sort_unstable_by_key(|d| (d.src, d.dst));
+    deltas.dedup_by(|next, acc| {
+        if next.src == acc.src && next.dst == acc.dst {
+            acc.delta += next.delta;
+            true
+        } else {
+            false
+        }
+    });
+    deltas.retain(|d| d.delta != 0);
+    deltas
+}
+
+fn nmi_or_one(a: &[u32], b: &[u32]) -> f64 {
+    // NMI of a single-block partition against itself is defined as 0 by
+    // convention in some formulations; both fixtures here have >1 block
+    // so plain nmi applies.
+    nmi(a, b)
+}
+
+/// The core equivalence check, shared by the dense- and sparse-regime
+/// fixtures: warm-after-deltas must match cold-on-mutated quality.
+fn check_incremental_equivalence(graph: Graph, truth: &[u32], seed: u64, deltas: Vec<EdgeDelta>) {
+    // Cold solve on the original graph: the warm seed.
+    let base = Partitioner::on(&graph)
+        .seed(seed)
+        .run()
+        .expect("base cold run");
+
+    assert!(!deltas.is_empty(), "delta generator produced nothing");
+    let mut mutated = graph.clone();
+    mutated
+        .apply_edge_deltas(&deltas)
+        .expect("generated deltas are valid");
+
+    // Cold run over the mutated graph — the quality bar.
+    let cold = Partitioner::on(&mutated)
+        .seed(seed)
+        .run()
+        .expect("cold run on mutated graph");
+
+    // Warm run: seeded from the pre-delta partition, sweeping only the
+    // one-hop dirty neighborhood.
+    let dirty = dirty_set(&mutated, &deltas);
+    let warm = Partitioner::on(&mutated)
+        .seed(seed)
+        .warm_start(base.assignment.clone(), base.num_blocks)
+        .dirty_vertices(dirty)
+        .run()
+        .expect("warm run on mutated graph");
+
+    assert!(
+        warm.description_length <= cold.description_length + 1e-9,
+        "warm DL {} worse than cold DL {}",
+        warm.description_length,
+        cold.description_length
+    );
+    let nmi_cold = nmi_or_one(&cold.assignment, truth);
+    let nmi_warm = nmi_or_one(&warm.assignment, truth);
+    assert!(
+        nmi_warm >= nmi_cold - 1e-9,
+        "warm NMI {nmi_warm} below cold NMI {nmi_cold}"
+    );
+    // The warm path must actually be incremental: fewer golden-loop
+    // iterations than the from-C=V cold search.
+    assert!(
+        warm.iterations.len() <= cold.iterations.len(),
+        "warm took {} iterations vs cold {}",
+        warm.iterations.len(),
+        cold.iterations.len()
+    );
+}
+
+#[test]
+fn incremental_equivalence_dense_regime() {
+    // Two 8-cliques: small enough that blockmodels stay dense. The
+    // clique structure is robust, so the batch may add arcs anywhere
+    // and remove existing ones.
+    let graph = two_cliques(8);
+    let truth: Vec<u32> = (0..16).map(|v| v / 8).collect();
+    let deltas = random_deltas(&graph, 12, 11 ^ 0xD17A);
+    check_incremental_equivalence(graph, &truth, 11, deltas);
+}
+
+#[test]
+fn incremental_equivalence_sparse_regime() {
+    // A ring of 24 triangles (72 vertices): the cold search starts at
+    // C = V = 72, above the sparse-storage threshold, so this exercises
+    // the sparse blockmodel regime. Deltas perturb only existing-arc
+    // weights (see `weight_deltas`) so the mutated optimum stays within
+    // reach of the merge-only warm search.
+    let graph = clique_ring(24);
+    let truth = clique_ring_truth(24);
+    let deltas = weight_deltas(&graph, 8, 23 ^ 0xD17A);
+    check_incremental_equivalence(graph, &truth, 23, deltas);
+}
+
+#[test]
+fn server_replies_match_in_process_run_exactly() {
+    let graph = two_cliques(8);
+    let seed = 7;
+    // In-process reference: the same sequential backend and seed the
+    // server's startup solve uses.
+    let reference = Partitioner::on(&graph).seed(seed).run().expect("reference");
+
+    let options = ServerOptions {
+        seed,
+        ..ServerOptions::default()
+    };
+    let mut server = Server::new(graph, options, default_registry()).expect("server startup solve");
+    assert_eq!(server.assignment(), &reference.assignment[..]);
+    assert_eq!(server.num_blocks(), reference.num_blocks);
+    assert_eq!(
+        server.description_length().to_bits(),
+        reference.description_length.to_bits(),
+        "server DL must be bit-identical to the in-process run"
+    );
+
+    let ids: Vec<u32> = (0..16).collect();
+    let (reply, _) = server.handle(Request::Membership(ids.clone()));
+    match reply {
+        Response::Membership(labels) => {
+            let expected: Vec<u32> = ids
+                .iter()
+                .map(|&v| reference.assignment[v as usize])
+                .collect();
+            assert_eq!(labels, expected);
+        }
+        other => panic!("expected Membership, got {other:?}"),
+    }
+    let (reply, _) = server.handle(Request::Stats);
+    match reply {
+        Response::Stats(stats) => {
+            assert_eq!(stats.num_blocks as usize, reference.num_blocks);
+            assert_eq!(stats.dl.to_bits(), reference.description_length.to_bits());
+            assert_eq!(stats.pending_deltas, 0);
+            let tail: Vec<(u64, u64)> = stats
+                .trajectory_tail
+                .iter()
+                .map(|p| (p.num_blocks, p.dl.to_bits()))
+                .collect();
+            let expected: Vec<(u64, u64)> = reference
+                .iterations
+                .iter()
+                .rev()
+                .take(stats.trajectory_tail.len())
+                .rev()
+                .map(|s| (s.num_blocks as u64, s.dl.to_bits()))
+                .collect();
+            assert_eq!(tail, expected, "trajectory tail must mirror the run's");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+}
+
+/// Spawns a daemon over a real unix socket and drives the full loop:
+/// stats → ingest → membership-from-warm-partition → warm repartition →
+/// membership → checkpoint → malformed-frame probe → shutdown.
+#[test]
+#[cfg(unix)]
+fn unix_socket_end_to_end_with_malformed_frame_probe() {
+    let dir = std::env::temp_dir().join(format!("edist_serve_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("daemon.sock");
+    let ckpt = dir.join("state.sbpc");
+    let listen = Listen::Unix(sock.clone());
+
+    let graph = two_cliques(8);
+    let pre_delta_reference = Partitioner::on(&graph).seed(3).run().expect("reference");
+
+    let listen_thread = listen.clone();
+    let handle = std::thread::spawn(move || {
+        let options = ServerOptions {
+            seed: 3,
+            ..ServerOptions::default()
+        };
+        let mut server = Server::new(graph, options, default_registry()).expect("startup");
+        edist::serve::serve(&mut server, &listen_thread, |_| {}).expect("serve loop");
+    });
+
+    // Poll until the socket is accepting.
+    let mut client = loop {
+        match Client::connect(&listen) {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+
+    // Stats before any change.
+    let reply = client.request(&Request::Stats).unwrap();
+    let Response::Stats(stats) = reply else {
+        panic!("expected Stats, got {reply:?}");
+    };
+    assert_eq!(stats.num_vertices, 16);
+    assert_eq!(stats.pending_deltas, 0);
+
+    // Ingest queues without touching the warm partition...
+    // Both deltas inside clique 1, so the one-hop dirty set is a strict
+    // subset of the graph.
+    let reply = client
+        .request(&Request::Ingest(vec![
+            EdgeDelta {
+                src: 0,
+                dst: 1,
+                delta: 2,
+            },
+            EdgeDelta {
+                src: 2,
+                dst: 3,
+                delta: 1,
+            },
+        ]))
+        .unwrap();
+    assert_eq!(reply, Response::IngestAck { pending_deltas: 2 });
+
+    // ...so membership still answers from the pre-delta partition.
+    let reply = client.request(&Request::Membership(vec![0, 9])).unwrap();
+    assert_eq!(
+        reply,
+        Response::Membership(vec![
+            pre_delta_reference.assignment[0],
+            pre_delta_reference.assignment[9]
+        ])
+    );
+    let reply = client.request(&Request::Stats).unwrap();
+    let Response::Stats(stats) = reply else {
+        panic!("expected Stats")
+    };
+    assert_eq!(stats.pending_deltas, 2, "queue depth visible in Stats");
+
+    // Warm repartition applies the batch incrementally.
+    let reply = client
+        .request(&Request::Repartition {
+            mode: RepartitionMode::Warm,
+            backend: String::new(),
+        })
+        .unwrap();
+    let Response::RepartitionDone {
+        num_blocks,
+        swept_vertices,
+        ..
+    } = reply
+    else {
+        panic!("expected RepartitionDone, got {reply:?}");
+    };
+    assert_eq!(num_blocks, 2, "cliques stay recovered after the deltas");
+    assert!(swept_vertices < 16, "dirty sweep, not a full sweep");
+
+    // Membership now answers from the refreshed partition; the two
+    // cliques are still separated.
+    let reply = client
+        .request(&Request::Membership(vec![0, 7, 8, 15]))
+        .unwrap();
+    let Response::Membership(labels) = reply else {
+        panic!("expected Membership")
+    };
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[2], labels[3]);
+    assert_ne!(labels[0], labels[2]);
+
+    // Checkpoint over the wire.
+    let reply = client
+        .request(&Request::Checkpoint(ckpt.to_string_lossy().into_owned()))
+        .unwrap();
+    assert!(matches!(reply, Response::CheckpointDone { .. }));
+    assert!(ckpt.is_file());
+
+    // The daemon serves connections sequentially, so close this one
+    // before probing from another.
+    drop(client);
+
+    // Malformed-frame probe on a fresh connection: typed error reply,
+    // that connection closes, the daemon survives.
+    let mut hostile = Client::connect(&listen).unwrap();
+    let reply = hostile.send_raw(b"XX\xFF\xFF\xFF\xFFnot-a-frame").unwrap();
+    assert!(
+        matches!(reply, Response::Error { .. }),
+        "expected an error frame, got {reply:?}"
+    );
+    drop(hostile);
+
+    // Daemon still serving: a fresh connection gets real answers.
+    let mut client = Client::connect(&listen).unwrap();
+    let reply = client.request(&Request::Stats).unwrap();
+    assert!(matches!(reply, Response::Stats(_)));
+
+    // Clean shutdown.
+    let reply = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(reply, Response::ShutdownAck);
+    handle.join().expect("daemon thread exits cleanly");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+
+    // The checkpoint written over the wire resumes a new server over the
+    // *mutated* graph (fingerprint matches), and rejects the pre-delta
+    // graph with a typed mismatch.
+    let mut mutated = two_cliques(8);
+    mutated
+        .apply_edge_deltas(&[
+            EdgeDelta {
+                src: 0,
+                dst: 1,
+                delta: 2,
+            },
+            EdgeDelta {
+                src: 2,
+                dst: 3,
+                delta: 1,
+            },
+        ])
+        .unwrap();
+    let resume_options = ServerOptions {
+        seed: 3,
+        resume: Some(PathBuf::from(&ckpt)),
+        ..ServerOptions::default()
+    };
+    let resumed = Server::new(mutated, resume_options.clone(), default_registry())
+        .expect("resume over the mutated graph");
+    assert_eq!(resumed.num_blocks(), 2);
+    match Server::new(two_cliques(8), resume_options, default_registry()) {
+        Err(edist::serve::ServeError::CheckpointMismatch(_)) => {}
+        Err(other) => panic!("expected CheckpointMismatch, got {other}"),
+        Ok(_) => panic!("expected CheckpointMismatch, got a server"),
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn facade_rejects_invalid_warm_starts_with_typed_errors() {
+    let graph = two_cliques(6);
+    // Wrong assignment length.
+    let err = Partitioner::on(&graph)
+        .warm_start(vec![0; 5], 2)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, PartitionError::WarmStartInvalid(_)), "{err}");
+    // Label out of range.
+    let err = Partitioner::on(&graph)
+        .warm_start(vec![5; 12], 2)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, PartitionError::WarmStartInvalid(_)), "{err}");
+    // Distributed backends must refuse, never silently run cold.
+    let err = Partitioner::on(&graph)
+        .backend(Backend::Edist { ranks: 2 })
+        .warm_start(vec![0; 12], 1)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, PartitionError::WarmStartUnsupported(_)),
+        "{err}"
+    );
+    // Warm + resume is ambiguous and refused.
+    let err = Partitioner::on(&graph)
+        .warm_start(vec![0; 12], 1)
+        .resume_from("/no/such/snapshot.sbpc")
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PartitionError::WarmStartUnsupported(_) | PartitionError::CheckpointLoad(_)
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn registry_resolution_matches_typed_backends() {
+    // `solver_by_name` and the typed Backend enum must produce solvers
+    // with identical results — the registry is a naming layer, not a
+    // fork of the configuration.
+    let graph = two_cliques(6);
+    let typed = Partitioner::on(&graph).seed(5).run().expect("typed run");
+    let spec = SolverSpec::default();
+    let named = solver_by_name("sequential", &spec).expect("registry solver");
+    let cfg = RunConfig::from_sbp(SbpConfig {
+        seed: 5,
+        ..SbpConfig::default()
+    });
+    let run = run_solver(named.as_ref(), &graph, &cfg, &mut NoProgress);
+    assert_eq!(run.assignment, typed.assignment);
+    assert_eq!(
+        run.description_length.to_bits(),
+        typed.description_length.to_bits()
+    );
+    // Unknown names carry the full known-name list in the error.
+    match solver_by_name("quantum", &spec) {
+        Err(PartitionError::UnknownBackend { known, .. }) => {
+            for name in ["sequential", "hybrid", "batch", "edist", "dcsbp"] {
+                assert!(known.contains(&name.to_string()), "missing {name}");
+            }
+        }
+        Err(other) => panic!("expected UnknownBackend, got {other}"),
+        Ok(_) => panic!("expected UnknownBackend, got a solver"),
+    }
+}
