@@ -176,8 +176,9 @@ impl ConvergenceCheck {
 /// sweeps: a cancelled phase stops early and reports the sweeps it
 /// completed (the distributed drivers coordinate the equivalent check
 /// through a broadcast instead, so ranks never disagree). `on_sweep` is
-/// invoked with `(sweep_idx, dl)` after every sweep — the driver turns it
-/// into `ProgressEvent::Sweep`; pass `|_, _| {}` to observe nothing.
+/// invoked with `(sweep_idx, dl, &outcome)` after every sweep — the
+/// driver turns it into `ProgressEvent::Sweep` (the outcome carries the
+/// accepted/proposed counts); pass `|_, _, _| {}` to observe nothing.
 #[allow(clippy::too_many_arguments)]
 pub fn mcmc_phase<F, S>(
     graph: &Graph,
@@ -191,7 +192,7 @@ pub fn mcmc_phase<F, S>(
 ) -> McmcStats
 where
     F: FnMut(&Graph, &mut Blockmodel, &[Vertex], usize) -> SweepOutcome,
-    S: FnMut(usize, f64),
+    S: FnMut(usize, f64, &SweepOutcome),
 {
     let initial_dl = bm.description_length();
     let mut check = ConvergenceCheck::new(initial_dl, threshold);
@@ -209,7 +210,7 @@ where
         stats.proposals += outcome.proposals;
         let dl = bm.description_length();
         stats.final_dl = dl;
-        on_sweep(sweep_idx, dl);
+        on_sweep(sweep_idx, dl, &outcome);
         if check.record(dl) {
             break;
         }
@@ -325,14 +326,19 @@ mod tests {
             1e-6,
             &CancelToken::default(),
             |g, bm, vs, _| mh_sweep(g, bm, vs, 3.0, &mut rng),
-            |sweep, dl| observed.push((sweep, dl)),
+            |sweep, dl, outcome| observed.push((sweep, dl, outcome.moves.len())),
         );
         assert!(stats.final_dl <= initial);
         assert!(stats.sweeps > 0);
-        // The hook fires once per sweep, in order, ending on the final DL.
+        // The hook fires once per sweep, in order, ending on the final DL,
+        // and its per-sweep move counts add up to the phase total.
         assert_eq!(observed.len(), stats.sweeps);
         assert_eq!(observed.last().unwrap().1, stats.final_dl);
-        assert!(observed.iter().enumerate().all(|(i, &(s, _))| s == i));
+        assert!(observed.iter().enumerate().all(|(i, &(s, _, _))| s == i));
+        assert_eq!(
+            observed.iter().map(|&(_, _, m)| m).sum::<usize>(),
+            stats.moves
+        );
     }
 
     #[test]
@@ -350,7 +356,7 @@ mod tests {
             1e-6,
             &cancel,
             |g, bm, vs, s| keyed_mh_sweep(g, bm, vs, 3.0, 1, s),
-            |_, _| {},
+            |_, _, _| {},
         );
         assert_eq!(stats.sweeps, 0, "cancelled phase must not sweep");
     }

@@ -99,6 +99,12 @@ pub enum ProgressEvent {
         /// Description length after the sweep (distributed backends: the
         /// rank-0 broadcast value every replica agreed on).
         dl: f64,
+        /// Proposals evaluated during the sweep (distributed backends:
+        /// rank 0's local count — the only rank whose events are relayed).
+        proposed: usize,
+        /// Moves accepted during the sweep (distributed backends: the
+        /// exchanged global total every replica applied).
+        accepted: usize,
     },
     /// A full merge+MCMC iteration finished.
     Iteration {

@@ -23,6 +23,114 @@ use crate::mcmc::{keyed_mh_sweep, mcmc_phase, McmcStats};
 use crate::merge::{apply_merges, propose_merges};
 use crate::run::{ProgressEvent, ProgressSink, RunConfig, RunOutcome};
 use sbp_graph::{Graph, Vertex};
+use std::sync::OnceLock;
+
+/// Cached handles for the solver-layer metrics (`sbp_solver_*`).
+/// Strictly observe-only — see the `sbp-metrics` crate docs: nothing in
+/// this module ever reads a recorded value back, so the solver's output
+/// is bit-identical with metrics on or off.
+struct SolverMetrics {
+    iterations: std::sync::Arc<sbp_metrics::Counter>,
+    sweeps: std::sync::Arc<sbp_metrics::Counter>,
+    proposals: std::sync::Arc<sbp_metrics::Counter>,
+    moves: std::sync::Arc<sbp_metrics::Counter>,
+    merge_wall: std::sync::Arc<sbp_metrics::Histogram>,
+    merge_cpu: std::sync::Arc<sbp_metrics::Histogram>,
+    mcmc_wall: std::sync::Arc<sbp_metrics::Histogram>,
+    mcmc_cpu: std::sync::Arc<sbp_metrics::Histogram>,
+    block_size: std::sync::Arc<sbp_metrics::Histogram>,
+}
+
+fn solver_metrics() -> &'static SolverMetrics {
+    static M: OnceLock<SolverMetrics> = OnceLock::new();
+    M.get_or_init(|| SolverMetrics {
+        iterations: sbp_metrics::counter("sbp_solver_iterations_total"),
+        sweeps: sbp_metrics::counter("sbp_solver_sweeps_total"),
+        proposals: sbp_metrics::counter("sbp_solver_proposals_total"),
+        moves: sbp_metrics::counter("sbp_solver_moves_total"),
+        merge_wall: sbp_metrics::histogram(
+            "sbp_solver_merge_wall_seconds",
+            &sbp_metrics::TIME_BUCKETS,
+        ),
+        merge_cpu: sbp_metrics::histogram(
+            "sbp_solver_merge_cpu_seconds",
+            &sbp_metrics::TIME_BUCKETS,
+        ),
+        mcmc_wall: sbp_metrics::histogram(
+            "sbp_solver_mcmc_wall_seconds",
+            &sbp_metrics::TIME_BUCKETS,
+        ),
+        mcmc_cpu: sbp_metrics::histogram("sbp_solver_mcmc_cpu_seconds", &sbp_metrics::TIME_BUCKETS),
+        block_size: sbp_metrics::histogram("sbp_solver_block_size", &sbp_metrics::SIZE_BUCKETS),
+    })
+}
+
+/// Wall + thread-CPU start pair for a phase timing, taken only when
+/// recording is on (`None` keeps the disabled path clock-free). Shared
+/// with the distributed drivers in `sbp-dist`, which time their own
+/// merge/MCMC phases into the same histograms.
+pub fn phase_clock() -> Option<(std::time::Instant, f64)> {
+    sbp_metrics::enabled().then(|| (std::time::Instant::now(), sbp_mpi::thread_cpu_time()))
+}
+
+/// Records one iteration's block-size distribution (label frequencies
+/// of the current assignment) into `sbp_solver_block_size`. Observe-only;
+/// a no-op while recording is disabled.
+pub fn observe_block_sizes(bm: &Blockmodel) {
+    if !sbp_metrics::enabled() {
+        return;
+    }
+    let mut sizes = vec![0u64; bm.num_blocks()];
+    for &b in bm.assignment() {
+        if let Some(slot) = sizes.get_mut(b as usize) {
+            *slot += 1;
+        }
+    }
+    let hist = &solver_metrics().block_size;
+    for &size in sizes.iter().filter(|&&s| s > 0) {
+        hist.observe(size as f64);
+    }
+}
+
+/// Records a finished merge phase's wall/CPU timings from a
+/// [`phase_clock`] start pair (no-op on `None`).
+pub fn record_merge_timing(clock: Option<(std::time::Instant, f64)>) {
+    if let Some((wall, cpu)) = clock {
+        let m = solver_metrics();
+        m.merge_wall.observe(wall.elapsed().as_secs_f64());
+        m.merge_cpu.observe(sbp_mpi::thread_cpu_time() - cpu);
+    }
+}
+
+/// Records a finished MCMC phase's wall/CPU timings from a
+/// [`phase_clock`] start pair (no-op on `None`).
+pub fn record_mcmc_timing(clock: Option<(std::time::Instant, f64)>) {
+    if let Some((wall, cpu)) = clock {
+        let m = solver_metrics();
+        m.mcmc_wall.observe(wall.elapsed().as_secs_f64());
+        m.mcmc_cpu.observe(sbp_mpi::thread_cpu_time() - cpu);
+    }
+}
+
+/// Counts one finished golden-loop iteration into
+/// `sbp_solver_iterations_total` (no-op while recording is disabled —
+/// the counter gates internally).
+pub fn record_iteration() {
+    solver_metrics().iterations.inc();
+}
+
+/// Counts one completed sweep (with its proposal/acceptance tallies)
+/// into the solver counters. The distributed drivers call this from
+/// their sync points, which are their sweep boundaries.
+pub fn record_sweep(proposals: usize, moves: usize) {
+    if !sbp_metrics::enabled() {
+        return;
+    }
+    let m = solver_metrics();
+    m.sweeps.inc();
+    m.proposals.add(proposals as u64);
+    m.moves.add(moves as u64);
+}
 
 /// Which MCMC sweep implementation to use inside each phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -264,7 +372,9 @@ pub fn solve_sbp(
             } => {
                 let from_blocks = start.num_blocks;
                 let bm = Blockmodel::from_assignment(graph, start.assignment, start.num_blocks);
+                let merge_clock = phase_clock();
                 let mut bm = merge_phase(graph, &bm, blocks_to_merge, scfg, iter_idx);
+                record_merge_timing(merge_clock);
                 progress.on_event(&ProgressEvent::Merged {
                     iteration: iter_idx,
                     from_blocks,
@@ -275,9 +385,13 @@ pub fn solve_sbp(
                 } else {
                     scfg.threshold_pre
                 };
+                let mcmc_clock = phase_clock();
                 let stats = run_mcmc(
                     graph, &mut bm, &vertices, cfg, threshold, iter_idx, progress,
                 );
+                record_mcmc_timing(mcmc_clock);
+                record_iteration();
+                observe_block_sizes(&bm);
                 let entry = BracketEntry {
                     assignment: bm.assignment().to_vec(),
                     num_blocks: bm.num_blocks(),
@@ -444,11 +558,14 @@ fn run_mcmc(
     let cancel = &cfg.cancel;
     // Every single-node sweep boundary is a "sync point" in the
     // distributed drivers' sense, so sweep-level events come for free.
-    let mut on_sweep = |sweep: usize, dl: f64| {
+    let mut on_sweep = |sweep: usize, dl: f64, outcome: &crate::mcmc::SweepOutcome| {
+        record_sweep(outcome.proposals, outcome.moves.len());
         progress.on_event(&ProgressEvent::Sweep {
             iteration: iter_idx,
             sweep,
             dl,
+            proposed: outcome.proposals,
+            accepted: outcome.moves.len(),
         });
     };
     match &cfg.sbp.strategy {

@@ -371,6 +371,11 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
                     let bm = data.build_blockmodel(comm, start.assignment, start.num_blocks)?;
 
                     // ---- distributed merge phase (Alg. 4) ----
+                    // Solver-layer metrics are recorded by rank 0 only:
+                    // every rank walks the same replicated golden loop,
+                    // so an ungated count would be multiplied by the
+                    // rank count. Observe-only — no collective is added.
+                    let merge_clock = (rank == 0).then(sbp_core::sbp::phase_clock).flatten();
                     let my_blocks = owned_blocks(bm.num_blocks(), rank, size);
                     let merge_seed = merge_phase_seed(cfg.sbp.seed, iter_idx);
                     let mine = propose_merges(
@@ -383,6 +388,7 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
                         comm.allgatherv(mine).into_iter().flatten().collect();
                     let (assignment, num_blocks) = apply_merges(&bm, candidates, blocks_to_merge);
                     let mut bm = data.build_blockmodel(comm, assignment, num_blocks)?;
+                    sbp_core::sbp::record_merge_timing(merge_clock);
                     relay.emit(ProgressEvent::Merged {
                         iteration: iter_idx,
                         from_blocks,
@@ -395,6 +401,7 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
                     } else {
                         cfg.sbp.threshold_pre
                     };
+                    let mcmc_clock = (rank == 0).then(sbp_core::sbp::phase_clock).flatten();
                     let phase = mcmc_phase_distributed(
                         comm,
                         data,
@@ -406,6 +413,11 @@ pub(crate) fn edist_driver<C: Communicator, D: EdistData>(
                         relay,
                         &mut xstats,
                     )?;
+                    sbp_core::sbp::record_mcmc_timing(mcmc_clock);
+                    if rank == 0 {
+                        sbp_core::sbp::record_iteration();
+                        sbp_core::sbp::observe_block_sizes(&bm);
+                    }
 
                     let entry = BracketEntry {
                         assignment: bm.assignment().to_vec(),
@@ -512,6 +524,40 @@ struct DistributedPhase {
     cancelled: bool,
 }
 
+/// Per-rank wire counters, resolved once per MCMC phase and recorded at
+/// the existing sync points (observe-only: no extra collectives, no
+/// extra wire bytes). The rank id is folded into the metric name so
+/// simulated ranks sharing one process registry stay distinguishable.
+struct WireMetrics {
+    syncs: std::sync::Arc<sbp_metrics::Counter>,
+    moves: std::sync::Arc<sbp_metrics::Counter>,
+    bytes_raw: std::sync::Arc<sbp_metrics::Counter>,
+    bytes_encoded: std::sync::Arc<sbp_metrics::Counter>,
+}
+
+impl WireMetrics {
+    fn new(rank: usize) -> Self {
+        let name = |base: &str| sbp_metrics::labeled(base, "rank", rank);
+        WireMetrics {
+            syncs: sbp_metrics::counter(&name("sbp_wire_syncs_total")),
+            moves: sbp_metrics::counter(&name("sbp_wire_moves_total")),
+            bytes_raw: sbp_metrics::counter(&name("sbp_wire_move_bytes_raw_total")),
+            bytes_encoded: sbp_metrics::counter(&name("sbp_wire_move_bytes_encoded_total")),
+        }
+    }
+
+    /// Records one sync point: the moves this rank shipped and the byte
+    /// delta `exchange_moves` added to the per-phase accounting.
+    fn record_sync(&self, shipped: usize, before: ExchangeStats, after: ExchangeStats) {
+        self.syncs.inc();
+        self.moves.add(shipped as u64);
+        self.bytes_raw
+            .add(after.move_bytes_raw - before.move_bytes_raw);
+        self.bytes_encoded
+            .add(after.move_bytes_encoded - before.move_bytes_encoded);
+    }
+}
+
 /// One distributed MCMC phase: sweep owned vertices, sync every
 /// `sync_period` sweeps through the data plane's single-allgather move
 /// exchange (delta+varint payloads — see [`crate::exchange`]; the
@@ -548,8 +594,10 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
     let mut dl = initial_dl;
     let mut moves = 0usize;
     let mut cancelled = false;
+    let wire = sbp_metrics::enabled().then(|| WireMetrics::new(comm.rank()));
 
     let mut sweeps = 0usize;
+    let mut proposed_since_sync = 0usize;
     while sweeps < cfg.sbp.max_sweeps {
         let outcome: SweepOutcome = match &cfg.sbp.strategy {
             McmcStrategy::MetropolisHastings => {
@@ -561,10 +609,17 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
             McmcStrategy::Batch => batch_sweep(graph, bm, my_vertices, beta, sweep_seed, sweeps),
         };
         pending.extend(outcome.moves);
+        proposed_since_sync += outcome.proposals;
         sweeps += 1;
 
         if sweeps.is_multiple_of(sync_period) || sweeps == cfg.sbp.max_sweeps {
-            moves += data.exchange_moves(comm, bm, &mut prev, &pending, xstats)?;
+            let shipped = pending.len();
+            let xstats_before = *xstats;
+            let exchanged = data.exchange_moves(comm, bm, &mut prev, &pending, xstats)?;
+            moves += exchanged;
+            if let Some(w) = &wire {
+                w.record_sync(shipped, xstats_before, *xstats);
+            }
             pending.clear();
             // One broadcast carries both the convergence value and the
             // cancellation decision, so all ranks agree on both.
@@ -573,11 +628,21 @@ fn mcmc_phase_distributed<C: Communicator, D: EdistData>(
                 (comm.rank() == 0).then(|| (bm.description_length(), cancel.is_cancelled())),
             );
             dl = new_dl;
+            if comm.rank() == 0 {
+                // Rank 0 counts for the whole cluster: `exchanged` is
+                // already the global move total, while `proposed` is
+                // rank 0's local share (summing it globally would add
+                // a collective to an observe-only path).
+                sbp_core::sbp::record_sweep(proposed_since_sync, exchanged);
+            }
             relay.emit(ProgressEvent::Sweep {
                 iteration: iter_idx,
                 sweep: sweeps - 1,
                 dl,
+                proposed: proposed_since_sync,
+                accepted: exchanged,
             });
+            proposed_since_sync = 0;
             if cancel_now {
                 cancelled = true;
                 break;

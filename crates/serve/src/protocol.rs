@@ -25,6 +25,13 @@ use sbp_graph::varint::{
 };
 use sbp_graph::{EdgeDelta, Vertex};
 
+/// Protocol revision. Bumped to 2 when [`StatsReply`] grew the uptime
+/// and cumulative ingest/repartition fields and the `Metrics`
+/// request/reply pair was added. The frames themselves carry no version
+/// byte — client and server ship from one tree — but the constant
+/// records where the encoding changed.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Frame magic: `b"SF"` ("serve frame").
 pub const FRAME_MAGIC: [u8; 2] = *b"SF";
 /// Hard cap on a frame's payload size (16 MiB).
@@ -40,6 +47,9 @@ pub const MAX_NAME: usize = 64;
 pub const MAX_PATH: usize = 4096;
 /// Hard cap on an error-message string, in bytes.
 pub const MAX_MESSAGE: usize = 1024;
+/// Hard cap on each text block (snapshot JSON, Prometheus exposition)
+/// in a `Metrics` reply, in bytes.
+pub const MAX_METRICS_TEXT: usize = 1 << 20;
 /// Trajectory entries carried in a `Stats` reply (the tail).
 pub const MAX_TRAJECTORY: usize = 8;
 
@@ -180,6 +190,20 @@ fn write_string(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// Writes `s` truncated to at most `max` bytes at a char boundary —
+/// used by the reply encoders that must never fail (errors, metrics).
+fn write_capped_string(buf: &mut Vec<u8>, s: &str, max: usize) {
+    let mut s = s;
+    while s.len() > max {
+        let mut cut = max;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s = &s[..cut];
+    }
+    write_string(buf, s);
+}
+
 fn read_f64_bits(buf: &[u8], pos: &mut usize) -> Result<f64, WireError> {
     if buf.len().saturating_sub(*pos) < 8 {
         return Err(WireError::Truncated);
@@ -237,6 +261,9 @@ pub enum Request {
     /// Gracefully stop the server (writes the configured shutdown
     /// checkpoint first, if any).
     Shutdown,
+    /// Query the process-wide metrics plane: a canonical-JSON snapshot
+    /// plus a Prometheus-style text exposition.
+    Metrics,
 }
 
 const TAG_INGEST: u8 = 0x01;
@@ -245,6 +272,7 @@ const TAG_MEMBERSHIP: u8 = 0x03;
 const TAG_STATS: u8 = 0x04;
 const TAG_CHECKPOINT: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_METRICS: u8 = 0x07;
 
 impl Request {
     /// Encodes the request payload (no frame).
@@ -278,6 +306,7 @@ impl Request {
                 write_string(&mut buf, path);
             }
             Request::Shutdown => buf.push(TAG_SHUTDOWN),
+            Request::Metrics => buf.push(TAG_METRICS),
         }
         buf
     }
@@ -340,6 +369,7 @@ impl Request {
                 Request::Checkpoint(path)
             }
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_METRICS => Request::Metrics,
             other => return Err(WireError::BadTag(other)),
         };
         finish(rest, pos)?;
@@ -376,6 +406,15 @@ pub struct StatsReply {
     pub trajectory_tail: Vec<TrajectoryPoint>,
     /// The server's default backend name.
     pub backend: String,
+    /// Seconds since the daemon finished its startup solve
+    /// (protocol v2).
+    pub uptime_seconds: f64,
+    /// Cumulative accepted `Ingest` requests since startup
+    /// (protocol v2).
+    pub ingests: u64,
+    /// Cumulative successful `Repartition` runs since startup
+    /// (protocol v2).
+    pub repartitions: u64,
 }
 
 /// A server → client message.
@@ -417,6 +456,15 @@ pub enum Response {
     },
     /// Server is shutting down after this reply.
     ShutdownAck,
+    /// `Metrics` snapshot: canonical JSON plus Prometheus-style text.
+    Metrics {
+        /// `sbp_metrics::Snapshot::to_json()` output, ≤
+        /// [`MAX_METRICS_TEXT`] bytes.
+        snapshot_json: String,
+        /// `sbp_metrics::Snapshot::prometheus()` output, ≤
+        /// [`MAX_METRICS_TEXT`] bytes.
+        prometheus: String,
+    },
 }
 
 const TAG_ERROR: u8 = 0x80;
@@ -426,6 +474,7 @@ const TAG_MEMBERSHIP_REPLY: u8 = 0x83;
 const TAG_STATS_REPLY: u8 = 0x84;
 const TAG_CHECKPOINT_DONE: u8 = 0x85;
 const TAG_SHUTDOWN_ACK: u8 = 0x86;
+const TAG_METRICS_REPLY: u8 = 0x87;
 
 /// Error codes carried by [`Response::Error`].
 pub mod error_code {
@@ -454,15 +503,7 @@ impl Response {
             Response::Error { code, message } => {
                 buf.push(TAG_ERROR);
                 buf.push(*code);
-                let mut msg = message.as_str();
-                while msg.len() > MAX_MESSAGE {
-                    let mut cut = MAX_MESSAGE;
-                    while !msg.is_char_boundary(cut) {
-                        cut -= 1;
-                    }
-                    msg = &msg[..cut];
-                }
-                write_string(&mut buf, msg);
+                write_capped_string(&mut buf, message, MAX_MESSAGE);
             }
             Response::IngestAck { pending_deltas } => {
                 buf.push(TAG_INGEST_ACK);
@@ -500,12 +541,23 @@ impl Response {
                     write_f64_bits(&mut buf, p.dl);
                 }
                 write_string(&mut buf, &s.backend);
+                write_f64_bits(&mut buf, s.uptime_seconds);
+                write_u64(&mut buf, s.ingests);
+                write_u64(&mut buf, s.repartitions);
             }
             Response::CheckpointDone { bytes } => {
                 buf.push(TAG_CHECKPOINT_DONE);
                 write_u64(&mut buf, *bytes);
             }
             Response::ShutdownAck => buf.push(TAG_SHUTDOWN_ACK),
+            Response::Metrics {
+                snapshot_json,
+                prometheus,
+            } => {
+                buf.push(TAG_METRICS_REPLY);
+                write_capped_string(&mut buf, snapshot_json, MAX_METRICS_TEXT);
+                write_capped_string(&mut buf, prometheus, MAX_METRICS_TEXT);
+            }
         }
         buf
     }
@@ -574,6 +626,9 @@ impl Response {
                     trajectory_tail.push(TrajectoryPoint { num_blocks, dl });
                 }
                 let backend = read_string(rest, &mut pos, MAX_NAME, "backend name")?;
+                let uptime_seconds = read_f64_bits(rest, &mut pos)?;
+                let ingests = read_u64(rest, &mut pos).ok_or(WireError::BadVarint)?;
+                let repartitions = read_u64(rest, &mut pos).ok_or(WireError::BadVarint)?;
                 Response::Stats(StatsReply {
                     num_vertices,
                     num_blocks,
@@ -582,12 +637,19 @@ impl Response {
                     degraded,
                     trajectory_tail,
                     backend,
+                    uptime_seconds,
+                    ingests,
+                    repartitions,
                 })
             }
             TAG_CHECKPOINT_DONE => Response::CheckpointDone {
                 bytes: read_u64(rest, &mut pos).ok_or(WireError::BadVarint)?,
             },
             TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            TAG_METRICS_REPLY => Response::Metrics {
+                snapshot_json: read_string(rest, &mut pos, MAX_METRICS_TEXT, "metrics json")?,
+                prometheus: read_string(rest, &mut pos, MAX_METRICS_TEXT, "metrics exposition")?,
+            },
             other => return Err(WireError::BadTag(other)),
         };
         finish(rest, pos)?;
@@ -640,6 +702,7 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Checkpoint("/tmp/x.sbpc".into()));
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -673,9 +736,38 @@ mod tests {
                 },
             ],
             backend: "sequential".into(),
+            uptime_seconds: 12.75,
+            ingests: 5,
+            repartitions: 2,
         }));
         roundtrip_response(Response::CheckpointDone { bytes: 512 });
         roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Metrics {
+            snapshot_json: "{\"sbp_daemon_ingests_total\":{\"type\":\"counter\",\"value\":5}}"
+                .into(),
+            prometheus: "# TYPE sbp_daemon_ingests_total counter\n\
+                         sbp_daemon_ingests_total 5\n"
+                .into(),
+        });
+    }
+
+    #[test]
+    fn oversized_metrics_text_truncates_at_char_boundary() {
+        let resp = Response::Metrics {
+            snapshot_json: "é".repeat(MAX_METRICS_TEXT),
+            prometheus: String::new(),
+        };
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Metrics {
+                snapshot_json,
+                prometheus,
+            } => {
+                assert!(snapshot_json.len() <= MAX_METRICS_TEXT);
+                assert!(!snapshot_json.is_empty());
+                assert!(prometheus.is_empty());
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
     }
 
     #[test]

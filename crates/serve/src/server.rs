@@ -151,6 +151,22 @@ pub struct Server {
     degraded: u8,
     options: ServerOptions,
     registry: SolverRegistry,
+    started: std::time::Instant,
+    ingests: u64,
+    repartitions: u64,
+}
+
+/// Counts one daemon request by kind (observe-only: the handler's
+/// behaviour never depends on the counters).
+fn count_request(kind: &'static str) {
+    if sbp_metrics::enabled() {
+        sbp_metrics::counter(&sbp_metrics::labeled(
+            "sbp_daemon_requests_total",
+            "kind",
+            kind,
+        ))
+        .inc();
+    }
 }
 
 fn degraded_byte(reason: Option<sbp_core::DegradedReason>) -> u8 {
@@ -188,6 +204,9 @@ impl Server {
             degraded: 0,
             options,
             registry,
+            started: std::time::Instant::now(),
+            ingests: 0,
+            repartitions: 0,
         };
         if let Some(path) = server.options.resume.clone() {
             server.restore(&path)?;
@@ -314,6 +333,7 @@ impl Server {
     pub fn handle(&mut self, req: Request) -> (Response, bool) {
         match req {
             Request::Ingest(deltas) => {
+                count_request("ingest");
                 let n = self.graph.num_vertices();
                 for d in &deltas {
                     if (d.src as usize) >= n || (d.dst as usize) >= n {
@@ -330,6 +350,10 @@ impl Server {
                     }
                 }
                 self.pending.extend(deltas);
+                self.ingests += 1;
+                if sbp_metrics::enabled() {
+                    sbp_metrics::counter("sbp_daemon_ingests_total").inc();
+                }
                 (
                     Response::IngestAck {
                         pending_deltas: self.pending.len() as u64,
@@ -337,8 +361,12 @@ impl Server {
                     false,
                 )
             }
-            Request::Repartition { mode, backend } => (self.repartition(mode, &backend), false),
+            Request::Repartition { mode, backend } => {
+                count_request("repartition");
+                (self.repartition(mode, &backend), false)
+            }
             Request::Membership(ids) => {
+                count_request("membership");
                 let n = self.graph.num_vertices();
                 if let Some(&bad) = ids.iter().find(|&&v| (v as usize) >= n) {
                     return (
@@ -353,6 +381,7 @@ impl Server {
                 (Response::Membership(labels), false)
             }
             Request::Stats => {
+                count_request("stats");
                 let tail_start = self.trajectory.len().saturating_sub(MAX_TRAJECTORY);
                 let trajectory_tail = self.trajectory[tail_start..]
                     .iter()
@@ -370,11 +399,30 @@ impl Server {
                         degraded: self.degraded,
                         trajectory_tail,
                         backend: self.options.backend.clone(),
+                        uptime_seconds: self.started.elapsed().as_secs_f64(),
+                        ingests: self.ingests,
+                        repartitions: self.repartitions,
                     }),
                     false,
                 )
             }
+            Request::Metrics => {
+                count_request("metrics");
+                if sbp_metrics::enabled() {
+                    sbp_metrics::gauge("sbp_daemon_uptime_seconds")
+                        .set(self.started.elapsed().as_secs_f64());
+                }
+                let snap = sbp_metrics::snapshot();
+                (
+                    Response::Metrics {
+                        snapshot_json: snap.to_json().to_string(),
+                        prometheus: snap.prometheus(),
+                    },
+                    false,
+                )
+            }
             Request::Checkpoint(path) => {
+                count_request("checkpoint");
                 let state = self.checkpoint_state();
                 match state.write_to(Path::new(&path)) {
                     Ok(()) => (
@@ -393,6 +441,7 @@ impl Server {
                 }
             }
             Request::Shutdown => {
+                count_request("shutdown");
                 if let Some(path) = self.options.checkpoint_on_shutdown.clone() {
                     let _ = self.checkpoint_state().write_to(&path);
                 }
@@ -449,6 +498,10 @@ impl Server {
         let outcome = solver.solve(&self.graph, &cfg, &mut NoProgress);
         let iterations = outcome.iterations.len() as u64;
         self.adopt(outcome);
+        self.repartitions += 1;
+        if sbp_metrics::enabled() {
+            sbp_metrics::counter("sbp_daemon_repartitions_total").inc();
+        }
         Response::RepartitionDone {
             num_blocks: self.num_blocks as u64,
             dl: self.dl,
@@ -803,6 +856,65 @@ mod tests {
         // sortedness and bounds instead.
         assert!(dirty.windows(2).all(|w| w[0] < w[1]));
         assert!(dirty.iter().all(|&v| (v as usize) < 8));
+    }
+
+    #[test]
+    fn stats_reports_uptime_and_cumulative_counters() {
+        let mut s = test_server(4);
+        let (_, _) = s.handle(Request::Ingest(vec![EdgeDelta {
+            src: 0,
+            dst: 1,
+            delta: 1,
+        }]));
+        let (_, _) = s.handle(Request::Repartition {
+            mode: RepartitionMode::Warm,
+            backend: String::new(),
+        });
+        let (resp, _) = s.handle(Request::Stats);
+        match resp {
+            Response::Stats(stats) => {
+                assert_eq!(stats.ingests, 1);
+                assert_eq!(stats.repartitions, 1);
+                assert!(stats.uptime_seconds >= 0.0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // A failed repartition (unknown backend) is not counted.
+        let (_, _) = s.handle(Request::Repartition {
+            mode: RepartitionMode::Cold,
+            backend: "nope".into(),
+        });
+        let (resp, _) = s.handle(Request::Stats);
+        match resp {
+            Response::Stats(stats) => assert_eq!(stats.repartitions, 1),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_request_returns_json_and_exposition() {
+        let mut s = test_server(4);
+        let (resp, shutdown) = s.handle(Request::Metrics);
+        assert!(!shutdown);
+        match resp {
+            Response::Metrics {
+                snapshot_json,
+                prometheus,
+            } => {
+                let value =
+                    sbp_metrics::json::Value::parse(&snapshot_json).expect("valid JSON text");
+                sbp_metrics::Snapshot::from_json(&value).expect("valid snapshot JSON");
+                // The handler's own request counter must appear once
+                // metrics are enabled (the default).
+                if sbp_metrics::enabled() {
+                    assert!(
+                        prometheus.contains("sbp_daemon_requests_total"),
+                        "missing daemon counter in: {prometheus}"
+                    );
+                }
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
     }
 
     #[test]

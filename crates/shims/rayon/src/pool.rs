@@ -51,8 +51,81 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Cached handles for a worker's `sbp_pool_*{worker="id"}` counters,
+/// resolved once per worker thread (registry lookups never sit on the
+/// task hot path). Observe-only: the pool never reads these back, so
+/// scheduling — and therefore results — is identical with metrics on
+/// or off.
+struct WorkerMetrics {
+    tasks: Arc<sbp_metrics::Counter>,
+    steals: Arc<sbp_metrics::Counter>,
+}
+
+impl WorkerMetrics {
+    fn new(id: usize) -> Self {
+        WorkerMetrics {
+            tasks: sbp_metrics::counter(&sbp_metrics::labeled(
+                "sbp_pool_tasks_total",
+                "worker",
+                id,
+            )),
+            steals: sbp_metrics::counter(&sbp_metrics::labeled(
+                "sbp_pool_steals_total",
+                "worker",
+                id,
+            )),
+        }
+    }
+}
+
+/// Tasks executed by threads *waiting* on a batch (cooperative helping)
+/// rather than by pool workers.
+fn helper_tasks() -> &'static Arc<sbp_metrics::Counter> {
+    static C: OnceLock<Arc<sbp_metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| sbp_metrics::counter("sbp_pool_helper_tasks_total"))
+}
+
+/// Batches dispatched to the pool (inline/serial runs are not counted).
+fn pool_batches() -> &'static Arc<sbp_metrics::Counter> {
+    static C: OnceLock<Arc<sbp_metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| sbp_metrics::counter("sbp_pool_batches_total"))
+}
+
+/// Submit-to-first-execution latency of pooled batches.
+fn dispatch_hist() -> &'static Arc<sbp_metrics::Histogram> {
+    static H: OnceLock<Arc<sbp_metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        sbp_metrics::histogram("sbp_pool_dispatch_seconds", &sbp_metrics::TIME_BUCKETS)
+    })
+}
+
+/// Per-batch dispatch-latency probe: stamps submission time and records
+/// the delta when the batch's *first* task starts executing.
+struct DispatchClock {
+    submitted: Instant,
+    fired: AtomicBool,
+}
+
+impl DispatchClock {
+    /// `None` while recording is disabled, keeping the disabled path
+    /// free of clock reads.
+    fn start() -> Option<Self> {
+        sbp_metrics::enabled().then(|| DispatchClock {
+            submitted: Instant::now(),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    fn task_started(&self) {
+        if !self.fired.swap(true, Ordering::Relaxed) {
+            dispatch_hist().observe(self.submitted.elapsed().as_secs_f64());
+        }
+    }
+}
 
 /// Hard cap on pool workers, guarding against absurd `SBP_THREADS`
 /// values (each worker costs a stack).
@@ -194,23 +267,25 @@ impl Pool {
 
     /// Worker `id`'s take policy: own deque front first (cache-warm
     /// chunks in submission order), then steal from the back of a peer.
-    fn take(st: &mut State, id: usize) -> Option<Task> {
+    /// The flag reports whether the task came from a peer's deque.
+    fn take(st: &mut State, id: usize) -> Option<(Task, bool)> {
         if let Some(t) = st.deques[id].pop_front() {
-            return Some(t);
+            return Some((t, false));
         }
         let n = st.deques.len();
         for off in 1..n {
             let j = (id + off) % n;
             if let Some(t) = st.deques[j].pop_back() {
-                return Some(t);
+                return Some((t, true));
             }
         }
         None
     }
 
     fn worker_loop(&self, id: usize) {
+        let metrics = WorkerMetrics::new(id);
         loop {
-            let task = {
+            let (task, stolen) = {
                 let mut st = lock(&self.state);
                 loop {
                     if let Some(t) = Self::take(&mut st, id) {
@@ -220,6 +295,10 @@ impl Pool {
                 }
             };
             task();
+            metrics.tasks.inc();
+            if stolen {
+                metrics.steals.inc();
+            }
         }
     }
 
@@ -243,6 +322,8 @@ struct Batch<U> {
     remaining: Mutex<usize>,
     done_cv: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Dispatch-latency probe; `None` while metrics are disabled.
+    dispatch: Option<DispatchClock>,
 }
 
 impl<U> Batch<U> {
@@ -252,12 +333,16 @@ impl<U> Batch<U> {
             remaining: Mutex::new(n),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
+            dispatch: DispatchClock::start(),
         }
     }
 
     /// Runs one task body, stores its result or panic, and signals the
     /// barrier. Never unwinds.
     fn run_slot(&self, i: usize, f: impl FnOnce() -> U) {
+        if let Some(clock) = &self.dispatch {
+            clock.task_started();
+        }
         match catch_unwind(AssertUnwindSafe(f)) {
             Ok(u) => *lock(&self.slots[i]) = Some(u),
             Err(p) => {
@@ -285,6 +370,7 @@ impl<U> Batch<U> {
             }
             if let Some(task) = pool().try_pop_any() {
                 task();
+                helper_tasks().inc();
                 continue;
             }
             let rem = lock(&self.remaining);
@@ -337,6 +423,7 @@ where
             unsafe { erase(t) }
         })
         .collect();
+    pool_batches().inc();
     pool().submit(tasks, threads);
     batch.wait();
     batch.rethrow();

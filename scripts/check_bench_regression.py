@@ -4,7 +4,8 @@
 Usage:
     CRITERION_SUMMARY=target/criterion-summary.json \
         cargo bench -p sbp-bench --bench micro
-    python3 scripts/check_bench_regression.py [summary.json] [pr1.json] [pr5.json]
+    python3 scripts/check_bench_regression.py \
+        [summary.json] [pr1.json] [pr5.json] [pr8.json]
 
 Three checks, from strongest to weakest signal:
 
@@ -28,6 +29,15 @@ Three checks, from strongest to weakest signal:
    what catches a reintroduced per-call spawn tax or a serialized
    reduction, which the ΔS kernels alone would never see.
 
+4. **Instrumented-kernel guard vs the PR 8 record** (BENCH_pr8.json):
+   the same whole-phase ids plus the ΔS kernels, compared against the
+   record taken *after* the sbp-metrics plane instrumented the merge,
+   sweep, and pool paths. BENCH_pr8.json was recorded within tolerance
+   of BENCH_pr5.json on the recording machine (benchmarks/summary.md,
+   PR 8 addendum), so this guard holds future changes to the
+   metrics-on cost of the hot paths — a record call leaking into a
+   per-proposal loop shows up here first.
+
 The `sparse_*` benchmark ids were `hashmap_*` when BENCH_pr1.json was
 recorded (the forced-sparse representation was a hash map then; it is a
 canonical sorted line now) — the ID_MAP below bridges the rename.
@@ -40,6 +50,7 @@ import sys
 SUMMARY = sys.argv[1] if len(sys.argv) > 1 else "target/criterion-summary.json"
 BASELINE_PR1 = sys.argv[2] if len(sys.argv) > 2 else "BENCH_pr1.json"
 BASELINE_PR5 = sys.argv[3] if len(sys.argv) > 3 else "BENCH_pr5.json"
+BASELINE_PR8 = sys.argv[4] if len(sys.argv) > 4 else "BENCH_pr8.json"
 TOL = float(os.environ.get("BENCH_TOL", "1.5"))
 
 # Current id -> id in the BENCH_pr1.json "pr1" record.
@@ -62,6 +73,15 @@ PR5_GUARD = [
     "edist/blockmodel/from_assignment",
     "edist/blockmodel/from_assignment_hugeC",
     "edist/blockmodel/entropy_hugeC",
+]
+
+# Kernels the sbp-metrics plane instrumented (or whose callers it
+# instrumented), guarded against the post-instrumentation PR 8 record:
+# the whole-phase set plus the production ΔS paths.
+PR8_GUARD = PR5_GUARD + [
+    "edist/delta_entropy/adaptive_manyC",
+    "edist/delta_entropy/adaptive_hugeC",
+    "edist/delta_entropy/sparse_manyC",
 ]
 
 # (numerator, denominator, max allowed ratio): adaptive sparse-path vs
@@ -105,6 +125,8 @@ def main() -> int:
         pr1 = json.load(f)["pr1"]
     with open(BASELINE_PR5) as f:
         pr5 = json.load(f)["pr5"]
+    with open(BASELINE_PR8) as f:
+        pr8 = json.load(f)["pr8"]
 
     failures = []
 
@@ -123,6 +145,7 @@ def main() -> int:
 
     check_absolute(measured, pr1, ID_MAP, "pr1", failures)
     check_absolute(measured, pr5, {i: i for i in PR5_GUARD}, "pr5", failures)
+    check_absolute(measured, pr8, {i: i for i in PR8_GUARD}, "pr8", failures)
 
     if failures:
         print("\nbench regression guard FAILED:")

@@ -162,6 +162,10 @@ fn run(argv: &[String]) -> Result<u8, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
+    if cmd == "report" {
+        // `report` takes a positional JSONL path, which Args rejects.
+        return cmd_report(&argv[1..]).map(|()| 0);
+    }
     let args = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&args).map(|()| 0),
@@ -189,7 +193,10 @@ subcommands:
   partition  infer communities (--backend sequential|hybrid|batch|dcsbp|edist;
              --sharded DIR runs distributed backends over .sbps shards;
              --checkpoint/--resume snapshot and restore the golden loop;
-             --fault-plan injects deterministic faults for testing)
+             --fault-plan injects deterministic faults for testing;
+             --metrics-out run.jsonl streams the run's metrics as JSONL)
+  report     render a --metrics-out JSONL file as a self-contained HTML
+             report (report run.jsonl [--out report.html])
   sample     sampling-based inference (sample -> infer -> extend)
   evaluate   score a predicted labeling against ground truth
   islands    island-vertex census under round-robin distribution
@@ -199,8 +206,9 @@ subcommands:
               [--backend NAME] [--seed N] [--resume s.sbpc] [--checkpoint s.sbpc])
   connect    one request against a running daemon (--to unix:PATH|tcp:ADDR, then
              one of --ingest \"s,d,w;s,d,w\" | --repartition warm|cold
-             | --membership \"v,v,...\" | --stats true | --checkpoint PATH
-             | --shutdown true | --badframe true)
+             | --membership \"v,v,...\" | --stats true | --metrics true
+             | --checkpoint PATH | --shutdown true | --badframe true;
+             --json true prints stats/metrics replies as JSON)
   help       this message
 
 partition/sample exit codes: 0 ok; 1 error; 3 when the run degraded and
@@ -245,6 +253,64 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("bad value for --{key}: '{v}'")),
         }
+    }
+}
+
+/// One `--key value` entry from a JSONL builder tuple list.
+fn jobj(entries: Vec<(&str, sbp_metrics::json::Value)>) -> sbp_metrics::json::Value {
+    sbp_metrics::json::Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn jnum(x: f64) -> sbp_metrics::json::Value {
+    sbp_metrics::json::Value::Num(x)
+}
+
+fn jstr(s: &str) -> sbp_metrics::json::Value {
+    sbp_metrics::json::Value::Str(s.to_string())
+}
+
+/// Streaming JSONL sink behind `partition --metrics-out`. Lines are
+/// written as events arrive; a failed write is remembered and surfaced
+/// once at the end instead of aborting the run mid-solve.
+struct MetricsLog {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: String,
+    failed: bool,
+}
+
+impl MetricsLog {
+    fn create(path: &str) -> Result<Self, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        Ok(MetricsLog {
+            writer: std::io::BufWriter::new(file),
+            path: path.to_string(),
+            failed: false,
+        })
+    }
+
+    fn line(&mut self, value: sbp_metrics::json::Value) {
+        use std::io::Write;
+        if !self.failed && writeln!(self.writer, "{value}").is_err() {
+            self.failed = true;
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        use std::io::Write;
+        if self.failed {
+            return Err(format!(
+                "writing {}: a metrics line failed to write",
+                self.path
+            ));
+        }
+        self.writer
+            .flush()
+            .map_err(|e| format!("flushing {}: {e}", self.path))
     }
 }
 
@@ -434,20 +500,108 @@ fn run_partitioner(
         partitioner = partitioner.cancel_token(token);
     }
     let show_progress = args.get("progress").is_some_and(|v| v != "false");
-    if show_progress {
-        partitioner = partitioner.progress(|event| match event {
-            ProgressEvent::ClusterStarted { ranks } => {
-                eprintln!("spawning {ranks} simulated ranks");
+    let mlog = match args.get("metrics-out") {
+        Some(path) => {
+            // Zero the process-wide registry so the snapshot line at the
+            // end covers exactly this run.
+            sbp_metrics::reset();
+            let log = MetricsLog::create(path)?;
+            Some(std::rc::Rc::new(std::cell::RefCell::new(log)))
+        }
+        None => None,
+    };
+    if let Some(m) = &mlog {
+        let backend_name =
+            args.get("backend")
+                .or_else(|| args.get("algo"))
+                .unwrap_or(match source {
+                    GraphSource::Mem(_) => "sequential",
+                    GraphSource::Shards(_) => "edist",
+                });
+        let vertices = match source {
+            GraphSource::Mem(graph) => graph.num_vertices(),
+            GraphSource::Shards(_) => 0, // not known before ingest
+        };
+        m.borrow_mut().line(jobj(vec![
+            ("type", jstr("meta")),
+            ("schema", jnum(1.0)),
+            ("backend", jstr(backend_name)),
+            ("seed", jnum(seed as f64)),
+            ("vertices", jnum(vertices as f64)),
+        ]));
+    }
+    if show_progress || mlog.is_some() {
+        let mlog = mlog.clone();
+        partitioner = partitioner.progress(move |event| {
+            if show_progress {
+                match event {
+                    ProgressEvent::ClusterStarted { ranks } => {
+                        eprintln!("spawning {ranks} simulated ranks");
+                    }
+                    ProgressEvent::PhaseStarted { phase } => eprintln!("phase: {phase}"),
+                    ProgressEvent::Sweep {
+                        iteration,
+                        sweep,
+                        dl,
+                        proposed,
+                        accepted,
+                    } => eprintln!(
+                        "  iter {iteration:>3} sweep {sweep:>3}: DL {dl:.2}  \
+                         ({accepted}/{proposed} proposals accepted)"
+                    ),
+                    ProgressEvent::Iteration { iteration, stat } => eprintln!(
+                        "iter {iteration:>3}: {:>6} blocks  DL {:.2}  ({} sweeps, {} moves)",
+                        stat.num_blocks, stat.dl, stat.sweeps, stat.moves
+                    ),
+                    _ => {}
+                }
             }
-            ProgressEvent::PhaseStarted { phase } => eprintln!("phase: {phase}"),
-            ProgressEvent::Iteration { iteration, stat } => eprintln!(
-                "iter {iteration:>3}: {:>6} blocks  DL {:.2}  ({} sweeps, {} moves)",
-                stat.num_blocks, stat.dl, stat.sweeps, stat.moves
-            ),
-            _ => {}
+            if let Some(m) = &mlog {
+                match event {
+                    ProgressEvent::Sweep {
+                        iteration,
+                        sweep,
+                        dl,
+                        proposed,
+                        accepted,
+                    } => m.borrow_mut().line(jobj(vec![
+                        ("type", jstr("sweep")),
+                        ("iteration", jnum(*iteration as f64)),
+                        ("sweep", jnum(*sweep as f64)),
+                        ("dl", jnum(*dl)),
+                        ("proposed", jnum(*proposed as f64)),
+                        ("accepted", jnum(*accepted as f64)),
+                    ])),
+                    ProgressEvent::Iteration { iteration, stat } => {
+                        m.borrow_mut().line(jobj(vec![
+                            ("type", jstr("iteration")),
+                            ("iteration", jnum(*iteration as f64)),
+                            ("blocks", jnum(stat.num_blocks as f64)),
+                            ("dl", jnum(stat.dl)),
+                        ]))
+                    }
+                    _ => {}
+                }
+            }
         });
     }
     let run = partitioner.run().map_err(|e| e.to_string())?;
+    if let Some(m) = &mlog {
+        let mut m = m.borrow_mut();
+        m.line(jobj(vec![
+            ("type", jstr("summary")),
+            ("dl", jnum(run.description_length)),
+            ("blocks", jnum(run.num_blocks as f64)),
+            ("wall_seconds", jnum(run.wall_seconds)),
+            ("virtual_seconds", jnum(run.virtual_seconds)),
+        ]));
+        m.line(jobj(vec![
+            ("type", jstr("snapshot")),
+            ("metrics", sbp_metrics::snapshot().to_json()),
+        ]));
+        m.finish()?;
+        eprintln!("metrics written to {}", m.path);
+    }
     if run.cancelled {
         eprintln!("cancelled: writing the best partition found so far");
     }
@@ -696,6 +850,46 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `edist-cli report run.jsonl [--out report.html]`: render a
+/// `--metrics-out` JSONL file as a self-contained HTML report (inline
+/// SVG charts, no external assets). Without `--out` the report lands
+/// next to the input with an `.html` extension.
+fn cmd_report(argv: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut out: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(tok) = it.next() {
+        if tok == "--out" {
+            out = Some(it.next().ok_or("flag --out needs a value")?.to_string());
+        } else if tok.starts_with("--") {
+            return Err(format!("unknown report flag '{tok}'"));
+        } else if input.is_none() {
+            input = Some(tok);
+        } else {
+            return Err(format!("unexpected extra argument '{tok}'"));
+        }
+    }
+    let input = input.ok_or("usage: report run.jsonl [--out report.html]")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let mut lines = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = sbp_metrics::json::Value::parse(line)
+            .map_err(|e| format!("{input}:{}: {e}", idx + 1))?;
+        lines.push(value);
+    }
+    let html = sbp_metrics::report::render(&lines).map_err(|e| format!("{input}: {e}"))?;
+    let out = out.unwrap_or_else(|| {
+        let p = Path::new(input);
+        p.with_extension("html").to_string_lossy().into_owned()
+    });
+    std::fs::write(&out, html).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("report written to {out}");
+    Ok(())
+}
+
 /// `edist-cli serve`: run the resident partition daemon in-process.
 /// Thin wrapper over `sbp-serve` — same flags, same wire protocol, so
 /// one binary covers both the one-shot and the resident workflow.
@@ -804,6 +998,8 @@ fn cmd_connect(args: &Args) -> Result<u8, String> {
         Request::Membership(vs)
     } else if args.get("stats").is_some_and(|v| v != "false") {
         Request::Stats
+    } else if args.get("metrics").is_some_and(|v| v != "false") {
+        Request::Metrics
     } else if let Some(path) = args.get("checkpoint") {
         Request::Checkpoint(path.to_string())
     } else if args.get("shutdown").is_some_and(|v| v != "false") {
@@ -811,10 +1007,11 @@ fn cmd_connect(args: &Args) -> Result<u8, String> {
     } else {
         return Err(
             "pass one of --ingest, --repartition, --membership, --stats true, \
-             --checkpoint PATH, --shutdown true, --badframe true"
+             --metrics true, --checkpoint PATH, --shutdown true, --badframe true"
                 .into(),
         );
     };
+    let as_json = args.get("json").is_some_and(|v| v != "false");
     let ids_echo = match &request {
         Request::Membership(ids) => ids.clone(),
         _ => Vec::new(),
@@ -847,14 +1044,58 @@ fn cmd_connect(args: &Args) -> Result<u8, String> {
             Ok(0)
         }
         Response::Stats(stats) => {
-            println!("vertices:       {}", stats.num_vertices);
-            println!("blocks:         {}", stats.num_blocks);
-            println!("DL:             {:.2}", stats.dl);
-            println!("pending deltas: {}", stats.pending_deltas);
-            println!("degraded:       {}", stats.degraded);
-            println!("backend:        {}", stats.backend);
-            for p in &stats.trajectory_tail {
-                println!("  trajectory: {} blocks  DL {:.2}", p.num_blocks, p.dl);
+            if as_json {
+                let trajectory = sbp_metrics::json::Value::Arr(
+                    stats
+                        .trajectory_tail
+                        .iter()
+                        .map(|p| {
+                            jobj(vec![
+                                ("blocks", jnum(p.num_blocks as f64)),
+                                ("dl", jnum(p.dl)),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!(
+                    "{}",
+                    jobj(vec![
+                        ("vertices", jnum(stats.num_vertices as f64)),
+                        ("blocks", jnum(stats.num_blocks as f64)),
+                        ("dl", jnum(stats.dl)),
+                        ("pending_deltas", jnum(stats.pending_deltas as f64)),
+                        ("degraded", jnum(f64::from(stats.degraded))),
+                        ("backend", jstr(&stats.backend)),
+                        ("uptime_seconds", jnum(stats.uptime_seconds)),
+                        ("ingests", jnum(stats.ingests as f64)),
+                        ("repartitions", jnum(stats.repartitions as f64)),
+                        ("trajectory_tail", trajectory),
+                    ])
+                );
+            } else {
+                println!("vertices:       {}", stats.num_vertices);
+                println!("blocks:         {}", stats.num_blocks);
+                println!("DL:             {:.2}", stats.dl);
+                println!("pending deltas: {}", stats.pending_deltas);
+                println!("degraded:       {}", stats.degraded);
+                println!("backend:        {}", stats.backend);
+                println!("uptime:         {:.1}s", stats.uptime_seconds);
+                println!("ingests:        {}", stats.ingests);
+                println!("repartitions:   {}", stats.repartitions);
+                for p in &stats.trajectory_tail {
+                    println!("  trajectory: {} blocks  DL {:.2}", p.num_blocks, p.dl);
+                }
+            }
+            Ok(0)
+        }
+        Response::Metrics {
+            snapshot_json,
+            prometheus,
+        } => {
+            if as_json {
+                println!("{snapshot_json}");
+            } else {
+                print!("{prometheus}");
             }
             Ok(0)
         }

@@ -155,6 +155,7 @@ pub use sbp_dist as dist;
 pub use sbp_eval as eval;
 pub use sbp_gen as gen;
 pub use sbp_graph as graph;
+pub use sbp_metrics as metrics;
 pub use sbp_mpi as mpi;
 pub use sbp_sample as sample;
 pub use sbp_serve as serve;

@@ -206,6 +206,9 @@ fn wire_response_corpus() -> Vec<u8> {
             })
             .collect(),
         backend: "edist".into(),
+        uptime_seconds: 98.5,
+        ingests: 42,
+        repartitions: 6,
     };
     encode_frame(&Response::Stats(stats).encode())
 }
@@ -219,6 +222,17 @@ fn wire_misc_corpus() -> Vec<u8> {
         }
         .encode(),
     )
+}
+
+/// The protocol-v2 metrics reply: two long JSON/exposition strings — a
+/// different shape from everything else on the wire (big length-prefixed
+/// text blocks), so the mangler gets to attack string limits too.
+fn wire_metrics_corpus() -> Vec<u8> {
+    let resp = Response::Metrics {
+        snapshot_json: "{\"sbp_solver_sweeps_total\":{\"type\":\"counter\",\"value\":31}}".into(),
+        prometheus: "# TYPE sbp_solver_sweeps_total counter\nsbp_solver_sweeps_total 31\n".into(),
+    };
+    encode_frame(&resp.encode())
 }
 
 /// Feeds one buffer to every decoder under test. Only panics (or
@@ -245,6 +259,9 @@ fn exercise_decoders(bytes: &[u8]) {
     }
     let _ = Request::decode(bytes);
     let _ = Response::decode(bytes);
+    // The metrics-plane JSON parser sees bytes from `--metrics-out`
+    // files the `report` subcommand reads back — same contract.
+    let _ = edist::metrics::json::Value::parse(&String::from_utf8_lossy(bytes));
 }
 
 // -------------------------------------------------------- the wall
@@ -264,6 +281,7 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
         wire_request_corpus(),
         wire_response_corpus(),
         wire_misc_corpus(),
+        wire_metrics_corpus(),
     ];
     // Mutating valid bytes must start from decodable corpora, or the
     // wall silently tests nothing but the error paths.
@@ -278,6 +296,8 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
     assert!(Response::decode(resp_payload).is_ok());
     let (misc_payload, _) = decode_frame(&corpora[7]).expect("misc corpus frames");
     assert!(Request::decode(misc_payload).is_ok());
+    let (metrics_payload, _) = decode_frame(&corpora[8]).expect("metrics corpus frames");
+    assert!(Response::decode(metrics_payload).is_ok());
 
     let mut rng = 0x5EED_F00D_u64;
     for i in 0..fuzz_iters() {
