@@ -34,6 +34,22 @@ pub struct MergeCandidate {
     pub delta_s: f64,
 }
 
+impl sbp_mpi::Wire for MergeCandidate {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        self.block.wire_write(buf);
+        self.target.wire_write(buf);
+        self.delta_s.wire_write(buf);
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, sbp_graph::frame::DecodeError> {
+        Ok(MergeCandidate {
+            block: u32::wire_read(buf, pos)?,
+            target: u32::wire_read(buf, pos)?,
+            delta_s: f64::wire_read(buf, pos)?,
+        })
+    }
+}
+
 /// Computes the best-of-`proposals_per_block` merge candidate for every
 /// block in `blocks` (paper Alg. 1 lines 2–9 / Alg. 4 lines 3–14).
 ///

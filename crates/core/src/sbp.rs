@@ -207,6 +207,24 @@ pub struct IterationStat {
     pub moves: usize,
 }
 
+impl sbp_mpi::Wire for IterationStat {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        self.num_blocks.wire_write(buf);
+        self.dl.wire_write(buf);
+        self.sweeps.wire_write(buf);
+        self.moves.wire_write(buf);
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, sbp_graph::frame::DecodeError> {
+        Ok(IterationStat {
+            num_blocks: usize::wire_read(buf, pos)?,
+            dl: f64::wire_read(buf, pos)?,
+            sweeps: usize::wire_read(buf, pos)?,
+            moves: usize::wire_read(buf, pos)?,
+        })
+    }
+}
+
 /// Final inference result of the legacy free functions.
 #[derive(Clone, Debug)]
 pub struct SbpResult {

@@ -18,73 +18,9 @@ use crate::fault::RankDeath;
 use sbp_core::DegradedReason;
 
 /// A malformed wire payload detected by one of the strict decoders in
-/// [`crate::exchange`]. Every variant is raised *before* any allocation
-/// sized from attacker-controlled data, so a hostile frame can cost at
-/// most the declared decode limits.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DecodeError {
-    /// The buffer ended inside a varint or before a declared element.
-    Truncated {
-        /// Which payload kind was being decoded.
-        what: &'static str,
-    },
-    /// Decoding consumed less than the full buffer.
-    TrailingBytes {
-        /// Which payload kind was being decoded.
-        what: &'static str,
-    },
-    /// A decoded value does not fit its target type or domain.
-    ValueOutOfRange {
-        /// Which field was out of range.
-        what: &'static str,
-    },
-    /// A declared element count cannot possibly fit in the remaining
-    /// bytes (checked before allocating the output vector).
-    CountExceedsPayload {
-        /// Which payload kind was being decoded.
-        what: &'static str,
-        /// The count the header declared.
-        declared: u64,
-        /// The maximum count the remaining bytes could encode.
-        max: u64,
-    },
-    /// A section header declared a length extending past the buffer.
-    SectionOutOfBounds {
-        /// The declared section length.
-        declared: u64,
-        /// Bytes actually remaining in the buffer.
-        available: usize,
-    },
-}
-
-impl fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DecodeError::Truncated { what } => write!(f, "{what} payload truncated"),
-            DecodeError::TrailingBytes { what } => {
-                write!(f, "trailing bytes in {what} payload")
-            }
-            DecodeError::ValueOutOfRange { what } => write!(f, "{what} out of range"),
-            DecodeError::CountExceedsPayload {
-                what,
-                declared,
-                max,
-            } => write!(
-                f,
-                "{what} count {declared} exceeds what the payload could hold ({max})"
-            ),
-            DecodeError::SectionOutOfBounds {
-                declared,
-                available,
-            } => write!(
-                f,
-                "sync section length {declared} exceeds the {available} bytes available"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
+/// [`crate::exchange`]. Re-exported from [`sbp_graph::frame`], where it
+/// lives so the TCP transport in `sbp-mpi` shares the same type.
+pub use sbp_graph::frame::DecodeError;
 
 /// A failure the distributed runtime survives by unwinding all ranks
 /// coordinately and returning best-so-far.

@@ -32,10 +32,11 @@ use sbp_core::mcmc::AcceptedMove;
 use sbp_graph::varint::{read_i64, read_u64, write_i64, write_u64};
 use sbp_graph::Weight;
 
-/// Hard ceiling on the section count [`split_sections`] accepts. The
-/// drivers frame at most 3 sections; the ceiling exists so a const
-/// generic can never be used to turn a header walk quadratic.
-pub const MAX_SECTIONS: usize = 64;
+/// Section framing, re-exported from [`sbp_graph::frame`] (shared with
+/// the TCP transport's handshake frames): [`concat_sections`] packs a
+/// whole sync point into one allgather payload, [`split_sections`]
+/// strictly unpacks it, and [`MAX_SECTIONS`] caps the header walk.
+pub use sbp_graph::frame::{concat_sections, split_sections, MAX_SECTIONS};
 
 /// Bytes a move list would occupy as raw fixed-width pairs — the
 /// uncompressed baseline [`sbp_mpi::ClusterReport::move_bytes_raw`]
@@ -179,64 +180,6 @@ pub fn decode_cells(buf: &[u8]) -> Result<Vec<(u32, u32, Weight)>, DecodeError> 
         return Err(DecodeError::TrailingBytes { what: WHAT });
     }
     Ok(cells)
-}
-
-/// Frames several independently-encoded payloads into one buffer, so a
-/// whole sync point ships in a single allgather: a tiny header holding
-/// the varint byte length of every section but the last, then the
-/// sections back to back (the last runs to the end of the buffer).
-pub fn concat_sections<const N: usize>(sections: [&[u8]; N]) -> Vec<u8> {
-    const {
-        assert!(N >= 1 && N <= MAX_SECTIONS, "section count out of range");
-    }
-    let total: usize = sections.iter().map(|s| s.len()).sum();
-    let mut buf = Vec::with_capacity(total + 2 * N);
-    for s in &sections[..N - 1] {
-        write_u64(&mut buf, s.len() as u64);
-    }
-    for s in sections {
-        buf.extend_from_slice(s);
-    }
-    buf
-}
-
-/// Splits a buffer produced by `concat_sections` back into its `N`
-/// sections. Strict: every declared length is bounds-checked against
-/// the buffer before slicing (no allocation happens at all — the
-/// sections borrow from `buf`), and `N` is capped at [`MAX_SECTIONS`]
-/// at compile time.
-pub fn split_sections<const N: usize>(buf: &[u8]) -> Result<[&[u8]; N], DecodeError> {
-    const {
-        assert!(N >= 1 && N <= MAX_SECTIONS, "section count out of range");
-    }
-    let mut pos = 0usize;
-    let mut lens = [0usize; N];
-    for l in lens.iter_mut().take(N - 1) {
-        *l = read_u64(buf, &mut pos).ok_or(DecodeError::Truncated {
-            what: "sync header",
-        })? as usize;
-    }
-    let mut out = [&buf[..0]; N];
-    for (i, slot) in out.iter_mut().enumerate() {
-        let end = if i == N - 1 {
-            buf.len()
-        } else {
-            pos.checked_add(lens[i])
-                .ok_or(DecodeError::SectionOutOfBounds {
-                    declared: lens[i] as u64,
-                    available: buf.len() - pos,
-                })?
-        };
-        if end > buf.len() || pos > end {
-            return Err(DecodeError::SectionOutOfBounds {
-                declared: lens[i] as u64,
-                available: buf.len() - pos.min(buf.len()),
-            });
-        }
-        *slot = &buf[pos..end];
-        pos = end;
-    }
-    Ok(out)
 }
 
 /// Per-rank accounting of the compressed move exchange, summed into

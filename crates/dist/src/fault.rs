@@ -33,7 +33,7 @@
 //!
 //! [`DistError::RankKilled`]: crate::error::DistError::RankKilled
 
-use sbp_mpi::{CommStats, Communicator};
+use sbp_mpi::{CommStats, Communicator, Wire};
 use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
@@ -292,21 +292,21 @@ impl<C: Communicator> Communicator for FaultComm<'_, C> {
         self.inner.size()
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+    fn allgatherv<T: Clone + Send + Wire + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
         let k = self.tick();
         let mut out = self.inner.allgatherv(local);
         self.mangle_frames(k, &mut out);
         out
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Clone + Send + Wire + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let k = self.tick();
         let mut out = self.inner.alltoallv(per_dest);
         self.mangle_frames(k, &mut out);
         out
     }
 
-    fn gatherv<T: Clone + Send + 'static>(
+    fn gatherv<T: Clone + Send + Wire + 'static>(
         &self,
         root: usize,
         local: Vec<T>,
@@ -319,7 +319,7 @@ impl<C: Communicator> Communicator for FaultComm<'_, C> {
         out
     }
 
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T {
+    fn broadcast<T: Clone + Send + Wire + 'static>(&self, root: usize, data: Option<T>) -> T {
         self.tick();
         self.inner.broadcast(root, data)
     }

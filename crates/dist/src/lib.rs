@@ -51,6 +51,7 @@ pub mod fault;
 pub mod ownership;
 pub mod sharded;
 pub mod solver;
+pub mod tcprun;
 
 #[allow(deprecated)]
 pub use dcsbp::run_dcsbp_cluster;
@@ -66,6 +67,7 @@ pub use ownership::{balanced_ownership, modulo_ownership, owned_blocks, Ownershi
 pub use sbp_mpi::ClusterReport;
 pub use sharded::{dcsbp_sharded, edist_sharded, run_sharded, ShardedBackend};
 pub use solver::{register_solvers, DcSbp, Edist};
+pub use tcprun::{run_tcp_rank, TcpRun, TcpSource};
 
 /// SplitMix64-style mixing used to derive per-rank / per-phase RNG streams
 /// from the master seed, so simulated rank counts never share a stream.

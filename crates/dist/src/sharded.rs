@@ -620,8 +620,10 @@ pub fn run_sharded(
 
 /// One rank's whole sharded run: guarded ingest, then the backend driver.
 /// Generic over the communicator so [`run_sharded`] can interpose
-/// [`FaultComm`] without a second copy of the body.
-fn sharded_rank_body<C: Communicator>(
+/// [`FaultComm`] without a second copy of the body, and `pub(crate)` so
+/// the real-cluster harness in [`crate::tcprun`] runs the *identical*
+/// body over a TCP communicator.
+pub(crate) fn sharded_rank_body<C: Communicator>(
     comm: &C,
     dir: &Path,
     backend: ShardedBackend,

@@ -1,0 +1,150 @@
+//! One process = one rank: the real-cluster entrypoint over
+//! [`sbp_mpi::TcpComm`].
+//!
+//! The distributed drivers (`edist_run`, `dcsbp_run`, and the sharded
+//! rank body) are already generic over [`Communicator`]; this module is
+//! the thin harness a real OS process runs: connect this rank's
+//! [`TcpComm`], execute exactly the per-rank body the in-process
+//! thread cluster executes, and attach a one-rank view of the
+//! [`ClusterReport`]. Because EDiSt is exact, the *result* (assignment,
+//! DL, trajectory) is bit-identical to a [`sbp_mpi::ThreadCluster`] run
+//! with the same seed, backend, and rank count — only the
+//! timing/byte-accounting side of the report differs (see
+//! [`run_tcp_rank`] for the exact divergence).
+//!
+//! Fault handling is inherited unchanged: a peer process that dies
+//! mid-run surfaces as a poisoned link inside a collective, the drivers'
+//! coordinated unwind converts it into a degraded best-so-far outcome
+//! ([`sbp_core::DegradedReason::RankFailure`]), and the bounded socket
+//! read timeout guarantees the survivors return instead of hanging.
+
+use crate::dcsbp::{dcsbp_run, DcsbpConfig};
+use crate::distgraph::ShardIngestReport;
+use crate::edist::{edist_run, EdistConfig};
+use crate::exchange::ExchangeStats;
+use crate::fault::{FaultComm, FaultPlan};
+use crate::sharded::{sharded_rank_body, ShardedBackend};
+use crate::solver::EventRelay;
+use sbp_core::run::{RunConfig, RunOutcome};
+use sbp_graph::{Graph, OwnershipStrategy};
+use sbp_mpi::{ClusterReport, Communicator, TcpComm, TcpConfig, TcpError};
+use std::path::Path;
+use std::time::Instant;
+
+/// Where one TCP rank reads its share of the graph from.
+pub enum TcpSource<'a> {
+    /// Every process loads the same monolithic graph (the replicated
+    /// deployment of paper Algs. 4–5): work is partitioned, data is not.
+    Graph(&'a Graph),
+    /// A `.sbps` shard directory; this process ingests only its own
+    /// shard, memory-mapped via [`sbp_graph::mmap`].
+    Shards(&'a Path),
+}
+
+/// What [`run_tcp_rank`] returns: the rank-identical outcome with the
+/// one-rank [`ClusterReport`] attached, plus the shard-ingest report
+/// when the source was sharded.
+pub struct TcpRun {
+    /// The run result; bit-identical on every rank of the cluster
+    /// (coordinated unwind keeps even degraded runs consistent).
+    pub outcome: RunOutcome,
+    /// Shard-ingest accounting — `Some` for [`TcpSource::Shards`].
+    pub ingest: Option<ShardIngestReport>,
+}
+
+/// Runs this process's rank of a real multi-process cluster: performs
+/// the TCP rendezvous described by `tcp`, executes the same per-rank
+/// body the thread simulator runs, and returns the outcome.
+///
+/// The attached [`ClusterReport`] is necessarily a **one-rank view**: a
+/// real process cannot observe its peers' counters without adding a
+/// collective the simulator does not perform (which would break
+/// schedule equivalence). Concretely, `collectives` / `total_bytes` /
+/// `max_rank_bytes` cover this rank only, `makespan` is this rank's
+/// wire-time clock, and `wall_seconds` spans rendezvous through solve.
+/// Tests therefore assert bit-identity of *results* across transports,
+/// never of report counters.
+///
+/// `fault` composes [`FaultComm`] over the TCP transport exactly as the
+/// thread-backed solvers do, so deterministic kill/mangle/delay plans
+/// exercise the coordinated unwind over real sockets too.
+pub fn run_tcp_rank(
+    tcp: &TcpConfig,
+    source: TcpSource<'_>,
+    backend: ShardedBackend,
+    cfg: &RunConfig,
+    fault: &FaultPlan,
+) -> Result<TcpRun, TcpError> {
+    let started = Instant::now();
+    let comm = TcpComm::connect(tcp)?;
+    let (mut outcome, xstats, ingest) = if fault.is_empty() {
+        tcp_rank_body(&comm, &source, backend, cfg)
+    } else {
+        let fc = FaultComm::new(&comm, fault.clone());
+        tcp_rank_body(&fc, &source, backend, cfg)
+    };
+    let stats = comm.stats();
+    let report = ClusterReport {
+        makespan: outcome.virtual_seconds.max(comm.virtual_time()),
+        collectives: stats.collectives,
+        total_bytes: stats.bytes_sent + stats.bytes_received,
+        max_rank_bytes: stats.bytes_sent,
+        move_bytes_raw: xstats.move_bytes_raw,
+        move_bytes_encoded: xstats.move_bytes_encoded,
+        ranks: comm.size(),
+        wall_seconds: started.elapsed().as_secs_f64(),
+    };
+    outcome.virtual_seconds = report.makespan;
+    outcome.cluster = Some(report);
+    Ok(TcpRun { outcome, ingest })
+}
+
+/// The per-rank body, shared between the clean and fault-decorated
+/// communicators. Sharded sources reuse the exact thread-cluster body
+/// (guarded ingest included); monolithic sources mirror the `Edist` /
+/// `DcSbp` solver bodies, whose drivers already guard their collective
+/// schedules internally.
+fn tcp_rank_body<C: Communicator>(
+    comm: &C,
+    source: &TcpSource<'_>,
+    backend: ShardedBackend,
+    cfg: &RunConfig,
+) -> (RunOutcome, ExchangeStats, Option<ShardIngestReport>) {
+    let cancel = cfg.cancel.clone();
+    let relay = EventRelay::disabled();
+    match source {
+        TcpSource::Shards(dir) => {
+            let (outcome, xstats, ingest) =
+                sharded_rank_body(comm, dir, backend, cfg, &cancel, &relay);
+            (outcome, xstats, Some(ingest))
+        }
+        TcpSource::Graph(graph) => match backend {
+            ShardedBackend::Edist { sync_period } => {
+                let ecfg = EdistConfig {
+                    sbp: cfg.sbp.clone(),
+                    // The thread-backed `Edist` solver's default; keeping
+                    // it fixed preserves bit-identity with
+                    // `partition --backend edist` at the same rank count.
+                    ownership: OwnershipStrategy::default(),
+                    sync_period,
+                    checkpoint: cfg.checkpoint.clone(),
+                    resume: cfg.resume.clone(),
+                };
+                let (outcome, xstats) = edist_run(comm, graph, &ecfg, &cancel, &relay);
+                (outcome, xstats, None)
+            }
+            ShardedBackend::DcSbp { engine } => {
+                let dcfg = DcsbpConfig {
+                    sbp: cfg.sbp.clone(),
+                    engine,
+                    skip_finetune: false,
+                };
+                (
+                    dcsbp_run(comm, graph, &dcfg, &cancel, &relay),
+                    ExchangeStats::default(),
+                    None,
+                )
+            }
+        },
+    }
+}

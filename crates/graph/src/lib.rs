@@ -21,6 +21,11 @@
 //!   planner.
 //! * [`varint`] — the zigzag + LEB128 + delta-run codec shared by the
 //!   shard format and EDiSt's compressed move exchange.
+//! * [`frame`] — the strict-decoding primitives every binary decoder
+//!   shares: the typed [`DecodeError`] and the varint section framing
+//!   used by collective payloads and TCP frames.
+//! * [`mmap`] — zero-copy file ingest (`mmap(2)` with a `read()`
+//!   fallback and the `SBP_NO_MMAP` knob) feeding the shard reader.
 //! * [`shard`] — the `.sbps` binary edge-shard format: a graph is split
 //!   into per-rank shards (each holding the out-edges of one rank's owned
 //!   vertices, delta+varint-encoded) so a distributed load never
@@ -52,15 +57,18 @@
 
 pub mod builder;
 pub mod fixtures;
+pub mod frame;
 pub mod graph;
 pub mod io;
 pub mod islands;
+pub mod mmap;
 pub mod ownership;
 pub mod shard;
 pub mod subgraph;
 pub mod varint;
 
 pub use builder::GraphBuilder;
+pub use frame::DecodeError;
 pub use graph::{EdgeDelta, Graph, GraphDeltaError};
 pub use islands::{island_count, island_fraction_round_robin, IslandReport};
 pub use ownership::{balanced_ownership, modulo_ownership, OwnershipStrategy};

@@ -243,9 +243,13 @@ pub struct ShardReader {
 }
 
 impl ShardReader {
-    /// Reads and verifies the shard at `path`.
+    /// Reads and verifies the shard at `path`, memory-mapping the file
+    /// when possible (see [`crate::mmap`]) so a rank's ingest never
+    /// stages the encoded bytes through a heap buffer. Decoding is
+    /// eager-copy, so the mapping is released before this returns and a
+    /// later change to the file cannot corrupt the constructed reader.
     pub fn open(path: &Path) -> Result<Self, ShardError> {
-        Self::decode(&std::fs::read(path)?)
+        Self::decode(&crate::mmap::read_file_bytes(path)?)
     }
 
     /// Decodes the fixed-size prefix (everything before the owned vertex
@@ -597,14 +601,33 @@ pub fn shard_paths(dir: &Path) -> Result<Vec<PathBuf>, ShardError> {
     Ok(paths)
 }
 
+/// A validated shard directory: the coherent header plus every shard's
+/// path and decoded header, in shard order. Produced once by
+/// [`scan_shard_dir`] so a rank's startup path (validate → pick own
+/// shard → load) touches each header file exactly one time instead of
+/// re-opening the directory per step.
+#[derive(Clone, Debug)]
+pub struct ShardScan {
+    /// Shard 0's header — canonical for the whole directory (every
+    /// other header has been checked against it).
+    pub header: ShardHeader,
+    /// Shard file paths in shard order.
+    pub paths: Vec<PathBuf>,
+    /// Every shard's validated header, parallel to
+    /// [`ShardScan::paths`].
+    pub headers: Vec<ShardHeader>,
+}
+
 /// Reads **every** shard's header in `dir` and checks the directory is
 /// coherent: the expected count is present, shard `i` really is shard
 /// `i of n`, and all shards agree on the vertex count and ownership
 /// strategy. Header-only I/O — a few dozen bytes per shard, never an
 /// edge decode — so callers can validate before spawning a cluster at
 /// any shard size, and an incoherent directory fails here with a clear
-/// error instead of panicking a rank mid-load.
-pub fn validate_shard_dir(dir: &Path) -> Result<ShardHeader, ShardError> {
+/// error instead of panicking a rank mid-load. The returned
+/// [`ShardScan`] carries every validated header, so downstream loading
+/// never re-reads them.
+pub fn scan_shard_dir(dir: &Path) -> Result<ShardScan, ShardError> {
     let paths = shard_paths(dir)?;
     let first = ShardReader::read_header(&paths[0])?;
     if first.shard_index != 0 {
@@ -623,6 +646,8 @@ pub fn validate_shard_dir(dir: &Path) -> Result<ShardHeader, ShardError> {
             first.shard_count
         )));
     }
+    let mut headers = Vec::with_capacity(paths.len());
+    headers.push(first.clone());
     for (i, path) in paths.iter().enumerate().skip(1) {
         let header = ShardReader::read_header(path)?;
         if header.shard_index != i || header.shard_count != first.shard_count {
@@ -641,8 +666,18 @@ pub fn validate_shard_dir(dir: &Path) -> Result<ShardHeader, ShardError> {
                 path.display()
             )));
         }
+        headers.push(header);
     }
-    Ok(first)
+    Ok(ShardScan {
+        header: first,
+        paths,
+        headers,
+    })
+}
+
+/// [`scan_shard_dir`] for callers that only need the canonical header.
+pub fn validate_shard_dir(dir: &Path) -> Result<ShardHeader, ShardError> {
+    scan_shard_dir(dir).map(|scan| scan.header)
 }
 
 /// Reassembles a full [`Graph`] from every shard in `dir` — the
@@ -946,6 +981,70 @@ mod tests {
         let junk = dir.join("junk.sbps");
         std::fs::write(&junk, b"not a shard").unwrap();
         assert!(ShardReader::read_header(&junk).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mmap_open_matches_buffered_decode_on_every_fixture() {
+        // `open` (mmap path on Linux) and `decode(std::fs::read(..))`
+        // must construct identical readers for every shard the planner
+        // can produce — the byte-identity half of the zero-copy story.
+        let g = two_cliques(10);
+        for strategy in [OwnershipStrategy::Modulo, OwnershipStrategy::SortedBalanced] {
+            for n in [1usize, 2, 3] {
+                let dir = temp_dir(&format!("mmap_{n}_{}", strategy.code()));
+                let paths = shard_graph(&g, &dir, n, strategy).unwrap();
+                for path in &paths {
+                    let mapped = ShardReader::open(path).unwrap();
+                    let buffered = ShardReader::decode(&std::fs::read(path).unwrap()).unwrap();
+                    assert_eq!(mapped.header(), buffered.header());
+                    assert_eq!(mapped.owned(), buffered.owned());
+                    assert_eq!(mapped.edges(), buffered.edges());
+                }
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn mmap_open_rejects_truncated_and_shrunk_files() {
+        let g = two_cliques(8);
+        let dir = temp_dir("mmap_trunc");
+        let paths = shard_graph(&g, &dir, 1, OwnershipStrategy::Modulo).unwrap();
+        let good = std::fs::read(&paths[0]).unwrap();
+        // Every truncation of the on-disk file must come back as a typed
+        // error through the mmap path, never a crash or silent garbage.
+        for cut in [0, 1, 5, good.len() / 2, good.len() - 1] {
+            std::fs::write(&paths[0], &good[..cut]).unwrap();
+            assert!(ShardReader::open(&paths[0]).is_err(), "cut {cut}");
+        }
+        // A file that shrinks after a reader constructed is harmless:
+        // decode is eager-copy, so the reader owns its data outright.
+        std::fs::write(&paths[0], &good).unwrap();
+        let reader = ShardReader::open(&paths[0]).unwrap();
+        std::fs::write(&paths[0], &good[..4]).unwrap();
+        assert_eq!(reader.header().num_vertices, g.num_vertices());
+        assert!(!reader.edges().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_caches_every_header_in_shard_order() {
+        let g = two_cliques(8);
+        let dir = temp_dir("scan");
+        let paths = shard_graph(&g, &dir, 3, OwnershipStrategy::SortedBalanced).unwrap();
+        let scan = scan_shard_dir(&dir).unwrap();
+        assert_eq!(scan.paths, paths);
+        assert_eq!(scan.headers.len(), 3);
+        for (i, header) in scan.headers.iter().enumerate() {
+            assert_eq!(header.shard_index, i);
+            assert_eq!(header.shard_count, 3);
+            assert_eq!(header.num_vertices, scan.header.num_vertices);
+            assert_eq!(header.strategy, scan.header.strategy);
+        }
+        assert_eq!(scan.header, scan.headers[0]);
+        // The thin wrapper agrees.
+        assert_eq!(validate_shard_dir(&dir).unwrap(), scan.header);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

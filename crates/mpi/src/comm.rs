@@ -1,5 +1,6 @@
 //! The communicator abstraction and the trivial single-rank implementation.
 
+use crate::wire::Wire;
 use std::cell::Cell;
 
 /// Communication statistics accumulated by a rank.
@@ -29,7 +30,7 @@ pub trait Communicator {
 
     /// `MPI_Allgatherv`: every rank contributes `local`; every rank
     /// receives all contributions, indexed by rank.
-    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
+    fn allgatherv<T: Clone + Send + Wire + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>>;
 
     /// `MPI_Alltoallv`: rank `r` sends `per_dest[d]` to rank `d` and
     /// receives one vector from every rank, indexed by source. Unlike
@@ -39,16 +40,19 @@ pub trait Communicator {
     ///
     /// # Panics
     /// Panics if `per_dest.len() != self.size()`.
-    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>>;
+    fn alltoallv<T: Clone + Send + Wire + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>>;
 
     /// `MPI_Gatherv`: contributions travel to `root`, which receives
     /// `Some(all)`; other ranks receive `None`.
-    fn gatherv<T: Clone + Send + 'static>(&self, root: usize, local: Vec<T>)
-        -> Option<Vec<Vec<T>>>;
+    fn gatherv<T: Clone + Send + Wire + 'static>(
+        &self,
+        root: usize,
+        local: Vec<T>,
+    ) -> Option<Vec<Vec<T>>>;
 
     /// `MPI_Bcast`: `root` supplies `Some(data)`; every rank returns the
     /// root's value. Non-root ranks pass `None`.
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T;
+    fn broadcast<T: Clone + Send + Wire + 'static>(&self, root: usize, data: Option<T>) -> T;
 
     /// Synchronization barrier (also synchronizes virtual clocks).
     fn barrier(&self);
@@ -105,18 +109,18 @@ impl Communicator for SelfComm {
         1
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+    fn allgatherv<T: Clone + Send + Wire + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
         self.bump();
         vec![local]
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Clone + Send + Wire + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(per_dest.len(), 1, "single-rank communicator has one dest");
         self.bump();
         per_dest
     }
 
-    fn gatherv<T: Clone + Send + 'static>(
+    fn gatherv<T: Clone + Send + Wire + 'static>(
         &self,
         root: usize,
         local: Vec<T>,
@@ -126,7 +130,7 @@ impl Communicator for SelfComm {
         Some(vec![local])
     }
 
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T {
+    fn broadcast<T: Clone + Send + Wire + 'static>(&self, root: usize, data: Option<T>) -> T {
         assert_eq!(root, 0, "single-rank communicator only has rank 0");
         self.bump();
         data.expect("broadcast root must supply data")

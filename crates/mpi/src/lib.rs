@@ -24,10 +24,14 @@ pub mod comm;
 pub mod cost;
 pub mod cputime;
 pub mod report;
+pub mod tcp;
 pub mod thread;
+pub mod wire;
 
 pub use comm::{CommStats, Communicator, SelfComm};
 pub use cost::CostModel;
 pub use cputime::thread_cpu_time;
 pub use report::ClusterReport;
+pub use tcp::{TcpComm, TcpConfig, TcpError};
 pub use thread::{ClusterOutcome, PeerAborted, RankOutcome, ThreadCluster};
+pub use wire::Wire;

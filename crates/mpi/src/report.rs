@@ -32,6 +32,11 @@ pub struct ClusterReport {
     pub move_bytes_encoded: u64,
     /// Number of ranks.
     pub ranks: usize,
+    /// Real elapsed wall time of the cluster run (s) — the physical
+    /// twin of the virtual [`ClusterReport::makespan`]. Meaningful on
+    /// real transports (TCP); on the in-process simulator it measures
+    /// the host, not the modeled cluster.
+    pub wall_seconds: f64,
 }
 
 impl ClusterReport {
@@ -52,6 +57,7 @@ impl ClusterReport {
             move_bytes_raw: 0,
             move_bytes_encoded: 0,
             ranks: out.ranks.len(),
+            wall_seconds: out.wall_seconds,
         }
     }
 }
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn empty_outcome_is_all_zero() {
-        let out: ClusterOutcome<()> = ClusterOutcome { ranks: Vec::new() };
+        let out: ClusterOutcome<()> = ClusterOutcome {
+            ranks: Vec::new(),
+            wall_seconds: 0.0,
+        };
         let rep = ClusterReport::from_outcome(&out);
         assert_eq!(rep.collectives, 0);
         assert_eq!(rep.max_rank_bytes, 0);

@@ -4,6 +4,7 @@
 use crate::comm::{CommStats, Communicator};
 use crate::cost::CostModel;
 use crate::cputime::thread_cpu_time;
+use crate::wire::Wire;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -171,7 +172,7 @@ impl Communicator for ThreadComm {
         self.size
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
+    fn allgatherv<T: Clone + Send + Wire + 'static>(&self, local: Vec<T>) -> Vec<Vec<T>> {
         // Implemented as gather-to-0 + broadcast: identical semantics and
         // modeled cost to a mesh exchange, but O(n) channel messages
         // instead of O(n²) — the mesh's thread wake-ups dominate wall time
@@ -225,7 +226,7 @@ impl Communicator for ThreadComm {
         assembled
     }
 
-    fn alltoallv<T: Clone + Send + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Clone + Send + Wire + 'static>(&self, per_dest: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(
             per_dest.len(),
             self.size,
@@ -279,7 +280,7 @@ impl Communicator for ThreadComm {
             .collect()
     }
 
-    fn gatherv<T: Clone + Send + 'static>(
+    fn gatherv<T: Clone + Send + Wire + 'static>(
         &self,
         root: usize,
         local: Vec<T>,
@@ -325,7 +326,7 @@ impl Communicator for ThreadComm {
         )
     }
 
-    fn broadcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<T>) -> T {
+    fn broadcast<T: Clone + Send + Wire + 'static>(&self, root: usize, data: Option<T>) -> T {
         assert!(root < self.size, "broadcast root out of range");
         let my_t = self.accrue_busy();
         if self.rank == root {
@@ -388,6 +389,11 @@ pub struct RankOutcome<R> {
 pub struct ClusterOutcome<R> {
     /// Per-rank outcomes, indexed by rank.
     pub ranks: Vec<RankOutcome<R>>,
+    /// Real elapsed wall time of the whole cluster run (s) — the
+    /// physical twin of the virtual-clock [`ClusterOutcome::makespan`].
+    /// On the simulator the two differ wildly (rank threads share
+    /// cores); on a real transport they converge.
+    pub wall_seconds: f64,
 }
 
 impl<R> ClusterOutcome<R> {
@@ -424,6 +430,7 @@ impl ThreadCluster {
         F: Fn(&ThreadComm) -> R + Send + Sync,
     {
         assert!(n > 0, "need at least one rank");
+        let started = std::time::Instant::now();
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -467,7 +474,10 @@ impl ThreadCluster {
                 })
                 .collect()
         });
-        ClusterOutcome { ranks: outcomes }
+        ClusterOutcome {
+            ranks: outcomes,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
     }
 }
 

@@ -1,0 +1,317 @@
+//! Canonical byte encoding for collective payloads.
+//!
+//! The in-process [`ThreadComm`](crate::thread::ThreadComm) moves
+//! payloads between rank threads as `Box<dyn Any>` — no serialization at
+//! all. A real transport needs actual bytes, so every type that travels
+//! through a [`Communicator`](crate::Communicator) collective implements
+//! [`Wire`]: a strict, canonical, self-delimiting encoding built on the
+//! workspace varint codec ([`sbp_graph::varint`]).
+//!
+//! The encoding is **canonical** (one byte string per value — integers
+//! are varints, floats are fixed-width `to_bits`), which is load-bearing
+//! for the exactness story: a TCP cluster and the thread simulator must
+//! produce bit-identical results, so nothing about the representation
+//! may depend on the transport.
+//!
+//! Decoders follow the same discipline as every other decoder in the
+//! workspace (see [`sbp_graph::frame`]): typed [`DecodeError`]s, never
+//! panics, and no allocation sized from attacker-controlled data before
+//! it is bounds-checked against the bytes actually present.
+
+use sbp_graph::frame::DecodeError;
+use sbp_graph::varint::{read_i64, read_u64, write_i64, write_u64};
+
+/// A value with a canonical wire encoding, usable as a collective
+/// payload element on any [`Communicator`](crate::Communicator)
+/// implementation, including real transports.
+pub trait Wire: Sized {
+    /// Appends this value's canonical encoding to `buf`.
+    fn wire_write(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value starting at `*pos`, advancing `*pos` past it.
+    /// Strict: truncation and out-of-domain values return a typed error.
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError>;
+}
+
+/// Encodes one value into a fresh buffer.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.wire_write(&mut buf);
+    buf
+}
+
+/// Decodes exactly one value from `buf`, rejecting trailing bytes.
+pub fn decode<T: Wire>(buf: &[u8]) -> Result<T, DecodeError> {
+    let mut pos = 0usize;
+    let value = T::wire_read(buf, &mut pos)?;
+    if pos != buf.len() {
+        return Err(DecodeError::TrailingBytes { what: "wire value" });
+    }
+    Ok(value)
+}
+
+const TRUNCATED: DecodeError = DecodeError::Truncated { what: "wire value" };
+
+impl Wire for u64 {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        write_u64(buf, *self);
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        read_u64(buf, pos).ok_or(TRUNCATED)
+    }
+}
+
+impl Wire for i64 {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        write_i64(buf, *self);
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        read_i64(buf, pos).ok_or(TRUNCATED)
+    }
+}
+
+/// Narrow unsigned integers travel as varint `u64` with a range check.
+macro_rules! wire_unsigned {
+    ($($t:ty => $what:literal),* $(,)?) => {$(
+        impl Wire for $t {
+            fn wire_write(&self, buf: &mut Vec<u8>) {
+                write_u64(buf, *self as u64);
+            }
+
+            fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+                let raw = read_u64(buf, pos).ok_or(TRUNCATED)?;
+                <$t>::try_from(raw).map_err(|_| DecodeError::ValueOutOfRange { what: $what })
+            }
+        }
+    )*};
+}
+
+wire_unsigned!(u8 => "wire u8", u16 => "wire u16", u32 => "wire u32", usize => "wire usize");
+
+impl Wire for i32 {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        write_i64(buf, i64::from(*self));
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let raw = read_i64(buf, pos).ok_or(TRUNCATED)?;
+        i32::try_from(raw).map_err(|_| DecodeError::ValueOutOfRange { what: "wire i32" })
+    }
+}
+
+impl Wire for f64 {
+    /// Fixed-width little-endian `to_bits`, preserving every bit pattern
+    /// (including NaN payloads and signed zeros) — DL values must
+    /// survive the wire bit-exactly.
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= buf.len())
+            .ok_or(TRUNCATED)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&buf[*pos..end]);
+        *pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+}
+
+impl Wire for bool {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let byte = *buf.get(*pos).ok_or(TRUNCATED)?;
+        *pos += 1;
+        match byte {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::ValueOutOfRange { what: "wire bool" }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        write_u64(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let len = read_u64(buf, pos).ok_or(TRUNCATED)?;
+        let remaining = (buf.len() - *pos) as u64;
+        if len > remaining {
+            return Err(DecodeError::CountExceedsPayload {
+                what: "wire string",
+                declared: len,
+                max: remaining,
+            });
+        }
+        let end = *pos + len as usize;
+        let s = std::str::from_utf8(&buf[*pos..end])
+            .map_err(|_| DecodeError::ValueOutOfRange { what: "wire utf8" })?
+            .to_string();
+        *pos = end;
+        Ok(s)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_write(&self, buf: &mut Vec<u8>) {
+        write_u64(buf, self.len() as u64);
+        for item in self {
+            item.wire_write(buf);
+        }
+    }
+
+    fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let count = read_u64(buf, pos).ok_or(TRUNCATED)?;
+        // Every element encodes to at least one byte, so a count beyond
+        // the remaining bytes is hostile — reject before allocating.
+        let remaining = (buf.len() - *pos) as u64;
+        if count > remaining {
+            return Err(DecodeError::CountExceedsPayload {
+                what: "wire vec",
+                declared: count,
+                max: remaining,
+            });
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push(T::wire_read(buf, pos)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn wire_write(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.wire_write(buf);)+
+            }
+
+            fn wire_read(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+                Ok(($($name::wire_read(buf, pos)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let buf = encode(&value);
+        assert_eq!(decode::<T>(&buf).expect("roundtrip"), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(u32::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(255u8);
+        roundtrip(-7i32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exact() {
+        for x in [
+            0.0f64,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            -f64::NAN,
+        ] {
+            let buf = encode(&x);
+            let back = decode::<f64>(&buf).expect("roundtrip");
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+        roundtrip((42u32, -1i64));
+        roundtrip((1u32, 2u32, 3i64));
+        roundtrip((vec![7u32], 9usize, 2.5f64, vec![1u8], true));
+    }
+
+    #[test]
+    fn truncation_is_typed_everywhere() {
+        let buf = encode(&(vec![1u32, 2, 3], String::from("tail"), 1.25f64));
+        for cut in 0..buf.len() {
+            let r = decode::<(Vec<u32>, String, f64)>(&buf[..cut]);
+            assert!(r.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = encode(&7u64);
+        buf.push(0);
+        assert!(matches!(
+            decode::<u64>(&buf),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        sbp_graph::varint::write_u64(&mut buf, u64::MAX);
+        buf.push(0);
+        assert!(matches!(
+            decode::<Vec<u8>>(&buf),
+            Err(DecodeError::CountExceedsPayload { .. })
+        ));
+        let mut buf = Vec::new();
+        sbp_graph::varint::write_u64(&mut buf, 1 << 50);
+        assert!(matches!(
+            decode::<String>(&buf),
+            Err(DecodeError::CountExceedsPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let buf = encode(&(u64::from(u32::MAX) + 1));
+        assert!(matches!(
+            decode::<u32>(&buf),
+            Err(DecodeError::ValueOutOfRange { .. })
+        ));
+        let buf = vec![2u8];
+        assert!(matches!(
+            decode::<bool>(&buf),
+            Err(DecodeError::ValueOutOfRange { .. })
+        ));
+        let buf = encode(&vec![0xffu8, 0xfe]);
+        assert!(matches!(
+            decode::<String>(&buf),
+            Err(DecodeError::ValueOutOfRange { .. })
+        ));
+    }
+}

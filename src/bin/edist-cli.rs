@@ -11,6 +11,10 @@
 //!                     [--strategy uniform|degree|edge|fire|snowball]
 //!                     [--checkpoint s.sbpc] [--checkpoint-every N]
 //!                     [--resume s.sbpc] [--fault-plan SPEC]
+//!                     [--mcmc mh|batch] [--trajectory-out t.txt]
+//!                     [--cluster thread|tcp|tcp-local]
+//!                     [--rank I] [--coordinator HOST:PORT] [--session S]
+//!                     [--tcp-timeout SECS] [--handshake-timeout SECS]
 //!                     [--progress true] [--out assignment.txt]
 //! edist-cli sample    --graph g.mtx --fraction F [--strategy uniform|degree|edge|fire|snowball]
 //!                     [--seed N] [--out assignment.txt]
@@ -194,7 +198,15 @@ subcommands:
              --sharded DIR runs distributed backends over .sbps shards;
              --checkpoint/--resume snapshot and restore the golden loop;
              --fault-plan injects deterministic faults for testing;
-             --metrics-out run.jsonl streams the run's metrics as JSONL)
+             --metrics-out run.jsonl streams the run's metrics as JSONL;
+             --mcmc mh|batch overrides the sweep strategy;
+             --trajectory-out FILE writes the exact iteration trajectory;
+             --cluster tcp-local --ranks N runs a REAL multi-process
+             cluster on localhost, and --cluster tcp --rank I --ranks N
+             --coordinator HOST:PORT [--session S] [--tcp-timeout SECS]
+             runs one rank of a hand-launched cluster — results are
+             bit-identical to the in-process simulator at the same seed
+             and rank count)
   report     render a --metrics-out JSONL file as a self-contained HTML
              report (report run.jsonl [--out report.html])
   sample     sampling-based inference (sample -> infer -> extend)
@@ -477,6 +489,14 @@ fn run_partitioner(
         GraphSource::Shards(dir) => Partitioner::on_sharded(dir),
     }
     .seed(seed);
+    if let Some(spec) = args.get("mcmc") {
+        // `config` replaces the whole SbpConfig, so re-apply the seed.
+        partitioner = partitioner.config(SbpConfig {
+            strategy: parse_mcmc(spec)?,
+            seed,
+            ..SbpConfig::default()
+        });
+    }
     if let Some(backend) = backend {
         partitioner = partitioner.backend(backend);
     }
@@ -646,6 +666,14 @@ fn run_partitioner(
         "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
         run.backend, run.num_blocks, run.description_length, dl_norm, run.wall_seconds
     );
+    if let Some(path) = args.get("trajectory-out") {
+        write_trajectory(
+            path,
+            &run.iterations,
+            run.num_blocks,
+            run.description_length,
+        )?;
+    }
     write_assignment(args.get("out"), &run.assignment)?;
     Ok(degraded_exit_code(args, run.degraded.is_some()))
 }
@@ -666,6 +694,20 @@ fn degraded_exit_code(args: &Args, degraded: bool) -> u8 {
 }
 
 fn cmd_partition(args: &Args) -> Result<u8, String> {
+    // A real multi-process cluster peels off before the in-process
+    // simulator paths: `tcp` runs ONE rank of it in this process,
+    // `tcp-local` is the launcher that spawns N such processes on
+    // localhost and waits for them.
+    match args.get("cluster") {
+        None | Some("thread") => {}
+        Some("tcp") => return cmd_partition_tcp(args),
+        Some("tcp-local") => return cmd_partition_tcp_local(args),
+        Some(other) => {
+            return Err(format!(
+                "unknown --cluster mode '{other}' (thread, tcp, tcp-local)"
+            ));
+        }
+    }
     let ranks: usize = args.num("ranks", 4usize)?;
     let name = match (args.get("backend"), args.get("algo")) {
         (Some(b), _) => Some(b),
@@ -723,6 +765,281 @@ fn cmd_partition(args: &Args) -> Result<u8, String> {
         None => None,
     };
     run_partitioner(args, &source, backend, sample)
+}
+
+/// Parses the `--mcmc mh|batch` sweep-strategy override shared by the
+/// thread and TCP cluster paths (the transport-equivalence tests sweep
+/// both strategies through the same flag).
+fn parse_mcmc(spec: &str) -> Result<McmcStrategy, String> {
+    Ok(match spec {
+        "mh" => McmcStrategy::MetropolisHastings,
+        "batch" => McmcStrategy::Batch,
+        other => return Err(format!("unknown --mcmc strategy '{other}' (mh, batch)")),
+    })
+}
+
+/// Writes the run's iteration trajectory in an exact, diff-friendly
+/// form: one `blocks dl_bits sweeps moves` line per golden-loop
+/// iteration — DL as hex `f64` bits, so file equality means
+/// bit-identity rather than rounded-string identity — then a
+/// `final blocks dl_bits` line.
+fn write_trajectory(
+    path: &str,
+    iterations: &[IterationStat],
+    blocks: usize,
+    dl: f64,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for it in iterations {
+        let _ = writeln!(
+            text,
+            "{} {:016x} {} {}",
+            it.num_blocks,
+            it.dl.to_bits(),
+            it.sweeps,
+            it.moves
+        );
+    }
+    let _ = writeln!(text, "final {} {:016x}", blocks, dl.to_bits());
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// One rank of a real TCP cluster: rendezvous at `--coordinator`, run
+/// the same per-rank body the thread simulator runs, report. Results
+/// are bit-identical across the cluster's ranks (and to the simulator
+/// at the same rank count/seed), so every rank may independently write
+/// `--out` / `--trajectory-out`; without `--out`, only rank 0 prints
+/// the assignment so a `tcp-local` launch emits it exactly once.
+fn cmd_partition_tcp(args: &Args) -> Result<u8, String> {
+    use edist::dist::tcprun::{run_tcp_rank, TcpSource};
+    use edist::dist::{Engine, ShardedBackend};
+    use edist::mpi::TcpConfig;
+    use std::time::Duration;
+
+    let parse_usize = |key: &str| -> Result<usize, String> {
+        args.require(key)?
+            .parse::<usize>()
+            .map_err(|_| format!("bad value for --{key}"))
+    };
+    let rank = parse_usize("rank")?;
+    let ranks = parse_usize("ranks")?;
+    let coordinator = args.require("coordinator")?;
+    let mut tcp = TcpConfig::new(args.num("session", 0u64)?, rank, ranks, coordinator);
+    tcp.handshake_timeout = Duration::from_secs(args.num("handshake-timeout", 30u64)?.max(1));
+    // The read timeout is the fault-tolerance backstop: a killed peer
+    // never hangs a survivor longer than this.
+    tcp.read_timeout = Some(Duration::from_secs(args.num("tcp-timeout", 120u64)?.max(1)));
+
+    let sync_period = args.num("sync-period", 1usize)?.max(1);
+    let backend = match args.get("backend").unwrap_or("edist") {
+        "edist" => ShardedBackend::Edist { sync_period },
+        "dcsbp" => ShardedBackend::DcSbp {
+            engine: Engine::default(),
+        },
+        other => {
+            return Err(format!(
+                "--cluster tcp supports --backend edist|dcsbp, got '{other}'"
+            ));
+        }
+    };
+    let source = match args.get("sharded") {
+        Some(_) if args.get("graph").is_some() => {
+            return Err("pass either --graph or --sharded, not both".into());
+        }
+        Some(dir) => {
+            let header =
+                validate_shard_dir(Path::new(dir)).map_err(|e| format!("--sharded {dir}: {e}"))?;
+            if header.shard_count != ranks {
+                return Err(format!(
+                    "--sharded {dir} holds {} shards but --ranks is {ranks}",
+                    header.shard_count
+                ));
+            }
+            GraphSource::Shards(dir.to_string())
+        }
+        None => GraphSource::Mem(load(args)?),
+    };
+    let fault = match args.get("fault-plan") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?,
+        None => FaultPlan::none(),
+    };
+
+    let seed: u64 = args.num("seed", 0u64)?;
+    let mut sbp = SbpConfig {
+        seed,
+        ..SbpConfig::default()
+    };
+    if let Some(spec) = args.get("mcmc") {
+        sbp.strategy = parse_mcmc(spec)?;
+    }
+    let cfg = RunConfig::from_sbp(sbp);
+    let _ = sigint::install(cfg.cancel.clone());
+
+    let tcp_source = match &source {
+        GraphSource::Mem(graph) => TcpSource::Graph(graph),
+        GraphSource::Shards(dir) => TcpSource::Shards(Path::new(dir)),
+    };
+    let run = run_tcp_rank(&tcp, tcp_source, backend, &cfg, &fault)
+        .map_err(|e| format!("tcp cluster (rank {rank}): {e}"))?;
+    let outcome = run.outcome;
+
+    if let Some(reason) = outcome.degraded {
+        eprintln!(
+            "rank {rank}: degraded ({reason}): writing the best partition found before the failure"
+        );
+    }
+    if rank == 0 {
+        if outcome.cancelled {
+            eprintln!("cancelled: writing the best partition found so far");
+        }
+        if let Some(ingest) = &run.ingest {
+            eprintln!(
+                "sharded ingest: V={} E={} over {} ranks (busiest rank read {} of {} arcs, \
+                 holds {}; {} cut arcs exchanged)",
+                ingest.num_vertices,
+                ingest.total_edge_weight,
+                ingest.ranks,
+                ingest.max_rank_shard_edges,
+                ingest.total_arcs,
+                ingest.max_rank_local_arcs,
+                ingest.total_cut_arcs
+            );
+        }
+        if let Some(report) = &outcome.cluster {
+            eprintln!(
+                "tcp cluster (rank-local view): {:.3}s wire time over {} collectives \
+                 ({} bytes through this rank)",
+                report.makespan, report.collectives, report.total_bytes
+            );
+            if report.move_bytes_raw > 0 {
+                eprintln!(
+                    "move exchange: {} bytes varint-encoded vs {} raw ({:.1}% saved)",
+                    report.move_bytes_encoded,
+                    report.move_bytes_raw,
+                    100.0 * (1.0 - report.move_bytes_encoded as f64 / report.move_bytes_raw as f64)
+                );
+            }
+        }
+        let dl_norm = match &source {
+            GraphSource::Mem(graph) => normalized_dl(
+                outcome.description_length,
+                graph.num_vertices(),
+                graph.total_edge_weight(),
+            ),
+            GraphSource::Shards(_) => run
+                .ingest
+                .map(|i| {
+                    normalized_dl(
+                        outcome.description_length,
+                        i.num_vertices,
+                        i.total_edge_weight,
+                    )
+                })
+                .unwrap_or(f64::NAN),
+        };
+        let wall = outcome.cluster.map(|r| r.wall_seconds).unwrap_or(0.0);
+        eprintln!(
+            "backend: {}  blocks: {}  DL: {:.2}  DL_norm: {:.4}  wall: {:.2}s",
+            match backend {
+                ShardedBackend::Edist { .. } => format!("edist(ranks={ranks})+tcp"),
+                ShardedBackend::DcSbp { .. } => format!("dcsbp(ranks={ranks})+tcp"),
+            },
+            outcome.num_blocks,
+            outcome.description_length,
+            dl_norm,
+            wall
+        );
+    }
+    if let Some(path) = args.get("trajectory-out") {
+        write_trajectory(
+            path,
+            &outcome.iterations,
+            outcome.num_blocks,
+            outcome.description_length,
+        )?;
+    }
+    match args.get("out") {
+        Some(p) => write_assignment(Some(p), &outcome.assignment)?,
+        None if rank == 0 => write_assignment(None, &outcome.assignment)?,
+        None => {}
+    }
+    Ok(degraded_exit_code(args, outcome.degraded.is_some()))
+}
+
+/// Launcher for a localhost TCP cluster: picks a free coordinator port
+/// and a launch-unique session id, spawns one `--cluster tcp` child per
+/// rank with the remaining flags passed through, and waits. Rank 0's
+/// stdio is inherited (it prints the summary and the assignment);
+/// other ranks' stdout is discarded, and per-rank output flags
+/// (`--out`, `--trajectory-out`, `--metrics-out`) stay with rank 0 so
+/// the children never race on one file. The exit code is rank 0's,
+/// unless a non-zero-rank child failed harder.
+fn cmd_partition_tcp_local(args: &Args) -> Result<u8, String> {
+    let ranks: usize = args.num("ranks", 4usize)?;
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| format!("picking a coordinator port: {e}"))?;
+    let coordinator = listener
+        .local_addr()
+        .map_err(|e| format!("picking a coordinator port: {e}"))?
+        .to_string();
+    drop(listener);
+    // Launch-unique session id so a stale rank from a previous launch
+    // is rejected at the handshake instead of silently joining.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let session = nanos ^ ((std::process::id() as u64) << 32);
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("partition");
+        for (key, value) in &args.map {
+            if matches!(key.as_str(), "cluster" | "rank" | "coordinator" | "session") {
+                continue;
+            }
+            if rank != 0 && matches!(key.as_str(), "out" | "trajectory-out" | "metrics-out") {
+                continue;
+            }
+            cmd.arg(format!("--{key}")).arg(value);
+        }
+        cmd.arg("--cluster")
+            .arg("tcp")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--ranks")
+            .arg(ranks.to_string())
+            .arg("--coordinator")
+            .arg(&coordinator)
+            .arg("--session")
+            .arg(session.to_string());
+        if rank != 0 {
+            cmd.stdout(std::process::Stdio::null());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning rank {rank}: {e}"))?;
+        children.push((rank, child));
+    }
+    let mut code = 0u8;
+    for (rank, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for rank {rank}: {e}"))?;
+        // A signal-killed child has no code; report it as a hard error.
+        let child_code = status.code().map(|c| c as u8).unwrap_or(1);
+        // Rank 0's exit code wins; a failed other rank upgrades a clean 0.
+        if rank == 0 || (child_code != 0 && code == 0) {
+            code = child_code;
+        }
+    }
+    Ok(code)
 }
 
 /// The registry path for `partition --backend NAME` when NAME is not

@@ -28,12 +28,17 @@ use edist::graph::fixtures::two_cliques;
 use edist::graph::shard::{shard_file_name, shard_graph, ShardReader};
 use edist::graph::varint::{read_ascending_ids, read_u64, write_u64};
 use edist::graph::EdgeDelta;
+use edist::mpi::tcp as tcpwire;
 use edist::prelude::OwnershipStrategy;
 use edist::serve::protocol::{
     decode_frame, encode_frame, RepartitionMode, StatsReply, TrajectoryPoint,
 };
 use edist::serve::{Request, Response};
 use proptest::prelude::*;
+
+/// Session id the TCP-frame corpora are sealed with (data-phase frames
+/// mix the session into their checksum seed).
+const TCP_SESSION: u64 = 0x7E57_5E55_0000_0001;
 
 fn fuzz_iters() -> usize {
     std::env::var("FUZZ_ITERS")
@@ -235,6 +240,43 @@ fn wire_metrics_corpus() -> Vec<u8> {
     encode_frame(&resp.encode())
 }
 
+/// A sealed data-phase TCP frame around a typical collective payload.
+fn tcp_data_frame_corpus() -> Vec<u8> {
+    let payload = edist::mpi::wire::encode(&vec![1u64, 2, 3, 1 << 40]);
+    tcpwire::encode_frame(TCP_SESSION, tcpwire::KIND_DATA, &payload)
+}
+
+/// A sealed HELLO handshake frame (fixed public checksum seed, so a
+/// foreign-session HELLO still decodes into a typed rejection).
+fn tcp_hello_frame_corpus() -> Vec<u8> {
+    let hello = tcpwire::Hello {
+        session: TCP_SESSION,
+        rank: 3,
+        ranks: 8,
+        listen: "127.0.0.1:54321".into(),
+    };
+    tcpwire::encode_frame(
+        TCP_SESSION,
+        tcpwire::KIND_HELLO,
+        &tcpwire::encode_hello(&hello),
+    )
+}
+
+/// A sealed WELCOME frame carrying a full rank → address map.
+fn tcp_welcome_frame_corpus() -> Vec<u8> {
+    let welcome = tcpwire::Welcome {
+        session: TCP_SESSION,
+        peers: (0..4)
+            .map(|i| format!("127.0.0.1:{}", 40_000 + i))
+            .collect(),
+    };
+    tcpwire::encode_frame(
+        TCP_SESSION,
+        tcpwire::KIND_WELCOME,
+        &tcpwire::encode_welcome(&welcome),
+    )
+}
+
 /// Feeds one buffer to every decoder under test. Only panics (or
 /// runaway allocations, which surface as OOM aborts) can fail this —
 /// both `Ok` and typed `Err` results are in-contract.
@@ -259,6 +301,20 @@ fn exercise_decoders(bytes: &[u8]) {
     }
     let _ = Request::decode(bytes);
     let _ = Response::decode(bytes);
+    // The TCP transport's pure decoders: the frame layer (which seals
+    // data frames with the session and handshake frames with the fixed
+    // public seed), then every handshake payload decoder on the raw
+    // bytes AND on whatever payload a checksum-valid mutant yields.
+    let _ = tcpwire::decode_hello(bytes);
+    let _ = tcpwire::decode_welcome(bytes);
+    let _ = tcpwire::decode_mesh(bytes);
+    let _ = tcpwire::decode_error_frame(bytes);
+    if let Ok((_, payload)) = tcpwire::decode_frame(TCP_SESSION, bytes) {
+        let _ = tcpwire::decode_hello(&payload);
+        let _ = tcpwire::decode_welcome(&payload);
+        let _ = tcpwire::decode_mesh(&payload);
+        let _ = tcpwire::decode_error_frame(&payload);
+    }
     // The metrics-plane JSON parser sees bytes from `--metrics-out`
     // files the `report` subcommand reads back — same contract.
     let _ = edist::metrics::json::Value::parse(&String::from_utf8_lossy(bytes));
@@ -282,6 +338,9 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
         wire_response_corpus(),
         wire_misc_corpus(),
         wire_metrics_corpus(),
+        tcp_data_frame_corpus(),
+        tcp_hello_frame_corpus(),
+        tcp_welcome_frame_corpus(),
     ];
     // Mutating valid bytes must start from decodable corpora, or the
     // wall silently tests nothing but the error paths.
@@ -298,6 +357,15 @@ fn mutated_valid_encodings_never_panic_any_decoder() {
     assert!(Request::decode(misc_payload).is_ok());
     let (metrics_payload, _) = decode_frame(&corpora[8]).expect("metrics corpus frames");
     assert!(Response::decode(metrics_payload).is_ok());
+    let (kind, _) = tcpwire::decode_frame(TCP_SESSION, &corpora[9]).expect("tcp data frame");
+    assert_eq!(kind, tcpwire::KIND_DATA);
+    let (kind, hello) = tcpwire::decode_frame(TCP_SESSION, &corpora[10]).expect("tcp hello frame");
+    assert_eq!(kind, tcpwire::KIND_HELLO);
+    assert!(tcpwire::decode_hello(&hello).is_ok());
+    let (kind, welcome) =
+        tcpwire::decode_frame(TCP_SESSION, &corpora[11]).expect("tcp welcome frame");
+    assert_eq!(kind, tcpwire::KIND_WELCOME);
+    assert!(tcpwire::decode_welcome(&welcome).is_ok());
 
     let mut rng = 0x5EED_F00D_u64;
     for i in 0..fuzz_iters() {
