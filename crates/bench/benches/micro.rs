@@ -8,6 +8,8 @@
 //! * sorted-balanced vs modulo ownership (load balance proxy);
 //! * simulated-cluster collective throughput;
 //! * blockmodel construction and incremental moves;
+//! * SIMD vs scalar kernel A/B, the lntab gather-vs-unrolled strategy
+//!   study, and the entropy chunk-size study (PR 10);
 //! * synthetic graph generation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -308,6 +310,111 @@ fn bench_blockmodel(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD vs scalar A/B on the dense-storage kernels PR 10 vectorized,
+/// plus the lntab batch-gather strategy study and the entropy
+/// chunk-size study. The `simd_*`-suffixed ids run the
+/// runtime-dispatched path (which falls back to scalar on non-AVX2
+/// hosts, turning each pair into a self-comparison); the `scalar_*`
+/// ids force the scalar source of truth. Results are bit-identical by
+/// the determinism contract — only wall time may differ.
+fn bench_simd(c: &mut Criterion) {
+    let (graph, _, _) = bench_graph();
+    let n = graph.num_vertices();
+    // Force dense storage at C = V/4 (~169): well above the C ≤ 64
+    // always-dense band, so the 4-lane kernels cross many blocks per
+    // line and the vector path dominates the scalar block fallbacks.
+    let nb = (n / 4).max(4);
+    let assignment: Vec<u32> = (0..n as u32).map(|v| v % nb as u32).collect();
+    let bm = Blockmodel::from_assignment_with(&graph, assignment, nb, StorageKind::Dense);
+    let mut group = quick(c);
+    group.bench_function("simd/delta_dense_simd", |b| {
+        let mut scratch = DeltaScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in (0..n as u32).step_by(37) {
+                let to = (bm.block_of(v) + 1) % nb as u32;
+                scratch.vertex_move_delta(&graph, &bm, v, to);
+                acc += scratch.delta_entropy(&bm);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("simd/delta_dense_scalar", |b| {
+        let mut scratch = DeltaScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in (0..n as u32).step_by(37) {
+                let to = (bm.block_of(v) + 1) % nb as u32;
+                scratch.vertex_move_delta(&graph, &bm, v, to);
+                acc += scratch.delta_entropy_scalar(&bm);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("simd/hastings_dense_simd", |b| {
+        let mut scratch = DeltaScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in (0..n as u32).step_by(37) {
+                let to = (bm.block_of(v) + 1) % nb as u32;
+                scratch.vertex_move_delta(&graph, &bm, v, to);
+                acc += scratch.hastings_correction(&graph, &bm, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("simd/hastings_dense_scalar", |b| {
+        let mut scratch = DeltaScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in (0..n as u32).step_by(37) {
+                let to = (bm.block_of(v) + 1) % nb as u32;
+                scratch.vertex_move_delta(&graph, &bm, v, to);
+                acc += scratch.hastings_correction_scalar(&graph, &bm, v);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("simd/entropy_dense_simd", |b| {
+        b.iter(|| black_box(bm.entropy()))
+    });
+    group.bench_function("simd/entropy_dense_scalar", |b| {
+        b.iter(|| black_box(bm.entropy_scalar()))
+    });
+    // lntab batch strategy A/B: one 8-lane gather per 4 cells vs four
+    // scalar table loads. Within noise on the recording machine (both
+    // standalone and swapped into the kernels); `simd::ln4` keeps the
+    // gather for its footprint. Both stay benchable so the choice can
+    // be re-audited per host.
+    let ws: Vec<i64> = (0..4096).map(|i| (i * 7 + 1) % 60_000).collect();
+    let mut out = vec![0.0f64; ws.len()];
+    group.bench_function("simd/lntab_gather_4k", |b| {
+        b.iter(|| {
+            sbp_core::simd::ln_batch_gather(black_box(&ws), &mut out);
+            black_box(out[ws.len() - 1])
+        })
+    });
+    group.bench_function("simd/lntab_unrolled_4k", |b| {
+        b.iter(|| {
+            sbp_core::simd::ln_batch_unrolled(black_box(&ws), &mut out);
+            black_box(out[ws.len() - 1])
+        })
+    });
+    // Entropy chunk-size study under SIMD (ROADMAP carry-over from
+    // PR 5): the chunk width only changes the parallel split points,
+    // never the in-chunk lane order, so these four are free to differ
+    // in wall time while the default stays pinned at 64 for fixture
+    // stability.
+    for chunk in [32usize, 64, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("blockmodel/entropy_chunk", chunk),
+            &chunk,
+            |b, &chunk| b.iter(|| black_box(bm.entropy_with_chunk(chunk))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_generator(c: &mut Criterion) {
     let mut group = quick(c);
     group.bench_function("generator/param_study_small", |b| {
@@ -336,6 +443,7 @@ criterion_group!(
     bench_ownership,
     bench_collectives,
     bench_blockmodel,
+    bench_simd,
     bench_generator
 );
 criterion_main!(benches);

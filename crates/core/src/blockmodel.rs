@@ -13,8 +13,10 @@
 //! §III-A optimizations (a) and (b).
 //!
 //! [`Blockmodel::from_assignment`] picks the representation from the block
-//! count: dense when `C <= dense_threshold()` (default 1024, tunable via
-//! the `SBP_DENSE_THRESHOLD` environment variable, read once per process).
+//! count and occupancy: dense for `C ≤ 64`, sparse above
+//! `dense_threshold()` (default 1024, `SBP_DENSE_THRESHOLD`), and in
+//! between by comparing the mean occupancy `E/C²` against a startup-probed
+//! crossover — see [`dense_threshold`] for the exact precedence.
 //! Since the representation is fixed at construction, the switch happens
 //! exactly at [`Blockmodel::compacted`] / rebuild boundaries between
 //! iterations — never mid-sweep. Both representations expose the same
@@ -66,6 +68,29 @@ const ENTROPY_CHUNK_ROWS: usize = 64;
 /// graphs converge to a few thousand communities and memory allows
 /// (`2·C²·8` bytes per blockmodel), lower it under tight memory or when
 /// simulating many ranks in one process.
+///
+/// ## Dense/sparse selection precedence
+///
+/// [`StorageKind::Auto`] resolves in this order:
+///
+/// 1. `C <= 64` → always dense (the endgame regime; unconditional).
+/// 2. `C > dense_threshold()` → always sparse (memory cap: a dense
+///    blockmodel is `2·C²·8` bytes).
+/// 3. `SBP_DENSE_THRESHOLD` set to a parseable value → the legacy fixed
+///    occupancy bar `E ≥ C²/8`. Setting the env var is an explicit
+///    operator override, so the whole rule stays the documented,
+///    machine-independent one.
+/// 4. Otherwise → the **measured** occupancy bar
+///    `E ≥ C² · dense_occupancy_crossover()`, where the crossover is a
+///    one-time startup micro-probe of this machine's dense-vs-sparse
+///    line-walk costs (clamped to `[1/8, 1/2]`, so the probe can only
+///    *raise* the bar above the legacy default — e.g. on hardware where
+///    the vectorized dense scan underperforms — never lower it).
+///
+/// Storage selection is a performance decision only: results are
+/// bit-identical under either representation (the canonical-iteration
+/// guarantee), so ranks probing different values on heterogeneous
+/// hardware still agree on every f64.
 pub fn dense_threshold() -> usize {
     static THRESHOLD: OnceLock<usize> = OnceLock::new();
     *THRESHOLD.get_or_init(|| {
@@ -74,6 +99,80 @@ pub fn dense_threshold() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(1024)
     })
+}
+
+/// Whether `SBP_DENSE_THRESHOLD` was explicitly set (and parseable) —
+/// selects the legacy fixed occupancy bar over the probed one (see
+/// [`dense_threshold`] for the full precedence).
+fn dense_threshold_overridden() -> bool {
+    static OVERRIDDEN: OnceLock<bool> = OnceLock::new();
+    *OVERRIDDEN.get_or_init(|| {
+        std::env::var("SBP_DENSE_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .is_some()
+    })
+}
+
+/// The measured mean-occupancy (`E/C²`) crossover above which a dense
+/// line walk beats sparse-line iteration on this machine, from a one-time
+/// startup micro-probe (see [`dense_threshold`] for how it enters the
+/// [`StorageKind::Auto`] rule). Clamped to `[1/8, 1/2]`: the floor is the
+/// legacy bar (never pick dense *more* aggressively than the tuned
+/// default), the ceiling keeps a pathological timing sample from pinning
+/// every mid-size blockmodel sparse.
+pub fn dense_occupancy_crossover() -> f64 {
+    static RHO: OnceLock<f64> = OnceLock::new();
+    *RHO.get_or_init(|| calibrate_dense_crossover().clamp(0.125, 0.5))
+}
+
+/// Times a dense slot walk and a sparse entry walk over a synthetic
+/// 1/8-occupancy line (the entropy inner loop, dispatched through the
+/// production SIMD gate so an AVX2 machine probes its real dense cost)
+/// and returns the implied per-slot / per-entry cost ratio — the
+/// occupancy above which dense wins. Best-of-3 trials; ~1 ms once per
+/// process.
+fn calibrate_dense_crossover() -> f64 {
+    use std::hint::black_box;
+    const PROBE_C: usize = 4096;
+    const STRIDE: usize = 8;
+    const REPS: u32 = 64;
+    let mut line = vec![0 as Weight; PROBE_C];
+    let mut entries = Vec::with_capacity(PROBE_C / STRIDE);
+    for i in (0..PROBE_C).step_by(STRIDE) {
+        line[i] = 3;
+        entries.push((i as u32, 3 as Weight));
+    }
+    let sparse = CanonicalLine::from_unsorted(entries);
+    let ln_vec = vec![0.5f64; PROBE_C];
+    let use_simd = crate::simd::enabled();
+    let mut best_dense = f64::INFINITY;
+    let mut best_sparse = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        for _ in 0..REPS {
+            let mut acc = 0.0f64;
+            crate::simd::entropy_line(black_box(&line), &ln_vec, 0.25, &mut acc, use_simd);
+            black_box(acc);
+        }
+        best_dense = best_dense.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        for _ in 0..REPS {
+            let mut acc = 0.0f64;
+            for &(c, m) in black_box(sparse.as_slice()) {
+                acc -= (m as f64) * (crate::lntab::ln_int(m) - 0.25 - ln_vec[c as usize]);
+            }
+            black_box(acc);
+        }
+        best_sparse = best_sparse.min(t.elapsed().as_secs_f64());
+    }
+    let per_slot = best_dense / PROBE_C as f64;
+    let per_entry = best_sparse / (PROBE_C / STRIDE) as f64;
+    if per_entry > 0.0 && per_slot.is_finite() {
+        per_slot / per_entry
+    } else {
+        0.125
+    }
 }
 
 /// What [`StorageKind::Auto`] selects for a blockmodel of `num_blocks`
@@ -91,10 +190,13 @@ pub fn auto_picks_dense(num_blocks: usize, total_edge_weight: Weight) -> bool {
 pub enum StorageKind {
     /// Pick the representation from block count and expected occupancy:
     /// dense when `C <= 64`, or when `C <= dense_threshold()` **and** the
-    /// mean cell occupancy `E/C²` is at least 1/8 (a dense line scan only
-    /// beats sparse-line iteration when the lines are actually populated —
-    /// the identity partition at `C = V` has ~`avg_degree` entries per
-    /// 10k-slot line and must stay sparse).
+    /// mean cell occupancy `E/C²` clears the occupancy bar (a dense line
+    /// scan only beats sparse-line iteration when the lines are actually
+    /// populated — the identity partition at `C = V` has ~`avg_degree`
+    /// entries per 10k-slot line and must stay sparse). The bar is the
+    /// startup-probed [`dense_occupancy_crossover`] by default and the
+    /// legacy fixed 1/8 when `SBP_DENSE_THRESHOLD` is explicitly set —
+    /// see [`dense_threshold`] for the full precedence.
     #[default]
     Auto,
     /// Flat row-major `C×C` array plus its transpose.
@@ -126,9 +228,20 @@ impl Storage {
     fn pick_dense(kind: StorageKind, num_blocks: usize, total_edge_weight: Weight) -> bool {
         match kind {
             StorageKind::Auto => {
-                num_blocks <= 64
-                    || (num_blocks <= dense_threshold()
-                        && total_edge_weight >= (num_blocks * num_blocks / 8) as Weight)
+                if num_blocks <= 64 {
+                    return true;
+                }
+                if num_blocks > dense_threshold() {
+                    return false;
+                }
+                if dense_threshold_overridden() {
+                    // Explicit operator override: keep the documented
+                    // fixed bar so behavior is machine-independent.
+                    total_edge_weight >= (num_blocks * num_blocks / 8) as Weight
+                } else {
+                    total_edge_weight as f64
+                        >= (num_blocks * num_blocks) as f64 * dense_occupancy_crossover()
+                }
             }
             StorageKind::Dense => true,
             StorageKind::Sparse => false,
@@ -511,6 +624,30 @@ impl Blockmodel {
         self.d_out[b as usize] + self.d_in[b as usize]
     }
 
+    /// The full out-degree vector (SIMD kernels gather from it).
+    #[inline]
+    pub(crate) fn d_out_all(&self) -> &[Weight] {
+        &self.d_out
+    }
+
+    /// The full in-degree vector (SIMD kernels gather from it).
+    #[inline]
+    pub(crate) fn d_in_all(&self) -> &[Weight] {
+        &self.d_in
+    }
+
+    /// The full `ln(d_out)` cache (per-cell vector for the ΔS passes).
+    #[inline]
+    pub(crate) fn ln_d_out_all(&self) -> &[f64] {
+        &self.ln_d_out
+    }
+
+    /// The full `ln(d_in)` cache (per-cell vector for the ΔS passes).
+    #[inline]
+    pub(crate) fn ln_d_in_all(&self) -> &[f64] {
+        &self.ln_d_in
+    }
+
     /// Moves vertex `v` to block `to`, incrementally updating the matrix,
     /// its transpose, the degree vectors and the `ln` caches. No-op if `v`
     /// is already there.
@@ -679,34 +816,57 @@ impl Blockmodel {
     /// blockmodels holding the same integer state — across storage
     /// representations, move histories, and `SBP_THREADS` settings alike.
     pub fn entropy(&self) -> f64 {
+        self.entropy_impl(ENTROPY_CHUNK_ROWS, crate::simd::enabled())
+    }
+
+    /// [`entropy`](Self::entropy) forced onto the scalar row walk — the
+    /// property tests' bit-identity reference.
+    #[doc(hidden)]
+    pub fn entropy_scalar(&self) -> f64 {
+        self.entropy_impl(ENTROPY_CHUNK_ROWS, false)
+    }
+
+    /// [`entropy`](Self::entropy) with an explicit chunk size — the
+    /// `ENTROPY_CHUNK_ROWS` retune study's bench hook. Changing the chunk
+    /// size re-associates the f64 chunk combination, so different chunk
+    /// sizes legitimately produce different bits.
+    #[doc(hidden)]
+    pub fn entropy_with_chunk(&self, chunk_rows: usize) -> f64 {
+        self.entropy_impl(chunk_rows, crate::simd::enabled())
+    }
+
+    fn entropy_impl(&self, chunk_rows: usize, use_simd: bool) -> f64 {
         let c = self.num_blocks;
-        if c <= ENTROPY_CHUNK_ROWS {
-            return self.entropy_rows(0, c as u32);
+        if c <= chunk_rows {
+            return self.entropy_rows(0, c as u32, use_simd);
         }
-        let bounds: Vec<u32> = (0..c)
-            .step_by(ENTROPY_CHUNK_ROWS)
-            .map(|r| r as u32)
-            .collect();
+        let bounds: Vec<u32> = (0..c).step_by(chunk_rows).map(|r| r as u32).collect();
         let partials: Vec<f64> = bounds
             .par_iter()
-            .map(|&lo| self.entropy_rows(lo, ((lo as usize + ENTROPY_CHUNK_ROWS).min(c)) as u32))
+            .map(|&lo| self.entropy_rows(lo, ((lo as usize + chunk_rows).min(c)) as u32, use_simd))
             .collect();
         partials.into_iter().sum()
     }
 
     /// Entropy terms of rows `lo..hi`, accumulated row-major in canonical
-    /// order — one chunk of the fixed-shape reduction.
-    fn entropy_rows(&self, lo: u32, hi: u32) -> f64 {
+    /// order — one chunk of the fixed-shape reduction. Dense rows go
+    /// through the SIMD-dispatched [`crate::simd::entropy_line`]; sparse
+    /// rows walk their canonical cells directly.
+    fn entropy_rows(&self, lo: u32, hi: u32, use_simd: bool) -> f64 {
         let mut s = 0.0f64;
         for r in lo..hi {
             if self.d_out[r as usize] == 0 {
                 continue;
             }
             let ldr = self.ln_d_out[r as usize];
-            for (c, m) in self.row_iter(r) {
-                debug_assert!(m > 0 && self.d_in[c as usize] > 0);
-                let mf = m as f64;
-                s -= mf * (crate::lntab::ln_int(m) - ldr - self.ln_d_in[c as usize]);
+            if let Some(line) = self.dense_row(r) {
+                crate::simd::entropy_line(line, &self.ln_d_in, ldr, &mut s, use_simd);
+            } else {
+                for (c, m) in self.row_iter(r) {
+                    debug_assert!(m > 0 && self.d_in[c as usize] > 0);
+                    let mf = m as f64;
+                    s -= mf * (crate::lntab::ln_int(m) - ldr - self.ln_d_in[c as usize]);
+                }
             }
         }
         s

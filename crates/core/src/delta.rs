@@ -39,6 +39,7 @@
 
 use crate::blockmodel::Blockmodel;
 use crate::lntab::ln_int;
+use crate::simd::{self, DmSource, HastingsInputs, LaneFix};
 use sbp_graph::{Graph, Vertex, Weight};
 use std::cell::RefCell;
 
@@ -52,9 +53,11 @@ fn unpack(k: u64) -> (u32, u32) {
     ((k >> 32) as u32, k as u32)
 }
 
-/// −m·(ln m − ln_deg_sum); callers guarantee `m > 0`.
+/// −m·(ln m − ln_deg_sum); callers guarantee `m > 0`. Shared with the
+/// SIMD kernels ([`crate::simd`]), whose vector bodies replicate this op
+/// sequence lane-wise.
 #[inline]
-fn term(m: Weight, ln_deg_sum: f64) -> f64 {
+pub(crate) fn term(m: Weight, ln_deg_sum: f64) -> f64 {
     -(m as f64) * (ln_int(m) - ln_deg_sum)
 }
 
@@ -175,22 +178,6 @@ impl DenseDelta {
         };
         arr[idx as usize] += w;
         self.touched.push((which, idx));
-    }
-
-    /// Delta of cell `(x, y)` given the move's `from`/`to` blocks.
-    #[inline]
-    fn cell_delta(&self, from: u32, to: u32, x: u32, y: u32) -> Weight {
-        if x == from {
-            self.row_from[y as usize]
-        } else if x == to {
-            self.row_to[y as usize]
-        } else if y == from {
-            self.col_from[x as usize]
-        } else if y == to {
-            self.col_to[x as usize]
-        } else {
-            0
-        }
     }
 }
 
@@ -329,11 +316,24 @@ impl DeltaScratch {
     /// decreases by the same amount since the model-complexity term is
     /// unaffected by moves at fixed block count).
     pub fn delta_entropy(&mut self, bm: &Blockmodel) -> f64 {
+        self.delta_entropy_with(bm, simd::enabled())
+    }
+
+    /// [`delta_entropy`](Self::delta_entropy) forced onto the scalar
+    /// kernels — the property tests' bit-identity reference.
+    #[doc(hidden)]
+    pub fn delta_entropy_scalar(&mut self, bm: &Blockmodel) -> f64 {
+        self.delta_entropy_with(bm, false)
+    }
+
+    fn delta_entropy_with(&mut self, bm: &Blockmodel, use_simd: bool) -> f64 {
         if self.delta.from == self.delta.to {
             return 0.0;
         }
         match self.repr {
-            DeltaRepr::DirectIndexed => delta_entropy_direct(bm, &self.delta, &self.dense),
+            DeltaRepr::DirectIndexed => {
+                delta_entropy_direct(bm, &self.delta, &self.dense, use_simd)
+            }
             DeltaRepr::Sorted => {
                 let DeltaScratch {
                     delta,
@@ -342,7 +342,7 @@ impl DeltaScratch {
                     colbuf,
                     ..
                 } = self;
-                delta_entropy_cells(bm, delta, affected, used, colbuf)
+                delta_entropy_cells(bm, delta, affected, used, colbuf, use_simd)
             }
         }
     }
@@ -359,6 +359,23 @@ impl DeltaScratch {
     /// by the delta. Allocation-free: neighbor-block weights accumulate in
     /// the reusable `wt` buffer via sort-and-fold.
     pub fn hastings_correction(&mut self, graph: &Graph, bm: &Blockmodel, v: Vertex) -> f64 {
+        self.hastings_correction_with(graph, bm, v, simd::enabled())
+    }
+
+    /// [`hastings_correction`](Self::hastings_correction) forced onto the
+    /// scalar kernels — the property tests' bit-identity reference.
+    #[doc(hidden)]
+    pub fn hastings_correction_scalar(&mut self, graph: &Graph, bm: &Blockmodel, v: Vertex) -> f64 {
+        self.hastings_correction_with(graph, bm, v, false)
+    }
+
+    fn hastings_correction_with(
+        &mut self,
+        graph: &Graph,
+        bm: &Blockmodel,
+        v: Vertex,
+        use_simd: bool,
+    ) -> f64 {
         let DeltaScratch {
             delta,
             dense,
@@ -367,11 +384,10 @@ impl DeltaScratch {
             wt,
             ..
         } = self;
-        let (from, to) = (delta.from, delta.to);
         match repr {
-            DeltaRepr::DirectIndexed => hastings_kernel(graph, bm, v, delta, raw, wt, |x, y| {
-                dense.cell_delta(from, to, x, y)
-            }),
+            DeltaRepr::DirectIndexed => {
+                hastings_direct(graph, bm, v, delta, dense, raw, wt, use_simd)
+            }
             DeltaRepr::Sorted => {
                 hastings_kernel(graph, bm, v, delta, raw, wt, |x, y| delta.cell_delta(x, y))
             }
@@ -426,59 +442,65 @@ impl NewDegreeLns {
 }
 
 /// ΔS kernel for dense storage + direct-indexed delta: four contiguous
-/// line scans with the delta read by direct indexing.
-fn delta_entropy_direct(bm: &Blockmodel, delta: &LineDelta, dense: &DenseDelta) -> f64 {
+/// line scans (SIMD-dispatched via [`simd::delta_line_pass`]) with the
+/// delta read by direct indexing.
+fn delta_entropy_direct(
+    bm: &Blockmodel,
+    delta: &LineDelta,
+    dense: &DenseDelta,
+    use_simd: bool,
+) -> f64 {
     let (r, s) = (delta.from, delta.to);
     let lns = NewDegreeLns::compute(bm, delta);
+    let c = bm.num_blocks();
+    let ln_d_in = bm.ln_d_in_all();
+    let ln_d_out = bm.ln_d_out_all();
     let mut old_sum = 0.0f64;
     let mut new_sum = 0.0f64;
-    // Row passes: rows r and s in full.
+    // Row passes: rows r and s in full; the new-side term substitutes the
+    // post-move ln(d_in) at columns r/s.
+    let row_fix = LaneFix::Substitute {
+        r,
+        s,
+        ln_r: lns.ln_ndi_r,
+        ln_s: lns.ln_ndi_s,
+    };
     for (x, dline, ln_do_new) in [
         (r, &dense.row_from, lns.ln_ndo_r),
         (s, &dense.row_to, lns.ln_ndo_s),
     ] {
         let line = bm.dense_row(x).expect("direct repr implies dense storage");
-        let ln_do_old = bm.ln_d_out(x);
-        for (y, (&m, &dm)) in line.iter().zip(dline.iter()).enumerate() {
-            if m == 0 && dm == 0 {
-                continue;
-            }
-            let yu = y as u32;
-            if m > 0 {
-                old_sum += term(m, ln_do_old + bm.ln_d_in(yu));
-            }
-            let m2 = m + dm;
-            debug_assert!(m2 >= 0, "cell ({x}, {yu}) went negative in delta");
-            if m2 > 0 {
-                new_sum += term(m2, ln_do_new + lns.ln_din(bm, yu));
-            }
-        }
+        simd::delta_line_pass(
+            line,
+            DmSource::Slice(&dline[..c]),
+            ln_d_in,
+            bm.ln_d_out(x),
+            ln_do_new,
+            &row_fix,
+            &mut old_sum,
+            &mut new_sum,
+            use_simd,
+        );
     }
     // Column passes: columns r and s via the stored transpose, skipping
     // rows r/s (already counted above).
+    let col_fix = LaneFix::Skip { r, s };
     for (y, dline, ln_di_new) in [
         (r, &dense.col_from, lns.ln_ndi_r),
         (s, &dense.col_to, lns.ln_ndi_s),
     ] {
         let line = bm.dense_col(y).expect("direct repr implies dense storage");
-        let ln_di_old = bm.ln_d_in(y);
-        for (x, (&m, &dm)) in line.iter().zip(dline.iter()).enumerate() {
-            if m == 0 && dm == 0 {
-                continue;
-            }
-            let xu = x as u32;
-            if xu == r || xu == s {
-                continue;
-            }
-            if m > 0 {
-                old_sum += term(m, bm.ln_d_out(xu) + ln_di_old);
-            }
-            let m2 = m + dm;
-            debug_assert!(m2 >= 0, "cell ({xu}, {y}) went negative in delta");
-            if m2 > 0 {
-                new_sum += term(m2, bm.ln_d_out(xu) + ln_di_new);
-            }
-        }
+        simd::delta_line_pass(
+            line,
+            DmSource::Slice(&dline[..c]),
+            ln_d_out,
+            bm.ln_d_in(y),
+            ln_di_new,
+            &col_fix,
+            &mut old_sum,
+            &mut new_sum,
+            use_simd,
+        );
     }
     new_sum - old_sum
 }
@@ -490,6 +512,7 @@ fn delta_entropy_cells(
     affected: &mut Vec<(u64, Weight)>,
     used: &mut Vec<bool>,
     colbuf: &mut Vec<(u32, Weight)>,
+    use_simd: bool,
 ) -> f64 {
     let (r, s) = (delta.from, delta.to);
     if r == s {
@@ -498,47 +521,48 @@ fn delta_entropy_cells(
     let lns = NewDegreeLns::compute(bm, delta);
 
     // Dense storage: the four affected lines are contiguous slices, so
-    // walk every slot with a two-pointer merge against the sorted delta —
-    // no snapshot, no binary searches; newly created cells are covered by
-    // the full-line scan itself.
+    // walk every slot with a merge against the line's sorted delta pairs
+    // (gathered into the reusable `colbuf`) — no snapshot, no binary
+    // searches; newly created cells are covered by the full-line scan
+    // itself. The walk itself is the shared [`simd::delta_line_pass`].
     if bm.storage_kind() == crate::blockmodel::StorageKind::Dense {
         let cells = &delta.cells;
+        let ln_d_in = bm.ln_d_in_all();
+        let ln_d_out = bm.ln_d_out_all();
         let mut old_sum = 0.0f64;
         let mut new_sum = 0.0f64;
+        let row_fix = LaneFix::Substitute {
+            r,
+            s,
+            ln_r: lns.ln_ndi_r,
+            ln_s: lns.ln_ndi_s,
+        };
         for (x, ln_do_new) in [(r, lns.ln_ndo_r), (s, lns.ln_ndo_s)] {
             let line = bm.dense_row(x).expect("dense storage");
-            let ln_do_old = bm.ln_d_out(x);
             let base = (x as u64) << 32;
             let lo = cells.partition_point(|e| e.0 < base);
             let hi = cells.partition_point(|e| e.0 < base + (1u64 << 32));
-            let mut p = lo;
-            for (y, &m) in line.iter().enumerate() {
-                let yu = y as u32;
-                let mut dm = 0;
-                if p < hi && cells[p].0 as u32 == yu {
-                    dm = cells[p].1;
-                    p += 1;
-                }
-                if m == 0 && dm == 0 {
-                    continue;
-                }
-                if m > 0 {
-                    old_sum += term(m, ln_do_old + bm.ln_d_in(yu));
-                }
-                let m2 = m + dm;
-                debug_assert!(m2 >= 0, "cell ({x}, {yu}) went negative in delta");
-                if m2 > 0 {
-                    new_sum += term(m2, ln_do_new + lns.ln_din(bm, yu));
-                }
-            }
-            debug_assert_eq!(p, hi, "row-{x} delta cells not consumed");
+            colbuf.clear();
+            colbuf.extend(cells[lo..hi].iter().map(|&(k, d)| (k as u32, d)));
+            simd::delta_line_pass(
+                line,
+                DmSource::Pairs(colbuf),
+                ln_d_in,
+                bm.ln_d_out(x),
+                ln_do_new,
+                &row_fix,
+                &mut old_sum,
+                &mut new_sum,
+                use_simd,
+            );
         }
         // The columns' delta entries are scattered across the row-sorted
         // cell list; gather each column's entries (already in ascending
-        // row order) into a tiny buffer, then merge-walk the transpose.
+        // row order) into the same reusable buffer, then merge-walk the
+        // transpose.
+        let col_fix = LaneFix::Skip { r, s };
         for (y, ln_di_new) in [(r, lns.ln_ndi_r), (s, lns.ln_ndi_s)] {
             let line = bm.dense_col(y).expect("dense storage");
-            let ln_di_old = bm.ln_d_in(y);
             colbuf.clear();
             for &(k, d) in cells.iter() {
                 let (x, col) = unpack(k);
@@ -546,30 +570,17 @@ fn delta_entropy_cells(
                     colbuf.push((x, d));
                 }
             }
-            let mut p = 0;
-            for (x, &m) in line.iter().enumerate() {
-                let xu = x as u32;
-                if xu == r || xu == s {
-                    continue;
-                }
-                let mut dm = 0;
-                if p < colbuf.len() && colbuf[p].0 == xu {
-                    dm = colbuf[p].1;
-                    p += 1;
-                }
-                if m == 0 && dm == 0 {
-                    continue;
-                }
-                if m > 0 {
-                    old_sum += term(m, bm.ln_d_out(xu) + ln_di_old);
-                }
-                let m2 = m + dm;
-                debug_assert!(m2 >= 0, "cell ({xu}, {y}) went negative in delta");
-                if m2 > 0 {
-                    new_sum += term(m2, bm.ln_d_out(xu) + ln_di_new);
-                }
-            }
-            debug_assert_eq!(p, colbuf.len(), "col-{y} delta cells not consumed");
+            simd::delta_line_pass(
+                line,
+                DmSource::Pairs(colbuf),
+                ln_d_out,
+                bm.ln_d_in(y),
+                ln_di_new,
+                &col_fix,
+                &mut old_sum,
+                &mut new_sum,
+                use_simd,
+            );
         }
         return new_sum - old_sum;
     }
@@ -634,8 +645,87 @@ fn delta_entropy_cells(
     new_sum - old_sum
 }
 
+/// Gathers vertex `v`'s neighbor-block weights into `wt` by sort-and-fold
+/// (no hashing, no allocation after warm-up). Returns `false` when `v`
+/// has no non-self neighbors — both directions then propose uniformly and
+/// the correction is 1.
+fn gather_neighbor_weights(
+    graph: &Graph,
+    bm: &Blockmodel,
+    v: Vertex,
+    raw: &mut Vec<(u64, Weight)>,
+    wt: &mut Vec<(u32, Weight)>,
+) -> bool {
+    raw.clear();
+    for &(u, w) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
+        if u == v {
+            continue;
+        }
+        raw.push((bm.block_of(u) as u64, w));
+    }
+    if raw.is_empty() {
+        return false;
+    }
+    raw.sort_unstable_by_key(|e| e.0);
+    wt.clear();
+    for &(t, w) in raw.iter() {
+        match wt.last_mut() {
+            Some(last) if last.0 == t as u32 => last.1 += w,
+            _ => wt.push((t as u32, w)),
+        }
+    }
+    true
+}
+
+/// Hastings correction for dense storage + direct-indexed delta: every
+/// matrix and delta read is a contiguous-slice index, so the weighted sums
+/// run through the SIMD-dispatched [`simd::hastings_pass`].
+#[allow(clippy::too_many_arguments)]
+fn hastings_direct(
+    graph: &Graph,
+    bm: &Blockmodel,
+    v: Vertex,
+    delta: &LineDelta,
+    dense: &DenseDelta,
+    raw: &mut Vec<(u64, Weight)>,
+    wt: &mut Vec<(u32, Weight)>,
+    use_simd: bool,
+) -> f64 {
+    let (r, s) = (delta.from, delta.to);
+    if r == s {
+        return 1.0;
+    }
+    if !gather_neighbor_weights(graph, bm, v, raw, wt) {
+        return 1.0; // both directions proposed uniformly
+    }
+    let c = bm.num_blocks();
+    let expect = "direct repr implies dense storage";
+    let h = HastingsInputs {
+        row_s: bm.dense_row(s).expect(expect),
+        col_s: bm.dense_col(s).expect(expect),
+        row_r: bm.dense_row(r).expect(expect),
+        col_r: bm.dense_col(r).expect(expect),
+        d_out: bm.d_out_all(),
+        d_in: bm.d_in_all(),
+        drow_from: &dense.row_from[..c],
+        drow_to: &dense.row_to[..c],
+        dcol_from: &dense.col_from[..c],
+        r,
+        s,
+        shift: delta.dout_shift + delta.din_shift,
+        b: c as f64,
+    };
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    simd::hastings_pass(wt, &h, &mut fwd, &mut bwd, use_simd);
+    debug_assert!(fwd > 0.0);
+    bwd / fwd
+}
+
 /// Shared Hastings-correction kernel, parameterized over the delta's cell
-/// lookup so both representations stay allocation-free.
+/// lookup so both representations stay allocation-free (sparse storage and
+/// the allocating test wrappers; the dense hot path is
+/// [`hastings_direct`]).
 fn hastings_kernel(
     graph: &Graph,
     bm: &Blockmodel,
@@ -650,24 +740,8 @@ fn hastings_kernel(
         return 1.0;
     }
     let b = bm.num_blocks() as f64;
-    // Neighbor-block weights: gather, sort, fold — no hashing, no alloc.
-    raw.clear();
-    for &(u, w) in graph.out_edges(v).iter().chain(graph.in_edges(v)) {
-        if u == v {
-            continue;
-        }
-        raw.push((bm.block_of(u) as u64, w));
-    }
-    if raw.is_empty() {
+    if !gather_neighbor_weights(graph, bm, v, raw, wt) {
         return 1.0; // both directions proposed uniformly
-    }
-    raw.sort_unstable_by_key(|e| e.0);
-    wt.clear();
-    for &(t, w) in raw.iter() {
-        match wt.last_mut() {
-            Some(last) if last.0 == t as u32 => last.1 += w,
-            _ => wt.push((t as u32, w)),
-        }
     }
 
     let new_cell = |x: u32, y: u32| (bm.get(x, y) + cell_delta(x, y)) as f64;
@@ -761,7 +835,7 @@ pub fn delta_entropy(bm: &Blockmodel, delta: &LineDelta) -> f64 {
             colbuf,
             ..
         } = s;
-        delta_entropy_cells(bm, delta, affected, used, colbuf)
+        delta_entropy_cells(bm, delta, affected, used, colbuf, simd::enabled())
     })
 }
 

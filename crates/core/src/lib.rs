@@ -55,21 +55,38 @@
 //! reduction whose f64 summation layout depends only on the block count
 //! — enforced end to end by the root `tests/threads.rs` suite.
 //!
+//! The contract extends **into the SIMD lanes** ([`mod@simd`]): the AVX2
+//! kernels compute each cell's term with the same elementwise IEEE op
+//! sequence as the scalar code (never fused) and fold the fixed-width
+//! lane blocks into the accumulator left to right — the scalar loop's
+//! association order — with skipped cells masked to `+0.0` (a bitwise
+//! no-op on any accumulator this crate can produce). Vectorized and
+//! scalar paths are therefore bit-identical, proven by `to_bits`
+//! property tests; `SBP_NO_SIMD=1` forces the scalar path and must
+//! change nothing.
+//!
 //! ## Tuning the dense/sparse threshold
 //!
 //! The storage representation switches at `compacted()`/rebuild boundaries
 //! based on block count and occupancy: dense when `C <= 64`, or when
 //! `C <= SBP_DENSE_THRESHOLD` (environment variable, default 1024, read
-//! once per process) *and* the mean cell occupancy `E/C²` is at least 1/8
-//! — a dense line scan only wins when the lines are populated, so the
-//! sparse early phase (`C ≈ V`, near-empty lines) stays on hash maps even
-//! below the threshold. The dense side costs `2·C²·8` bytes per
-//! blockmodel but makes `get` O(1) and line scans contiguous — at
-//! `C ≤ 256` the ΔS kernel runs several times faster than the hash-map
-//! path (see `benchmarks/summary.md`). Raise the threshold on
-//! large-memory machines whose graphs converge to a few thousand
-//! communities; lower it when simulating many MPI ranks in one process
-//! (every rank keeps its own replica) or under tight memory.
+//! once per process) *and* the mean cell occupancy `E/C²` clears the
+//! occupancy bar — a dense line scan only wins when the lines are
+//! populated, so the sparse early phase (`C ≈ V`, near-empty lines)
+//! stays sparse even below the threshold. By default the bar is measured
+//! once at startup by a micro-probe of this machine's dense-vs-sparse
+//! walk costs (clamped to `[1/8, 1/2]`); explicitly setting
+//! `SBP_DENSE_THRESHOLD` reverts to the fixed legacy bar `E ≥ C²/8` —
+//! see [`blockmodel::dense_threshold`] for the precedence. The dense
+//! side costs `2·C²·8` bytes per blockmodel but makes `get` O(1) and
+//! line scans contiguous — at `C ≤ 256` the ΔS kernel runs several
+//! times faster than the sparse path (see `benchmarks/summary.md`).
+//! Raise the threshold on large-memory machines whose graphs converge
+//! to a few thousand communities; lower it when simulating many MPI
+//! ranks in one process (every rank keeps its own replica) or under
+//! tight memory. Storage selection never changes results — only speed
+//! and memory — so machine-dependent probing is safe in distributed
+//! runs.
 
 pub mod blockmodel;
 pub mod checkpoint;
@@ -86,8 +103,11 @@ pub mod propose;
 pub mod registry;
 pub mod run;
 pub mod sbp;
+pub mod simd;
 
-pub use blockmodel::{auto_picks_dense, dense_threshold, Blockmodel, LineIter, StorageKind};
+pub use blockmodel::{
+    auto_picks_dense, dense_occupancy_crossover, dense_threshold, Blockmodel, LineIter, StorageKind,
+};
 pub use checkpoint::{CheckpointError, CheckpointState};
 pub use delta::{
     delta_entropy, merge_delta, vertex_move_delta, with_scratch, DeltaScratch, LineDelta,
